@@ -1,0 +1,135 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sections IV and V) and runs bechamel microbenchmarks of the
+   simulator's hot paths.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig7    -- one experiment
+     dune exec bench/main.exe -- quick   -- scaled-down figures (CI-sized)
+
+   Absolute cycle counts come from this repository's simulator; each table
+   prints the paper's reference numbers alongside. *)
+
+let banner name =
+  Printf.printf "\n%s\n%s\n" name (String.make (String.length name) '=')
+
+let timed name f =
+  banner name;
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+let run_table1 () = timed "Table I: generator feature comparison" Gem_experiments.Table1.run
+
+let run_fig3 () =
+  ignore (timed "Fig. 3: pipelined vs combinational spatial arrays" Gem_experiments.Fig3.run)
+
+let run_fig4 ?quick () =
+  ignore (timed "Fig. 4: TLB miss rate over ResNet50" (Gem_experiments.Fig4.run ?quick))
+
+let run_fig6 () =
+  ignore (timed "Fig. 6: area breakdown" Gem_experiments.Fig6.run)
+
+let run_fig7 ?quick () =
+  ignore (timed "Fig. 7: speedup over CPU baselines" (Gem_experiments.Fig7.run ?quick))
+
+let run_fig8 ?quick () =
+  ignore (timed "Fig. 8: virtual-address translation co-design" (Gem_experiments.Fig8.run ?quick))
+
+let run_fig9 ?quick () =
+  ignore (timed "Fig. 9: memory partitioning" (Gem_experiments.Fig9.run ?quick))
+
+let run_ablations ?quick () =
+  ignore (timed "Ablations (design-choice studies)" (Gem_experiments.Ablations.run ?quick))
+
+(* --- bechamel microbenchmarks of simulator hot paths ----------------------- *)
+
+let micro () =
+  banner "Microbenchmarks (bechamel)";
+  let open Bechamel in
+  let mesh_matmul =
+    Test.make ~name:"mesh 16x16 WS matmul (cycle-accurate)"
+      (Staged.stage (fun () ->
+           let mesh = Gemmini.Mesh.create Gemmini.Params.default in
+           let rng = Gem_util.Rng.create ~seed:1 in
+           let a = Gem_util.Matrix.random rng ~rows:16 ~cols:16 ~lo:(-128) ~hi:127 in
+           let b = Gem_util.Matrix.random rng ~rows:16 ~cols:16 ~lo:(-128) ~hi:127 in
+           ignore (Gemmini.Mesh.run_matmul mesh ~dataflow:`WS ~a ~b ())))
+  in
+  let tlb_translate =
+    Test.make ~name:"tlb hierarchy translate (hit path)"
+      (Staged.stage
+         (let pt = Gem_vm.Page_table.create ~node_region_base:0x1000_0000 () in
+          Gem_vm.Page_table.map_range pt ~vaddr:0x10000 ~bytes:(1 lsl 20)
+            ~paddr:0x2000_0000;
+          let ptw =
+            Gem_vm.Ptw.create ~page_table:pt
+              ~mem_read:(fun ~now ~paddr:_ ~bytes:_ -> now + 20)
+              ()
+          in
+          let h = Gem_vm.Hierarchy.create Gem_vm.Hierarchy.default_config ~ptw in
+          let i = ref 0 in
+          fun () ->
+            incr i;
+            ignore
+              (Gem_vm.Hierarchy.translate h ~now:!i
+                 ~vaddr:(0x10000 + (!i mod 4096))
+                 ~write:false)))
+  in
+  let cache_access =
+    Test.make ~name:"L2 cache access"
+      (Staged.stage
+         (let c = Gem_mem.Cache.create ~size_bytes:(1 lsl 20) ~ways:16 ~line_bytes:64 in
+          let i = ref 0 in
+          fun () ->
+            i := !i + 64;
+            ignore (Gem_mem.Cache.access c ~addr:(!i land 0x3F_FFFF) ~write:false)))
+  in
+  let kernel_emit =
+    Test.make ~name:"matmul kernel emission (128x128x128)"
+      (Staged.stage (fun () ->
+           ignore
+             (Gem_sw.Kernels.matmul_ops Gemmini.Params.default ~a:0x10000
+                ~b:0x20000 ~out:0x30000 ~m:128 ~k:128 ~n:128 ())))
+  in
+  let tests = [ mesh_matmul; tlb_translate; cache_access; kernel_emit ] in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    Benchmark.all
+      (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ())
+      [ instance ] test
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      let a = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some (est :: _) -> Printf.printf "  %-44s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-44s (no estimate)\n" name)
+        a)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let has name = List.mem name args in
+  let all =
+    (not quick && args = [])
+    || (quick && List.length args = 1)
+    || has "all"
+  in
+  if all || has "table1" then run_table1 ();
+  if all || has "fig3" then run_fig3 ();
+  if all || has "fig6" then run_fig6 ();
+  if all || has "fig4" then run_fig4 ~quick ();
+  if all || has "fig7" then run_fig7 ~quick ();
+  if all || has "fig8" then run_fig8 ~quick ();
+  if all || has "fig9" then run_fig9 ~quick ();
+  if all || has "ablations" then run_ablations ~quick ();
+  if all || has "micro" then micro ();
+  Printf.printf "\nDone.\n"

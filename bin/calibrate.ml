@@ -1,0 +1,10 @@
+let () =
+  let open Gemmini in
+  let tpu = Params.tpu_like ~pes:256 in
+  let nvdla = Params.nvdla_like ~pes:256 in
+  print_endline (Synthesis.compare_design_points tpu nvdla);
+  let r = Synthesis.estimate Params.default in
+  List.iter (fun c -> Printf.printf "%-28s %10.0f um2  %5.1f%%\n" c.Synthesis.comp_name c.Synthesis.area_um2 (100. *. c.Synthesis.share)) r.Synthesis.components;
+  Printf.printf "total %.0f um2\n" r.Synthesis.total_area_um2
+
+let () = print_string (Gem_util.Table.render (Gem_dnn.Model_zoo.summary_table ()))

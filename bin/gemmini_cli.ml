@@ -1,0 +1,175 @@
+(* The command-line face of the generator:
+
+     gemmini_cli describe   [--preset NAME | sizing flags]
+     gemmini_cli header     [...]          -- emit gemmini_params.h
+     gemmini_cli synth      [...]          -- area/fmax/power estimate
+     gemmini_cli run        --model NAME   -- simulate an inference
+     gemmini_cli sweep      --model NAME   -- sweep array sizes
+     gemmini_cli experiment --id fig7      -- reproduce a paper figure *)
+
+open Cmdliner
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+
+(* --- shared parameter flags -------------------------------------------------- *)
+
+let preset =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "default" -> Ok Gemmini.Params.default
+    | "edge" -> Ok Gemmini.Params.edge
+    | "cloud" -> Ok Gemmini.Params.cloud
+    | "tpu256" -> Ok (Gemmini.Params.tpu_like ~pes:256)
+    | "nvdla256" -> Ok (Gemmini.Params.nvdla_like ~pes:256)
+    | other -> Error (`Msg (Printf.sprintf "unknown preset %S" other))
+  in
+  let print fmt p = Format.fprintf fmt "%s" (Gemmini.Params.describe p) in
+  Arg.conv (parse, print)
+
+let params_term =
+  let open Term in
+  let preset_arg =
+    Arg.(value & opt preset Gemmini.Params.default
+         & info [ "preset" ] ~doc:"Instance preset: default, edge, cloud, tpu256, nvdla256.")
+  in
+  let dim = Arg.(value & opt (some int) None & info [ "dim" ] ~doc:"Square array dimension (PE rows).") in
+  let sp = Arg.(value & opt (some int) None & info [ "sp-kb" ] ~doc:"Scratchpad capacity in KiB.") in
+  let acc = Arg.(value & opt (some int) None & info [ "acc-kb" ] ~doc:"Accumulator capacity in KiB.") in
+  let im2col = Arg.(value & opt (some bool) None & info [ "im2col" ] ~doc:"Include the im2col block.") in
+  let build p dim sp acc im2col =
+    let p = match dim with Some d -> { p with Gemmini.Params.mesh_rows = d; mesh_cols = d; tile_rows = 1; tile_cols = 1 } | None -> p in
+    let p = match sp with Some kb -> { p with Gemmini.Params.sp_capacity_bytes = kb * 1024 } | None -> p in
+    let p = match acc with Some kb -> { p with Gemmini.Params.acc_capacity_bytes = kb * 1024 } | None -> p in
+    let p = match im2col with Some b -> { p with Gemmini.Params.has_im2col = b } | None -> p in
+    match Gemmini.Params.validate p with
+    | Ok () -> `Ok p
+    | Error errs -> `Error (false, String.concat "; " errs)
+  in
+  ret (const build $ preset_arg $ dim $ sp $ acc $ im2col)
+
+let model_term =
+  let parse s =
+    match Gem_dnn.Model_zoo.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %S (available: %s)" s
+               (String.concat ", " Gem_dnn.Model_zoo.names)))
+  in
+  let print fmt m = Format.fprintf fmt "%s" m.Gem_dnn.Layer.model_name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Gem_dnn.Model_zoo.resnet50
+    & info [ "model" ] ~doc:"DNN to run (resnet50, alexnet, squeezenet1.1, mobilenetv2, bert-base-seq128).")
+
+let scale_term =
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Channel-scale divisor for faster runs.")
+
+(* --- subcommands --------------------------------------------------------------- *)
+
+let describe_cmd =
+  let run p =
+    print_endline (Gemmini.Params.describe p);
+    print_endline (Gem_util.Table.render (Gem_dnn.Model_zoo.summary_table ()))
+  in
+  Cmd.v (Cmd.info "describe" ~doc:"Describe an accelerator instance and the model zoo.")
+    Term.(const run $ params_term)
+
+let header_cmd =
+  let run p = print_string (Gemmini.Header_gen.generate p) in
+  Cmd.v (Cmd.info "header" ~doc:"Emit the generated C header for an instance.")
+    Term.(const run $ params_term)
+
+let synth_cmd =
+  let run p =
+    let r = Gemmini.Synthesis.estimate p in
+    print_string (Gemmini.Floorplan.render r)
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Analytical synthesis: area, fmax, power, floorplan.")
+    Term.(const run $ params_term)
+
+let run_cmd =
+  let run p model scale im2col_on_accel =
+    let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
+    let soc =
+      Soc.create
+        { Soc_config.default with cores = [ { Soc_config.default_core with accel = p } ] }
+    in
+    let r = Runtime.run soc ~core:0 model ~mode:(Runtime.Accel { im2col_on_accel }) in
+    Printf.printf "%s on %s\n" model.Gem_dnn.Layer.model_name (Gemmini.Params.describe p);
+    Printf.printf "total %s cycles = %.2f FPS at 1 GHz\n"
+      (Gem_util.Table.fmt_int r.Runtime.r_total_cycles)
+      (Gem_sim.Time.fps ~freq_ghz:1.0 ~cycles_per_item:r.Runtime.r_total_cycles);
+    List.iter
+      (fun (k, c) ->
+        Printf.printf "  %-12s %s cycles\n" (Gem_dnn.Layer.class_name k)
+          (Gem_util.Table.fmt_int c))
+      (Runtime.cycles_by_class r)
+  in
+  let im2col =
+    Arg.(value & opt bool true & info [ "accel-im2col" ] ~doc:"Use the hardware im2col block.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a DNN inference on a single-core SoC.")
+    Term.(const run $ params_term $ model_term $ scale_term $ im2col)
+
+let sweep_cmd =
+  let run model scale =
+    let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
+    let t =
+      Gem_util.Table.create
+        ~title:(Printf.sprintf "Array-size sweep (%s)" model.Gem_dnn.Layer.model_name)
+        [ "DIM"; "Cycles"; "FPS@1GHz"; "Area (mm^2)"; "fmax (GHz)" ]
+    in
+    List.iter (fun i -> Gem_util.Table.set_align t i Gem_util.Table.Right) [ 1; 2; 3; 4 ];
+    List.iter
+      (fun dim ->
+        let p =
+          Gemmini.Params.validate_exn
+            { Gemmini.Params.default with mesh_rows = dim; mesh_cols = dim }
+        in
+        let soc =
+          Soc.create
+            { Soc_config.default with cores = [ { Soc_config.default_core with accel = p } ] }
+        in
+        let r = Runtime.run soc ~core:0 model ~mode:(Runtime.Accel { im2col_on_accel = true }) in
+        let synth = Gemmini.Synthesis.estimate p in
+        Gem_util.Table.add_row t
+          [
+            string_of_int dim;
+            Gem_util.Table.fmt_int r.Runtime.r_total_cycles;
+            Gem_util.Table.fmt_f ~dec:1
+              (Gem_sim.Time.fps ~freq_ghz:1.0 ~cycles_per_item:r.Runtime.r_total_cycles);
+            Gem_util.Table.fmt_f ~dec:2 (synth.Gemmini.Synthesis.total_area_um2 /. 1e6);
+            Gem_util.Table.fmt_f ~dec:2 synth.Gemmini.Synthesis.fmax_ghz;
+          ])
+      [ 4; 8; 16; 32 ];
+    Gem_util.Table.print t
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep spatial-array sizes for a workload.")
+    Term.(const run $ model_term $ scale_term)
+
+let experiment_cmd =
+  let run id quick =
+    match String.lowercase_ascii id with
+    | "table1" -> Gem_experiments.Table1.run ()
+    | "fig3" -> ignore (Gem_experiments.Fig3.run ())
+    | "fig4" -> ignore (Gem_experiments.Fig4.run ~quick ())
+    | "fig6" -> ignore (Gem_experiments.Fig6.run ())
+    | "fig7" -> ignore (Gem_experiments.Fig7.run ~quick ())
+    | "fig8" -> ignore (Gem_experiments.Fig8.run ~quick ())
+    | "fig9" -> ignore (Gem_experiments.Fig9.run ~quick ())
+    | other -> Printf.eprintf "unknown experiment %S\n" other
+  in
+  let id = Arg.(required & opt (some string) None & info [ "id" ] ~doc:"table1|fig3|fig4|fig6|fig7|fig8|fig9") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Channel-scaled models.") in
+  Cmd.v (Cmd.info "experiment" ~doc:"Reproduce a table/figure from the paper.")
+    Term.(const run $ id $ quick)
+
+let () =
+  let info =
+    Cmd.info "gemmini_cli" ~version:"1.0.0"
+      ~doc:"Full-stack DNN accelerator generator and SoC simulator (Gemmini reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ describe_cmd; header_cmd; synth_cmd; run_cmd; sweep_cmd; experiment_cmd ]))

@@ -1,0 +1,61 @@
+(* System-level resource partitioning (paper Section V-B, Fig. 5/9):
+   a dual-core SoC where each core runs its own DNN — including a mixed
+   workload (ResNet50 beside MobileNetV2), which the paper's
+   one-network-per-SoC study doesn't show.
+
+     dune exec examples/dual_core_partition.exe *)
+
+open Gem_util
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+
+let resnet = Gem_dnn.Model_zoo.(scale_model ~factor:2 resnet50)
+let mobilenet = Gem_dnn.Model_zoo.(scale_model ~factor:2 mobilenetv2)
+
+let soc_config ~sp_kb ~l2_kb =
+  let accel =
+    {
+      Gemmini.Params.default with
+      sp_capacity_bytes = sp_kb * 1024;
+      acc_capacity_bytes = sp_kb * 1024;
+    }
+  in
+  {
+    Soc_config.default with
+    cores = [ { Soc_config.default_core with accel }; { Soc_config.default_core with accel } ];
+    l2_size_bytes = l2_kb * 1024;
+  }
+
+let mode = Runtime.Accel { im2col_on_accel = true }
+
+let run_pair name cfg jobs =
+  let soc = Soc.create cfg in
+  let rs = Runtime.run_parallel soc jobs in
+  let l2 = Soc.l2 soc in
+  Printf.printf "%-26s" name;
+  Array.iter
+    (fun r ->
+      Printf.printf "  core%d(%s): %s cyc" r.Runtime.r_core r.Runtime.r_model
+        (Table.fmt_int r.Runtime.r_total_cycles))
+    rs;
+  Printf.printf "  | L2 miss %.1f%%\n%!" (100. *. Gem_mem.Cache.miss_rate l2)
+
+let () =
+  print_endline "Dual-core SoC: same 1 MB of extra SRAM, two placements";
+  print_endline "(paper Fig. 9c: for co-running workloads, feed the shared L2)\n";
+  let both_resnet = [| (resnet, mode); (resnet, mode) |] in
+  run_pair "2x resnet  Base(256K/1M)" (soc_config ~sp_kb:256 ~l2_kb:1024) both_resnet;
+  run_pair "2x resnet  BigSP(512K/1M)" (soc_config ~sp_kb:512 ~l2_kb:1024) both_resnet;
+  run_pair "2x resnet  BigL2(256K/2M)" (soc_config ~sp_kb:256 ~l2_kb:2048) both_resnet;
+  print_newline ();
+  let mixed = [| (resnet, mode); (mobilenet, mode) |] in
+  run_pair "mixed      Base(256K/1M)" (soc_config ~sp_kb:256 ~l2_kb:1024) mixed;
+  run_pair "mixed      BigL2(256K/2M)" (soc_config ~sp_kb:256 ~l2_kb:2048) mixed;
+  print_newline ();
+  (* How much does co-location cost at all? Compare against a core running
+     alone on the Base SoC. *)
+  let soc = Soc.create (soc_config ~sp_kb:256 ~l2_kb:1024) in
+  let solo = Runtime.run soc ~core:0 resnet ~mode in
+  Printf.printf "solo resnet on Base SoC: %s cycles (contention-free reference)\n"
+    (Table.fmt_int solo.Runtime.r_total_cycles)

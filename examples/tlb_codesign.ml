@@ -1,0 +1,91 @@
+(* Virtual-address-translation co-design (paper Section V-A): iterate over
+   TLB hierarchies for an edge-class accelerator and find the cheapest
+   configuration within a target of the best performance — ending at the
+   paper's recommendation: a tiny private TLB plus two filter registers.
+
+     dune exec examples/tlb_codesign.exe *)
+
+open Gem_util
+module H = Gem_vm.Hierarchy
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+
+let model = Gem_dnn.Model_zoo.(scale_model ~factor:2 resnet50)
+
+(* Cost model for the translation hardware: entries are CAM entries. *)
+let tlb_cost_entries (c : H.config) =
+  c.H.private_entries + (c.H.shared_entries / 8)
+  + if c.H.filter_registers then 1 else 0
+
+let evaluate tlb =
+  let soc =
+    Soc.create
+      { Soc_config.default with cores = [ { Soc_config.default_core with tlb } ] }
+  in
+  let r = Runtime.run soc ~core:0 model ~mode:(Runtime.Accel { im2col_on_accel = true }) in
+  let h = Soc.tlb (Soc.core soc 0) in
+  (r.Runtime.r_total_cycles, H.effective_hit_rate h)
+
+let () =
+  let candidates =
+    List.concat_map
+      (fun filters ->
+        List.concat_map
+          (fun priv ->
+            List.map
+              (fun shared ->
+                {
+                  H.private_entries = priv;
+                  shared_entries = shared;
+                  filter_registers = filters;
+                  private_hit_latency = 2;
+                  shared_hit_latency = 8;
+                })
+              [ 0; 128; 512 ])
+          [ 4; 16; 64 ])
+      [ false; true ]
+  in
+  let results = List.map (fun c -> (c, evaluate c)) candidates in
+  let best = List.fold_left (fun acc (_, (cyc, _)) -> min acc cyc) max_int results in
+  let t =
+    Table.create ~title:"TLB hierarchy design space (smaller cost is cheaper)"
+      [ "Private"; "Shared"; "Filters"; "Cost (entries)"; "Cycles"; "vs best"; "Eff. hit" ]
+  in
+  List.iter (fun i -> Table.set_align t i Table.Right) [ 0; 1; 3; 4; 5; 6 ];
+  List.iter
+    (fun (c, (cycles, hit)) ->
+      Table.add_row t
+        [
+          string_of_int c.H.private_entries;
+          string_of_int c.H.shared_entries;
+          (if c.H.filter_registers then "yes" else "no");
+          string_of_int (tlb_cost_entries c);
+          Table.fmt_int cycles;
+          Table.fmt_pct (100. *. (float_of_int cycles /. float_of_int best -. 1.));
+          Table.fmt_pct (100. *. hit);
+        ])
+    results;
+  Table.print t;
+  (* The co-design query: cheapest config within 3% of the best. *)
+  let within =
+    List.filter
+      (fun (_, (cyc, _)) -> float_of_int cyc <= 1.03 *. float_of_int best)
+      results
+  in
+  let cheapest =
+    List.fold_left
+      (fun acc (c, _) ->
+        match acc with
+        | None -> Some c
+        | Some best_c ->
+            if tlb_cost_entries c < tlb_cost_entries best_c then Some c else Some best_c)
+      None within
+  in
+  match cheapest with
+  | Some c ->
+      Printf.printf
+        "\nCheapest configuration within 3%% of best: private=%d shared=%d filters=%b\n\
+         (paper's recommendation: 4-entry private TLB + filter registers, no shared TLB)\n"
+        c.H.private_entries c.H.shared_entries c.H.filter_registers
+  | None -> print_endline "no configuration within 3% of best?!"

@@ -1,0 +1,764 @@
+open Gem_util
+open Gem_sim
+
+type ex_cfg = {
+  dataflow : [ `WS | `OS ];
+  activation : Peripheral.activation;
+  sys_shift : int;
+  a_transpose : bool;
+  b_transpose : bool;
+}
+
+type ld_cfg = { stride : int; scale : float; shrunk : bool }
+
+type st_cfg = {
+  st_stride : int;
+  st_act : Peripheral.activation;
+  st_scale : float;
+  st_pool : Isa.pool_cfg option;
+}
+
+type preload_state = {
+  pl_bd : Local_addr.t;
+  pl_c : Local_addr.t;
+  pl_bd_rows : int;
+  pl_bd_cols : int;
+  pl_c_rows : int;
+  pl_c_cols : int;
+}
+
+type os_resident = { os_data : Matrix.t; os_dest : Local_addr.t }
+
+type mutable_stats = {
+  mutable insns : int;
+  mutable loop_micro_ops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable computes : int;
+  mutable macs : int;
+  mutable host_cycles : int;
+  mutable flushes : int;
+  mutable ld_busy : Time.cycles;
+  mutable ex_busy : Time.cycles;
+  mutable st_busy : Time.cycles;
+}
+
+type t = {
+  p : Params.t;
+  spad : Scratchpad.t;
+  mesh : Mesh.t;
+  dma : Dma.t;
+  functional : bool;
+  mutable issue_cycles : int;
+  (* configuration state *)
+  mutable ex_cfg : ex_cfg;
+  ld_cfgs : ld_cfg array; (* three mvin channels *)
+  mutable st_cfg : st_cfg;
+  mutable preload : preload_state option;
+  mutable loop_bounds : Isa.loop_bounds option;
+  mutable loop_addrs : Isa.loop_addrs option;
+  mutable loop_outs : Isa.loop_outs option;
+  mutable resident_b : Matrix.t option; (* WS: weights currently in PEs *)
+  mutable os_acc : os_resident option; (* OS: results resident in PEs *)
+  (* pipeline clocks *)
+  mutable issue : Time.cycles;
+  mutable ld_free : Time.cycles;
+  mutable ex_free : Time.cycles;
+  mutable st_free : Time.cycles;
+  mutable last_ld_finish : Time.cycles;
+  mutable last_ex_finish : Time.cycles;
+  mutable last_st_finish : Time.cycles;
+  rob : Time.cycles Queue.t;
+  s : mutable_stats;
+}
+
+let flush_cost = 10
+
+let create ~params ~port ~tlb ~issue_cycles () =
+  let p = Params.validate_exn params in
+  {
+    p;
+    spad = Scratchpad.create p;
+    mesh = Mesh.create p;
+    dma = Dma.create p ~port ~tlb;
+    functional = Option.is_some port.Dma.read_data;
+    issue_cycles;
+    ex_cfg =
+      {
+        dataflow = (if Dataflow.supports p.Params.dataflow `WS then `WS else `OS);
+        activation = Peripheral.No_activation;
+        sys_shift = 0;
+        a_transpose = false;
+        b_transpose = false;
+      };
+    ld_cfgs = Array.init 3 (fun _ -> { stride = 0; scale = 1.0; shrunk = false });
+    st_cfg =
+      { st_stride = 0; st_act = Peripheral.No_activation; st_scale = 1.0; st_pool = None };
+    preload = None;
+    loop_bounds = None;
+    loop_addrs = None;
+    loop_outs = None;
+    resident_b = None;
+    os_acc = None;
+    issue = 0;
+    ld_free = 0;
+    ex_free = 0;
+    st_free = 0;
+    last_ld_finish = 0;
+    last_ex_finish = 0;
+    last_st_finish = 0;
+    rob = Queue.create ();
+    s =
+      {
+        insns = 0;
+        loop_micro_ops = 0;
+        loads = 0;
+        stores = 0;
+        computes = 0;
+        macs = 0;
+        host_cycles = 0;
+        flushes = 0;
+        ld_busy = 0;
+        ex_busy = 0;
+        st_busy = 0;
+      };
+  }
+
+let params t = t.p
+let scratchpad t = t.spad
+let dma t = t.dma
+let tlb t = Dma.tlb t.dma
+
+let now t = t.issue
+
+let finish_time t =
+  Mathx.imax3 t.last_ld_finish t.ex_free
+    (Mathx.imax3 t.last_st_finish t.st_free (max t.ld_free t.issue))
+
+let set_issue_cycles t n = t.issue_cycles <- n
+
+let host_work t ~cycles =
+  if cycles < 0 then invalid_arg "Controller.host_work: negative cycles";
+  (* The host cannot run ahead while its accelerator queue is full either,
+     but host work itself simply occupies the issue cursor. *)
+  t.issue <- t.issue + cycles;
+  t.s.host_cycles <- t.s.host_cycles + cycles
+
+let retire t finish =
+  Queue.push finish t.rob;
+  if Queue.length t.rob > t.p.Params.max_in_flight then
+    t.issue <- max t.issue (Queue.pop t.rob)
+
+(* --- functional helpers ------------------------------------------------- *)
+
+let elem_bytes t la =
+  if Local_addr.is_accumulator la then Dtype.bytes t.p.Params.acc_type
+  else Dtype.bytes t.p.Params.input_type
+
+(* Convert DMA bytes to stored elements. Scratchpad rows store input-type
+   values (sign-extended); accumulator rows store acc-type values
+   (little-endian). *)
+let bytes_to_elems la ~cols (bytes : int array) =
+  if Local_addr.is_accumulator la then
+    Array.init cols (fun i ->
+        let b0 = bytes.(4 * i)
+        and b1 = bytes.((4 * i) + 1)
+        and b2 = bytes.((4 * i) + 2)
+        and b3 = bytes.((4 * i) + 3) in
+        let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+        (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32))
+  else
+    Array.init cols (fun i ->
+        let b = bytes.(i) in
+        if b >= 128 then b - 256 else b)
+
+let elems_to_bytes la (elems : int array) =
+  if Local_addr.is_accumulator la then begin
+    let out = Array.make (4 * Array.length elems) 0 in
+    Array.iteri
+      (fun i v ->
+        out.(4 * i) <- v land 0xFF;
+        out.((4 * i) + 1) <- (v asr 8) land 0xFF;
+        out.((4 * i) + 2) <- (v asr 16) land 0xFF;
+        out.((4 * i) + 3) <- (v asr 24) land 0xFF)
+      elems;
+    out
+  end
+  else Array.map (fun v -> v land 0xFF) elems
+
+(* --- command handlers ---------------------------------------------------- *)
+
+let do_mvin t (mv : Isa.mv) id =
+  t.s.loads <- t.s.loads + 1;
+  let cfg = t.ld_cfgs.(id) in
+  let eb = if cfg.shrunk then Dtype.bytes t.p.Params.input_type else elem_bytes t mv.Isa.local in
+  let row_bytes = mv.Isa.cols * eb in
+  let stride = cfg.stride in
+  let start = max t.issue t.ld_free in
+  let tr =
+    Dma.mvin t.dma ~now:start ~vaddr:mv.Isa.dram_addr ~stride_bytes:stride
+      ~rows:mv.Isa.rows ~row_bytes
+  in
+  if t.functional then begin
+    let dim = Params.dim_cols t.p in
+    Array.iteri
+      (fun r bytes ->
+        let src_la =
+          (* shrunk loads carry input-type bytes even into the accumulator *)
+          if cfg.shrunk then Local_addr.scratchpad ~row:0 else mv.Isa.local
+        in
+        let elems = bytes_to_elems src_la ~cols:mv.Isa.cols bytes in
+        let elems =
+          if cfg.scale = 1.0 then elems
+          else
+            Array.map
+              (fun v ->
+                Peripheral.scale_to
+                  (if Local_addr.is_accumulator mv.Isa.local then
+                     t.p.Params.acc_type
+                   else t.p.Params.input_type)
+                  ~scale:cfg.scale v)
+              elems
+        in
+        (* A wide mvin (cols > DIM) fills [cols/DIM] adjacent DIM-blocks:
+           row r of block b lands at local + b*DIM + r, exactly like the
+           hardware's MAX_BLOCK_LEN moves. *)
+        let nblocks = Mathx.ceil_div mv.Isa.cols dim in
+        for b = 0 to nblocks - 1 do
+          let lo = b * dim in
+          let len = min dim (mv.Isa.cols - lo) in
+          Scratchpad.write_row t.spad mv.Isa.local
+            ~offset:((b * dim) + r)
+            (Array.sub elems lo len)
+        done)
+      tr.Dma.rows_data
+  end;
+  t.s.ld_busy <- t.s.ld_busy + (tr.Dma.engine_free - start);
+  (* The engine streams on; only consumers of the data wait for it. *)
+  t.ld_free <- tr.Dma.engine_free;
+  t.last_ld_finish <- max t.last_ld_finish tr.Dma.finish;
+  retire t tr.Dma.finish
+
+let apply_store_path t (elems : int array) =
+  (* Accumulator read-out: scale to input type, then activation. *)
+  Array.map
+    (fun v ->
+      let scaled = Peripheral.scale_to t.p.Params.input_type ~scale:t.st_cfg.st_scale v in
+      Peripheral.apply_activation t.st_cfg.st_act scaled)
+    elems
+
+let do_mvout t (mv : Isa.mv) =
+  t.s.stores <- t.s.stores + 1;
+  let full = Local_addr.full_width_flag mv.Isa.local in
+  let out_eb =
+    if Local_addr.is_accumulator mv.Isa.local && not full then
+      Dtype.bytes t.p.Params.input_type
+    else elem_bytes t mv.Isa.local
+  in
+  let row_bytes = mv.Isa.cols * out_eb in
+  let stride = t.st_cfg.st_stride in
+  (* Stores read data produced by computes (matmul C tiles) or by earlier
+     loads (resadd accumulator contents), so they wait on both pipes. *)
+  let start =
+    Mathx.imax3 t.issue t.st_free (max t.last_ex_finish t.last_ld_finish)
+  in
+  let engine_free, finish =
+    if t.functional then begin
+      let rows_data =
+        Array.init mv.Isa.rows (fun r ->
+            let elems = Scratchpad.read_row t.spad mv.Isa.local ~offset:r in
+            let elems = Array.sub elems 0 mv.Isa.cols in
+            let elems =
+              if Local_addr.is_accumulator mv.Isa.local && not full then
+                apply_store_path t elems
+              else elems
+            in
+            let out_la =
+              (* Encode destination element width through the address the
+                 bytes are derived from: scaled-down rows leave as input
+                 type. *)
+              if Local_addr.is_accumulator mv.Isa.local && not full then
+                Local_addr.scratchpad ~row:0
+              else mv.Isa.local
+            in
+            elems_to_bytes out_la elems)
+      in
+      Dma.mvout t.dma ~now:start ~vaddr:mv.Isa.dram_addr ~stride_bytes:stride
+        ~rows_data ~row_bytes
+    end
+    else
+      Dma.mvout_timing_rows t.dma ~now:start ~vaddr:mv.Isa.dram_addr
+        ~stride_bytes:stride ~rows:mv.Isa.rows ~row_bytes
+  in
+  t.s.st_busy <- t.s.st_busy + (engine_free - start);
+  t.st_free <- engine_free;
+  t.last_st_finish <- max t.last_st_finish finish;
+  retire t finish
+
+let do_preload t ~b ~c ~b_rows ~b_cols ~c_rows ~c_cols =
+  (* In OS mode a new preload flushes the resident result tile first. *)
+  (match (t.ex_cfg.dataflow, t.os_acc) with
+  | `OS, Some { os_data; os_dest } ->
+      if t.functional && not (Local_addr.is_garbage os_dest) then begin
+        let scaled =
+          if Local_addr.is_accumulator os_dest then os_data
+          else
+            Matrix.map
+              (fun v ->
+                Dtype.saturate t.p.Params.input_type
+                  (Fixed.rounding_shift v t.ex_cfg.sys_shift))
+              os_data
+        in
+        Scratchpad.write_block t.spad os_dest scaled
+      end;
+      t.os_acc <- None
+  | _ -> ());
+  t.preload <-
+    Some
+      {
+        pl_bd = b;
+        pl_c = c;
+        pl_bd_rows = b_rows;
+        pl_bd_cols = b_cols;
+        pl_c_rows = c_rows;
+        pl_c_cols = c_cols;
+      };
+  retire t t.issue
+
+let read_block_or_zeros t la ~rows ~cols =
+  if Local_addr.is_garbage la then Matrix.create ~rows ~cols
+  else Scratchpad.read_block t.spad la ~rows ~cols
+
+let do_compute t (args : Isa.compute_args) ~preloaded =
+  t.s.computes <- t.s.computes + 1;
+  let dim = Params.dim t.p in
+  let a_rows = min args.Isa.a_rows dim and a_cols = min args.Isa.a_cols dim in
+  match t.ex_cfg.dataflow with
+  | `WS ->
+      let pl =
+        match t.preload with
+        | Some pl -> pl
+        | None -> invalid_arg "Controller: WS compute without preload"
+      in
+      let k = a_cols and out_cols = pl.pl_c_cols in
+      let cycles =
+        Mesh.pipelined_block_cycles t.p ~dataflow:`WS ~rows:a_rows ~k
+          ~cols:out_cols ~preload:preloaded
+      in
+      let start = Mathx.imax3 t.issue t.ex_free t.last_ld_finish in
+      t.ex_free <- start + cycles;
+      t.last_ex_finish <- t.ex_free;
+      t.s.ex_busy <- t.s.ex_busy + cycles;
+      t.s.macs <- t.s.macs + (a_rows * k * out_cols);
+      if t.functional then begin
+        let b =
+          if preloaded then begin
+            let b =
+              read_block_or_zeros t pl.pl_bd ~rows:pl.pl_bd_rows
+                ~cols:pl.pl_bd_cols
+            in
+            let b = if t.ex_cfg.b_transpose then Matrix.transpose b else b in
+            t.resident_b <- Some b;
+            b
+          end
+          else
+            match t.resident_b with
+            | Some b -> b
+            | None -> invalid_arg "Controller: accumulate-compute without resident weights"
+        in
+        let a =
+          read_block_or_zeros t args.Isa.a ~rows:a_rows ~cols:a_cols
+        in
+        let a = if t.ex_cfg.a_transpose then Matrix.transpose a else a in
+        let d =
+          if Local_addr.is_garbage args.Isa.bd then None
+          else
+            Some
+              (Scratchpad.read_block t.spad args.Isa.bd
+                 ~rows:(min args.Isa.bd_rows dim)
+                 ~cols:(min args.Isa.bd_cols dim))
+        in
+        (* Zero-pad B to K rows if needed by taking only meaningful dims. *)
+        let result =
+          Mesh.run_matmul t.mesh ~dataflow:`WS ~a ~b ?d ()
+        in
+        if not (Local_addr.is_garbage pl.pl_c) then
+          Scratchpad.write_block t.spad pl.pl_c result.Mesh.out
+      end;
+      if preloaded then t.preload <- Some { pl with pl_bd = Local_addr.garbage };
+      retire t t.ex_free
+  | `OS ->
+      let pl =
+        match t.preload with
+        | Some pl -> pl
+        | None -> invalid_arg "Controller: OS compute without preload"
+      in
+      let k = a_cols in
+      let out_rows = a_rows and out_cols = min args.Isa.bd_cols dim in
+      let cycles =
+        Mesh.pipelined_block_cycles t.p ~dataflow:`OS ~rows:out_rows ~k
+          ~cols:out_cols ~preload:false
+      in
+      let start = Mathx.imax3 t.issue t.ex_free t.last_ld_finish in
+      t.ex_free <- start + cycles;
+      t.last_ex_finish <- t.ex_free;
+      t.s.ex_busy <- t.s.ex_busy + cycles;
+      t.s.macs <- t.s.macs + (out_rows * k * out_cols);
+      if t.functional then begin
+        let a = read_block_or_zeros t args.Isa.a ~rows:out_rows ~cols:k in
+        let a = if t.ex_cfg.a_transpose then Matrix.transpose a else a in
+        let b =
+          read_block_or_zeros t args.Isa.bd ~rows:(min args.Isa.bd_rows dim)
+            ~cols:out_cols
+        in
+        let b = if t.ex_cfg.b_transpose then Matrix.transpose b else b in
+        let d =
+          match t.os_acc with
+          | Some { os_data; _ } when not preloaded -> Some os_data
+          | _ ->
+              if Local_addr.is_garbage pl.pl_bd then None
+              else
+                Some
+                  (Scratchpad.read_block t.spad pl.pl_bd ~rows:pl.pl_bd_rows
+                     ~cols:pl.pl_bd_cols)
+        in
+        let result = Mesh.run_matmul t.mesh ~dataflow:`OS ~a ~b ?d () in
+        t.os_acc <- Some { os_data = result.Mesh.out; os_dest = pl.pl_c }
+      end;
+      retire t t.ex_free
+
+let do_flush t =
+  t.s.flushes <- t.s.flushes + 1;
+  Gem_vm.Hierarchy.flush (tlb t);
+  t.issue <- t.issue + flush_cost
+
+let do_fence t =
+  (* Drain everything; also flush an OS-resident tile to its destination. *)
+  (match (t.os_acc, t.functional) with
+  | Some { os_data; os_dest }, true when not (Local_addr.is_garbage os_dest) ->
+      let scaled =
+        if Local_addr.is_accumulator os_dest then os_data
+        else
+          Matrix.map
+            (fun v ->
+              Dtype.saturate t.p.Params.input_type
+                (Fixed.rounding_shift v t.ex_cfg.sys_shift))
+            os_data
+      in
+      Scratchpad.write_block t.spad os_dest scaled
+  | _ -> ());
+  t.os_acc <- None;
+  t.issue <- finish_time t;
+  Queue.clear t.rob
+
+(* --- the LOOP_WS hardware sequencer ----------------------------------------
+
+   Mirrors Gemmini's LoopMatmul.scala: once the host has staged bounds,
+   operand addresses and output addresses with the three configuration
+   commands, a single LOOP_WS executes the whole double-buffered tiled
+   matmul. Sub-commands are issued by the sequencer at one cycle each
+   instead of the host's RoCC dispatch cost — the point of the CISC
+   extension. The staging heuristic is the hardware twin of the software
+   library's (grow tile dims round-robin while the tiles fit). *)
+
+let loop_tile_factors t ~bi ~bk ~bj =
+  let dim = Params.dim t.p in
+  let fits (ti, tk, tj) =
+    (2 * ((ti * tk) + (tk * tj)) * dim) <= Params.sp_rows t.p
+    && ti * tj * dim <= Params.acc_rows t.p
+  in
+  let tile = ref (1, 1, 1) in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let try_bump f cap cur =
+      let cand = f !tile in
+      if cur < cap && fits cand then begin
+        tile := cand;
+        continue := true
+      end
+    in
+    let ti, tk, tj = !tile in
+    try_bump (fun (ti, tk, tj) -> (ti + 1, tk, tj)) bi ti;
+    try_bump (fun (ti, tk, tj) -> (ti, tk, tj + 1)) bj tj;
+    try_bump (fun (ti, tk, tj) -> (ti, tk + 1, tj)) bk tk
+  done;
+  !tile
+
+let do_loop_ws t (strides : Isa.loop_strides) ~execute_sub =
+  let bounds =
+    match t.loop_bounds with
+    | Some b -> b
+    | None -> invalid_arg "Controller: LOOP_WS without LOOP_WS_CONFIG_BOUNDS"
+  in
+  let addrs =
+    match t.loop_addrs with
+    | Some a -> a
+    | None -> invalid_arg "Controller: LOOP_WS without LOOP_WS_CONFIG_ADDRS"
+  in
+  let outs =
+    match t.loop_outs with
+    | Some o -> o
+    | None -> invalid_arg "Controller: LOOP_WS without LOOP_WS_CONFIG_OUTS"
+  in
+  let dim = Params.dim t.p in
+  let m = bounds.Isa.lw_m and k = bounds.Isa.lw_k and n = bounds.Isa.lw_n in
+  let bi = Mathx.ceil_div m dim
+  and bk = Mathx.ceil_div k dim
+  and bj = Mathx.ceil_div n dim in
+  let ti, tk, tj = loop_tile_factors t ~bi ~bk ~bj in
+  let a_stride = strides.Isa.lw_a_stride
+  and b_stride = strides.Isa.lw_b_stride
+  and c_stride = strides.Isa.lw_c_stride in
+  let a_tile_rows = ti * tk * dim in
+  let b_tile_rows = tk * tj * dim in
+  let a_base parity = parity * a_tile_rows in
+  let b_base parity = (2 * a_tile_rows) + (parity * b_tile_rows) in
+  let c_base ii jj = ((ii * tj) + jj) * dim in
+  let rows_of gi = min dim (m - (gi * dim)) in
+  let kcols_of gk = min dim (k - (gk * dim)) in
+  let ncols_of gj = min dim (n - (gj * dim)) in
+  let max_block_len = 4 in
+  (* Configure the mover/store channels once. *)
+  execute_sub
+    (Isa.Config_ex
+       {
+         Isa.dataflow = `WS;
+         activation = Peripheral.No_activation;
+         sys_shift = 0;
+         a_transpose = false;
+         b_transpose = false;
+       });
+  execute_sub (Isa.Config_ld { Isa.ld_stride_bytes = a_stride; ld_scale = 1.0; ld_shrunk = false; ld_id = 0 });
+  execute_sub (Isa.Config_ld { Isa.ld_stride_bytes = b_stride; ld_scale = 1.0; ld_shrunk = false; ld_id = 1 });
+  execute_sub (Isa.Config_ld { Isa.ld_stride_bytes = 0; ld_scale = 1.0; ld_shrunk = false; ld_id = 2 });
+  execute_sub
+    (Isa.Config_st
+       {
+         Isa.st_stride_bytes = c_stride;
+         st_activation = bounds.Isa.lw_activation;
+         st_scale = strides.Isa.lw_scale;
+         st_pool = None;
+       });
+  let it = ref 0 in
+  for i0 = 0 to Mathx.ceil_div bi ti - 1 do
+    let vi = min ti (bi - (i0 * ti)) in
+    for j0 = 0 to Mathx.ceil_div bj tj - 1 do
+      let vj = min tj (bj - (j0 * tj)) in
+      if bounds.Isa.lw_has_bias then
+        for ii = 0 to vi - 1 do
+          for jj = 0 to vj - 1 do
+            let gi = (i0 * ti) + ii and gj = (j0 * tj) + jj in
+            execute_sub
+              (Isa.Mvin
+                 ( {
+                     Isa.dram_addr = outs.Isa.lw_bias + (gj * dim * 4);
+                     local = Local_addr.accumulator ~row:(c_base ii jj) ();
+                     cols = ncols_of gj;
+                     rows = rows_of gi;
+                   },
+                   2 ))
+          done
+        done;
+      for k0 = 0 to Mathx.ceil_div bk tk - 1 do
+        let vk = min tk (bk - (k0 * tk)) in
+        let parity = !it land 1 in
+        incr it;
+        for ii = 0 to vi - 1 do
+          let gi = (i0 * ti) + ii in
+          let kk = ref 0 in
+          while !kk < vk do
+            let w = min max_block_len (vk - !kk) in
+            let gk = (k0 * tk) + !kk in
+            execute_sub
+              (Isa.Mvin
+                 ( {
+                     Isa.dram_addr = addrs.Isa.lw_a + (gi * dim * a_stride) + (gk * dim);
+                     local = Local_addr.scratchpad ~row:(a_base parity + (((ii * tk) + !kk) * dim));
+                     cols = min (w * dim) (k - (gk * dim));
+                     rows = rows_of gi;
+                   },
+                   0 ));
+            kk := !kk + w
+          done
+        done;
+        for kk = 0 to vk - 1 do
+          let gk = (k0 * tk) + kk in
+          let jj = ref 0 in
+          while !jj < vj do
+            let w = min max_block_len (vj - !jj) in
+            let gj = (j0 * tj) + !jj in
+            execute_sub
+              (Isa.Mvin
+                 ( {
+                     Isa.dram_addr = addrs.Isa.lw_b + (gk * dim * b_stride) + (gj * dim);
+                     local = Local_addr.scratchpad ~row:(b_base parity + (((kk * tj) + !jj) * dim));
+                     cols = min (w * dim) (n - (gj * dim));
+                     rows = kcols_of gk;
+                   },
+                   1 ));
+            jj := !jj + w
+          done
+        done;
+        for kk = 0 to vk - 1 do
+          let gk = (k0 * tk) + kk in
+          for jj = 0 to vj - 1 do
+            let gj = (j0 * tj) + jj in
+            let b_local =
+              Local_addr.scratchpad ~row:(b_base parity + (((kk * tj) + jj) * dim))
+            in
+            for ii = 0 to vi - 1 do
+              let gi = (i0 * ti) + ii in
+              let first_of_b = ii = 0 in
+              let accumulate = bounds.Isa.lw_has_bias || k0 > 0 || kk > 0 in
+              execute_sub
+                (Isa.Preload
+                   {
+                     b = (if first_of_b then b_local else Local_addr.garbage);
+                     c = Local_addr.accumulator ~accumulate ~row:(c_base ii jj) ();
+                     b_rows = kcols_of gk;
+                     b_cols = ncols_of gj;
+                     c_rows = rows_of gi;
+                     c_cols = ncols_of gj;
+                   });
+              let args =
+                {
+                  Isa.a = Local_addr.scratchpad ~row:(a_base parity + (((ii * tk) + kk) * dim));
+                  bd = Local_addr.garbage;
+                  a_cols = kcols_of gk;
+                  a_rows = rows_of gi;
+                  bd_cols = ncols_of gj;
+                  bd_rows = rows_of gi;
+                }
+              in
+              execute_sub
+                (if first_of_b then Isa.Compute_preloaded args
+                 else Isa.Compute_accumulated args)
+            done
+          done
+        done
+      done;
+      for ii = 0 to vi - 1 do
+        for jj = 0 to vj - 1 do
+          let gi = (i0 * ti) + ii and gj = (j0 * tj) + jj in
+          execute_sub
+            (Isa.Mvout
+               {
+                 Isa.dram_addr = outs.Isa.lw_c + (gi * dim * c_stride) + (gj * dim);
+                 local = Local_addr.accumulator ~row:(c_base ii jj) ();
+                 cols = ncols_of gj;
+                 rows = rows_of gi;
+               })
+        done
+      done
+    done
+  done
+
+let rec execute_with t ~issue_cost ~count_insn (cmd : Isa.t) =
+  if count_insn then t.s.insns <- t.s.insns + 1
+  else t.s.loop_micro_ops <- t.s.loop_micro_ops + 1;
+  t.issue <- t.issue + issue_cost;
+  (match cmd with
+  | Isa.Config_ex c ->
+      if not (Dataflow.supports t.p.Params.dataflow c.Isa.dataflow) then
+        invalid_arg "Controller: dataflow not supported by this instance";
+      t.ex_cfg <-
+        {
+          dataflow = c.Isa.dataflow;
+          activation = c.Isa.activation;
+          sys_shift = c.Isa.sys_shift;
+          a_transpose = c.Isa.a_transpose;
+          b_transpose = c.Isa.b_transpose;
+        }
+  | Isa.Config_ld c ->
+      t.ld_cfgs.(c.Isa.ld_id) <-
+        {
+          stride = c.Isa.ld_stride_bytes;
+          scale = c.Isa.ld_scale;
+          shrunk = c.Isa.ld_shrunk;
+        }
+  | Isa.Config_st c ->
+      t.st_cfg <-
+        {
+          st_stride = c.Isa.st_stride_bytes;
+          st_act = c.Isa.st_activation;
+          st_scale = c.Isa.st_scale;
+          st_pool = c.Isa.st_pool;
+        }
+  | Isa.Mvin (mv, id) -> do_mvin t mv id
+  | Isa.Mvout mv -> do_mvout t mv
+  | Isa.Preload { b; c; b_cols; b_rows; c_cols; c_rows } ->
+      do_preload t ~b ~c ~b_rows ~b_cols ~c_rows ~c_cols
+  | Isa.Compute_preloaded args -> do_compute t args ~preloaded:true
+  | Isa.Compute_accumulated args -> do_compute t args ~preloaded:false
+  | Isa.Loop_ws_bounds b -> t.loop_bounds <- Some b
+  | Isa.Loop_ws_addrs a -> t.loop_addrs <- Some a
+  | Isa.Loop_ws_outs o -> t.loop_outs <- Some o
+  | Isa.Loop_ws strides ->
+      (* The sequencer issues micro-ops at one cycle each, independent of
+         the host's RoCC dispatch cost. *)
+      do_loop_ws t strides
+        ~execute_sub:(execute_with t ~issue_cost:1 ~count_insn:false)
+  | Isa.Flush -> do_flush t
+  | Isa.Fence -> do_fence t)
+
+let execute t cmd = execute_with t ~issue_cost:t.issue_cycles ~count_insn:true cmd
+
+let execute_all t cmds = List.iter (execute t) cmds
+
+type stats = {
+  insns : int;
+  loop_micro_ops : int;
+  loads : int;
+  stores : int;
+  computes : int;
+  macs : int;
+  host_cycles : int;
+  flushes : int;
+  ld_busy : Time.cycles;
+  ex_busy : Time.cycles;
+  st_busy : Time.cycles;
+}
+
+let stats t =
+  {
+    insns = t.s.insns;
+    loop_micro_ops = t.s.loop_micro_ops;
+    loads = t.s.loads;
+    stores = t.s.stores;
+    computes = t.s.computes;
+    macs = t.s.macs;
+    host_cycles = t.s.host_cycles;
+    flushes = t.s.flushes;
+    ld_busy = t.s.ld_busy;
+    ex_busy = t.s.ex_busy;
+    st_busy = t.s.st_busy;
+  }
+
+let utilization t =
+  let total = finish_time t in
+  if total = 0 then 0.
+  else
+    float_of_int t.s.macs
+    /. (float_of_int total *. float_of_int (Params.pes t.p))
+
+let reset_time t =
+  t.issue <- 0;
+  t.ld_free <- 0;
+  t.ex_free <- 0;
+  t.st_free <- 0;
+  t.last_ld_finish <- 0;
+  t.last_ex_finish <- 0;
+  t.last_st_finish <- 0;
+  Queue.clear t.rob;
+  t.s.insns <- 0;
+  t.s.loop_micro_ops <- 0;
+  t.s.loads <- 0;
+  t.s.stores <- 0;
+  t.s.computes <- 0;
+  t.s.macs <- 0;
+  t.s.host_cycles <- 0;
+  t.s.flushes <- 0;
+  t.s.ld_busy <- 0;
+  t.s.ex_busy <- 0;
+  t.s.st_busy <- 0

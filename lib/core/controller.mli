@@ -1,0 +1,78 @@
+(** The accelerator controller: decodes the RoCC command stream and models
+    Gemmini's decoupled load / execute / store pipelines.
+
+    Timing model. Commands are issued by the host at a per-instruction
+    cost, subject to a reorder-window back-pressure of
+    [Params.max_in_flight] outstanding commands. Each functional unit
+    (DMA-in, mesh, DMA-out) processes its commands in order on its own
+    clock, so loads for the next tile overlap computation of the current
+    one (double buffering emerges from the program order of the command
+    stream, as on the real chip). Data dependencies are the conservative
+    program-order ones the hardware enforces through its ROB: a compute
+    waits for every earlier load, a store waits for every earlier
+    compute.
+
+    Functional model. When the DMA port carries data closures, commands
+    also move real bytes through the scratchpad/accumulator and run real
+    matmuls on the cycle-accurate {!Mesh} — the same datapath the unit
+    tests validate against the reference product. *)
+
+type t
+
+val create :
+  params:Params.t ->
+  port:Dma.port ->
+  tlb:Gem_vm.Hierarchy.t ->
+  issue_cycles:int ->
+  unit ->
+  t
+(** [issue_cycles] is the host CPU's cost to dispatch one RoCC command. *)
+
+val params : t -> Params.t
+val scratchpad : t -> Scratchpad.t
+val dma : t -> Dma.t
+val tlb : t -> Gem_vm.Hierarchy.t
+
+val execute : t -> Isa.t -> unit
+(** Executes one command (decode + dispatch + simulate). Raises
+    [Invalid_argument] on semantically invalid commands (e.g. compute
+    without preload). *)
+
+val execute_all : t -> Isa.t list -> unit
+
+val host_work : t -> cycles:int -> unit
+(** Host-CPU busy time (im2col, data marshalling) that blocks further
+    command issue. *)
+
+val now : t -> Gem_sim.Time.cycles
+(** The issue cursor: when the host could dispatch the next command. *)
+
+val finish_time : t -> Gem_sim.Time.cycles
+(** When all issued work (including in-flight DMA/compute) completes. *)
+
+val set_issue_cycles : t -> int -> unit
+
+(* Statistics *)
+
+type stats = {
+  insns : int;  (** host-dispatched commands *)
+  loop_micro_ops : int;  (** commands expanded internally by LOOP_WS *)
+  loads : int;
+  stores : int;
+  computes : int;
+  macs : int;
+  host_cycles : int;
+  flushes : int;
+  ld_busy : Gem_sim.Time.cycles;
+  ex_busy : Gem_sim.Time.cycles;
+  st_busy : Gem_sim.Time.cycles;
+}
+
+val stats : t -> stats
+
+val utilization : t -> float
+(** MACs performed / (PEs x total cycles). *)
+
+val reset_time : t -> unit
+(** Rewind all clocks and counters to zero (new measurement run); keeps
+    configuration and scratchpad contents. *)

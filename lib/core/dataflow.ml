@@ -1,0 +1,20 @@
+type t = WS | OS | Both
+
+let supports t which =
+  match (t, which) with
+  | (WS | Both), `WS -> true
+  | (OS | Both), `OS -> true
+  | WS, `OS | OS, `WS -> false
+
+let to_string = function WS -> "WS" | OS -> "OS" | Both -> "BOTH"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "WS" -> Ok WS
+  | "OS" -> Ok OS
+  | "BOTH" -> Ok Both
+  | other -> Error (Printf.sprintf "unknown dataflow %S" other)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b

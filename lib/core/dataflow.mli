@@ -1,0 +1,16 @@
+(** Spatial-array dataflows.
+
+    Gemmini PEs support the weight-stationary (WS, TPU-style) and
+    output-stationary (OS) dataflows. The dataflow can be fixed at design
+    time (cheaper PEs) or selected at run time ([Both]). *)
+
+type t = WS | OS | Both
+
+val supports : t -> [ `WS | `OS ] -> bool
+(** Whether an accelerator elaborated with dataflow [t] can run the given
+    dataflow at run time. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,79 @@
+(** The accelerator's DMA engine.
+
+    Every [mvin]/[mvout] decomposes into per-row requests: each row is
+    translated through the {!Gem_vm.Hierarchy} (splitting at page
+    boundaries, exactly where the real DMA splits TileLink requests), then
+    moves across the accelerator's private bus into the shared memory
+    system. Translation latency is on the critical path — the DMA blocks
+    on a TLB miss — which is what makes the Fig. 8 TLB-sizing and
+    filter-register effects visible end to end. *)
+
+(** Connection to the SoC memory system. Timing closures charge the shared
+    L2/DRAM resources and return completion times; data closures (optional:
+    present in functional mode) move real bytes. *)
+type port = {
+  read_timing :
+    now:Gem_sim.Time.cycles -> paddr:int -> bytes:int -> Gem_sim.Time.cycles;
+  write_timing :
+    now:Gem_sim.Time.cycles -> paddr:int -> bytes:int -> Gem_sim.Time.cycles;
+  read_data : (paddr:int -> n:int -> int array) option;
+      (** returns unsigned bytes *)
+  write_data : (paddr:int -> int array -> unit) option;
+}
+
+val null_port : port
+(** Zero-latency, no-data port for unit tests. *)
+
+type t
+
+val create : Params.t -> port:port -> tlb:Gem_vm.Hierarchy.t -> t
+
+val tlb : t -> Gem_vm.Hierarchy.t
+
+type transfer = {
+  engine_free : Gem_sim.Time.cycles;
+      (** when the DMA engine can issue its next burst: the engine streams
+          ahead with multiple requests outstanding, so in-flight misses do
+          not block it *)
+  finish : Gem_sim.Time.cycles;  (** when all of the burst's data has landed *)
+  rows_data : int array array;  (** per-row bytes; empty when timing-only *)
+}
+
+val mvin :
+  t ->
+  now:Gem_sim.Time.cycles ->
+  vaddr:int ->
+  stride_bytes:int ->
+  rows:int ->
+  row_bytes:int ->
+  transfer
+(** Reads [rows] rows of [row_bytes], the i-th at
+    [vaddr + i*stride_bytes]. *)
+
+val mvout :
+  t ->
+  now:Gem_sim.Time.cycles ->
+  vaddr:int ->
+  stride_bytes:int ->
+  rows_data:int array array ->
+  row_bytes:int ->
+  Gem_sim.Time.cycles * Gem_sim.Time.cycles
+(** Writes rows; returns [(engine_free, finish)]. *)
+
+val mvout_timing_rows :
+  t ->
+  now:Gem_sim.Time.cycles ->
+  vaddr:int ->
+  stride_bytes:int ->
+  rows:int ->
+  row_bytes:int ->
+  Gem_sim.Time.cycles * Gem_sim.Time.cycles
+(** Timing-only variant of {!mvout}. *)
+
+(* Statistics *)
+
+val bytes_in : t -> int
+val bytes_out : t -> int
+val row_requests : t -> int
+val busy_cycles : t -> Gem_sim.Time.cycles
+val reset_stats : t -> unit

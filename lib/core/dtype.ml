@@ -1,0 +1,49 @@
+type t = Int8 | Int16 | Int32 | Fp16 | Fp32
+
+let bits = function
+  | Int8 -> 8
+  | Int16 -> 16
+  | Int32 -> 32
+  | Fp16 -> 16
+  | Fp32 -> 32
+
+let bytes t = bits t / 8
+
+let is_float = function Fp16 | Fp32 -> true | Int8 | Int16 | Int32 -> false
+
+let min_int_value = function
+  | Int8 -> -128
+  | Int16 -> -32768
+  | Int32 -> Gem_util.Fixed.int32_min
+  | Fp16 | Fp32 -> invalid_arg "Dtype.min_int_value: float type"
+
+let max_int_value = function
+  | Int8 -> 127
+  | Int16 -> 32767
+  | Int32 -> Gem_util.Fixed.int32_max
+  | Fp16 | Fp32 -> invalid_arg "Dtype.max_int_value: float type"
+
+let saturate t v =
+  if is_float t then v
+  else Gem_util.Mathx.clamp ~lo:(min_int_value t) ~hi:(max_int_value t) v
+
+let c_name = function
+  | Int8 -> "int8_t"
+  | Int16 -> "int16_t"
+  | Int32 -> "int32_t"
+  | Fp16 -> "_Float16"
+  | Fp32 -> "float"
+
+let to_string = function
+  | Int8 -> "int8"
+  | Int16 -> "int16"
+  | Int32 -> "int32"
+  | Fp16 -> "fp16"
+  | Fp32 -> "fp32"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b
+
+let valid_acc_for ~input ~acc =
+  is_float input = is_float acc && bits acc >= bits input

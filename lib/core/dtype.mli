@@ -1,0 +1,35 @@
+(** Datatypes supported by the generator.
+
+    Gemmini distinguishes the {e input type} (what the spatial array
+    multiplies, and what the scratchpad stores) from the {e accumulator
+    type} (the wider type partial sums are kept in). Table I's "Int/Float"
+    datatype support is design-time: any of these can be chosen when
+    elaborating an accelerator. The functional simulator executes integer
+    datapaths bit-exactly; float types elaborate (area/power/header) but
+    their functional model is host-float based. *)
+
+type t = Int8 | Int16 | Int32 | Fp16 | Fp32
+
+val bits : t -> int
+val bytes : t -> int
+val is_float : t -> bool
+
+val min_int_value : t -> int
+(** Most negative representable value. Raises [Invalid_argument] for float
+    types. *)
+
+val max_int_value : t -> int
+
+val saturate : t -> int -> int
+(** Clamp an integer to the type's range. Identity for float types. *)
+
+val c_name : t -> string
+(** Type name emitted into the generated C header. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val valid_acc_for : input:t -> acc:t -> bool
+(** An accumulator type is valid when it is at least as wide as the input
+    type and in the same number class (int with int, float with float). *)

@@ -1,0 +1,75 @@
+open Gem_util
+
+let breakdown_table (r : Synthesis.report) =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Area breakdown (%s, fmax %.2f GHz, %.1f mW)"
+           (Params.describe r.Synthesis.params)
+           r.Synthesis.fmax_ghz r.Synthesis.power_mw)
+      [ "Component"; "Area (um^2)"; "% of system area" ]
+  in
+  Table.set_align table 1 Table.Right;
+  Table.set_align table 2 Table.Right;
+  List.iter
+    (fun c ->
+      Table.add_row table
+        [
+          c.Synthesis.comp_name;
+          Table.fmt_int (int_of_float c.Synthesis.area_um2);
+          Table.fmt_pct (100. *. c.Synthesis.share);
+        ])
+    r.Synthesis.components;
+  Table.add_sep table;
+  Table.add_row table
+    [ "total"; Table.fmt_int (int_of_float r.Synthesis.total_area_um2); "100.0%" ];
+  table
+
+let layout_sketch ?(width = 48) (r : Synthesis.report) =
+  let total_rows = 24 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.make (width + 2) '-');
+  Buffer.add_char buf '\n';
+  (* Stack components vertically, each box's height proportional to its
+     area share; label centered inside. *)
+  let remaining = ref total_rows in
+  let n = List.length r.Synthesis.components in
+  List.iteri
+    (fun i c ->
+      let rows =
+        if i = n - 1 then !remaining
+        else
+          let h =
+            max 1 (int_of_float (Float.round (c.Synthesis.share *. float_of_int total_rows)))
+          in
+          min h (max 1 (!remaining - (n - 1 - i)))
+      in
+      remaining := !remaining - rows;
+      let label =
+        Printf.sprintf "%s (%.1f%%)" c.Synthesis.comp_name (100. *. c.Synthesis.share)
+      in
+      let label =
+        if String.length label > width then String.sub label 0 width else label
+      in
+      for row = 0 to rows - 1 do
+        if row = rows / 2 then begin
+          let pad = width - String.length label in
+          let left = pad / 2 in
+          Buffer.add_char buf '|';
+          Buffer.add_string buf (String.make left ' ');
+          Buffer.add_string buf label;
+          Buffer.add_string buf (String.make (pad - left) ' ');
+          Buffer.add_string buf "|\n"
+        end
+        else begin
+          Buffer.add_char buf '|';
+          Buffer.add_string buf (String.make width ' ');
+          Buffer.add_string buf "|\n"
+        end
+      done;
+      Buffer.add_string buf (String.make (width + 2) '-');
+      Buffer.add_char buf '\n')
+    r.Synthesis.components;
+  Buffer.contents buf
+
+let render r = Table.render (breakdown_table r) ^ "\n" ^ layout_sketch r

@@ -1,0 +1,13 @@
+(** Renders a synthesis report as the paper's Fig. 6: an area-breakdown
+    table plus a proportional ASCII floorplan sketch (the Innovus layout
+    substitute). *)
+
+val breakdown_table : Synthesis.report -> Gem_util.Table.t
+(** Component / area (um^2) / % of system area, plus a total row. *)
+
+val layout_sketch : ?width:int -> Synthesis.report -> string
+(** A [width]-character-wide ASCII rendering where each component's box
+    area is proportional to its silicon area (default width 48). *)
+
+val render : Synthesis.report -> string
+(** Table followed by sketch. *)

@@ -1,0 +1,14 @@
+(** Generated C header ([gemmini_params.h]).
+
+    "Every time a new accelerator is produced, Gemmini also generates an
+    accompanying header file containing various parameters, e.g. the
+    dimensions of the spatial array, the dataflows supported, and the
+    compute blocks that are included" (paper Section III-B). This module
+    emits that artifact from an elaborated parameter set so the low-level
+    C API can be tuned per instance. *)
+
+val generate : ?guard:string -> Params.t -> string
+(** The full header text. [guard] overrides the include guard macro. *)
+
+val defines : Params.t -> (string * string) list
+(** The macro/value pairs, for programmatic inspection and tests. *)

@@ -1,0 +1,53 @@
+type t = int (* the raw 32-bit encoding *)
+
+let acc_bit = 1 lsl 31
+let accumulate_bit = 1 lsl 30
+let full_bit = 1 lsl 29
+let row_mask = (1 lsl 29) - 1
+let mask32 = 0xFFFF_FFFF
+
+let garbage = mask32
+
+let check_row row =
+  if row < 0 || row > row_mask then
+    invalid_arg (Printf.sprintf "Local_addr: row %d out of range" row)
+
+let scratchpad ~row =
+  check_row row;
+  row
+
+let accumulator ?(accumulate = false) ?(full_width = false) ~row () =
+  check_row row;
+  acc_bit lor (if accumulate then accumulate_bit else 0)
+  lor (if full_width then full_bit else 0)
+  lor row
+
+let is_garbage t = t = garbage
+let is_accumulator t = (not (is_garbage t)) && t land acc_bit <> 0
+let accumulate_flag t = (not (is_garbage t)) && t land accumulate_bit <> 0
+let full_width_flag t = (not (is_garbage t)) && t land full_bit <> 0
+let row t = t land row_mask
+
+let add_rows t n =
+  if is_garbage t then t
+  else begin
+    let r = row t + n in
+    check_row r;
+    (t land lnot row_mask) lor r
+  end
+
+let to_bits t = t land mask32
+let of_bits bits = bits land mask32
+
+let to_string t =
+  if is_garbage t then "GARBAGE"
+  else
+    Printf.sprintf "%s[%d]%s%s"
+      (if is_accumulator t then "acc" else "sp")
+      (row t)
+      (if accumulate_flag t then "+acc" else "")
+      (if full_width_flag t then "+full" else "")
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b

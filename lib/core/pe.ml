@@ -1,0 +1,9 @@
+type ws_out = { a_out : int; psum_out : int }
+
+let ws_step ~acc_type ~weight ~a_in ~psum_in =
+  { a_out = a_in; psum_out = Dtype.saturate acc_type (psum_in + (a_in * weight)) }
+
+type os_out = { a_out : int; b_out : int; acc : int }
+
+let os_step ~acc_type ~acc ~a_in ~b_in =
+  { a_out = a_in; b_out = b_in; acc = Dtype.saturate acc_type (acc + (a_in * b_in)) }

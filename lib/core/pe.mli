@@ -1,0 +1,18 @@
+(** A single processing element — one multiply-accumulate per cycle.
+
+    A PE holds one stationary operand in a register and combines the two
+    streaming operands flowing through it. Under the weight-stationary
+    dataflow the stationary value is a weight and partial sums flow
+    vertically; under output-stationary the stationary value is the output
+    accumulator and both inputs stream. Arithmetic saturates in the
+    accumulator type, matching the integer RTL datapath. *)
+
+type ws_out = { a_out : int; psum_out : int }
+
+val ws_step : acc_type:Dtype.t -> weight:int -> a_in:int -> psum_in:int -> ws_out
+(** [psum_out = sat (psum_in + a_in * weight)]; [a_out] forwards [a_in]. *)
+
+type os_out = { a_out : int; b_out : int; acc : int }
+
+val os_step : acc_type:Dtype.t -> acc:int -> a_in:int -> b_in:int -> os_out
+(** [acc' = sat (acc + a_in * b_in)]; both streams forward. *)

@@ -1,0 +1,55 @@
+open Gem_mem
+
+type t = { p : Params.t; sp : Sram.t; acc : Sram.t }
+
+let create p =
+  let p = Params.validate_exn p in
+  {
+    p;
+    sp =
+      Sram.create ~banks:p.Params.sp_banks
+        ~rows_per_bank:(Params.sp_rows_per_bank p)
+        ~elems_per_row:(Params.dim_cols p);
+    acc =
+      Sram.create ~banks:p.Params.acc_banks
+        ~rows_per_bank:(Params.acc_rows_per_bank p)
+        ~elems_per_row:(Params.dim_cols p);
+  }
+
+let params t = t.p
+
+let target t la =
+  if Local_addr.is_garbage la then invalid_arg "Scratchpad: garbage address";
+  if Local_addr.is_accumulator la then t.acc else t.sp
+
+let read_row t la ~offset =
+  Sram.read_row (target t la) ~row:(Local_addr.row la + offset)
+
+let write_row t la ~offset elems =
+  let mem = target t la in
+  let row = Local_addr.row la + offset in
+  if Local_addr.accumulate_flag la then begin
+    if not (Local_addr.is_accumulator la) then
+      invalid_arg "Scratchpad: accumulate flag on scratchpad address";
+    Sram.accumulate_row mem ~row elems
+  end
+  else Sram.write_row mem ~row elems
+
+let read_block t la ~rows ~cols =
+  Array.init rows (fun r -> Array.sub (read_row t la ~offset:r) 0 cols)
+
+let write_block t la m =
+  let rows = Gem_util.Matrix.rows m in
+  for r = 0 to rows - 1 do
+    write_row t la ~offset:r m.(r)
+  done
+
+let sp_rows t = Sram.total_rows t.sp
+let acc_rows t = Sram.total_rows t.acc
+
+let sp_accesses t = Sram.reads t.sp + Sram.writes t.sp
+let acc_accesses t = Sram.reads t.acc + Sram.writes t.acc
+
+let reset_stats t =
+  Sram.reset_stats t.sp;
+  Sram.reset_stats t.acc

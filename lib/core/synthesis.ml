@@ -1,0 +1,151 @@
+open Gem_util
+
+type host_cpu = No_host | Rocket | Boom
+
+type component = { comp_name : string; area_um2 : float; share : float }
+
+type report = {
+  params : Params.t;
+  host : host_cpu;
+  components : component list;
+  total_area_um2 : float;
+  critical_path_ns : float;
+  fmax_ghz : float;
+  power_mw : float;
+  pipeline_reg_bits : int;
+  spatial_array_area_um2 : float;
+}
+
+(* Inter-tile pipeline register bits: horizontal boundaries carry `a`
+   (input type + 1 control bit) per PE row, vertical boundaries carry
+   psums (accumulator type + 4 control bits) per PE column. *)
+let pipeline_reg_bits (p : Params.t) =
+  let in_bits = Dtype.bits p.input_type in
+  let acc_bits = Dtype.bits p.acc_type in
+  let h_boundaries = (p.mesh_cols - 1) * p.mesh_rows in
+  let v_boundaries = (p.mesh_rows - 1) * p.mesh_cols in
+  (h_boundaries * p.tile_rows * (in_bits + 1))
+  + (v_boundaries * p.tile_cols * (acc_bits + 4))
+
+let pe_struct_area (tech : Tech.t) (p : Params.t) =
+  let in_bits = float_of_int (Dtype.bits p.input_type) in
+  let acc_bits = float_of_int (Dtype.bits p.acc_type) in
+  let mul = tech.mul_area_per_bit2 *. in_bits *. in_bits in
+  let add = tech.add_area_per_bit *. acc_bits in
+  (* Double-buffered stationary operand registers. *)
+  let stationary = 2.0 *. in_bits *. tech.reg_area_per_bit in
+  mul +. add +. stationary +. tech.pe_control_area
+
+let critical_path_ns (tech : Tech.t) (p : Params.t) =
+  (* Synthesis retimes the in-tile reduction into a tree: depth grows with
+     log2 of the tile dimensions. A 1x1 tile has a single mul+add stage. *)
+  let depth_of n = if n <= 1 then 0 else Mathx.log2_ceil n in
+  let tree_levels = depth_of p.tile_rows + depth_of p.tile_cols in
+  tech.ff_delay_ns +. tech.mul_delay_ns +. tech.add_delay_ns
+  +. (float_of_int tree_levels *. tech.tree_level_delay_ns)
+
+let mesh_fmax_ghz ?(tech = Tech.intel_22ffl) p =
+  1.0 /. critical_path_ns tech p
+
+let estimate ?(tech = Tech.intel_22ffl) ?(host = Rocket) p =
+  let p = Params.validate_exn p in
+  let fmax = mesh_fmax_ghz ~tech p in
+  let freq_factor = 1.0 +. (tech.area_freq_slope *. fmax) in
+  let reg_bits = pipeline_reg_bits p in
+  let array_struct =
+    (float_of_int (Params.pes p) *. pe_struct_area tech p)
+    +. (float_of_int reg_bits *. tech.reg_area_per_bit)
+  in
+  let array_area = array_struct *. freq_factor in
+  let sp_area =
+    (float_of_int p.sp_capacity_bytes *. tech.sram_area_per_byte)
+    +. (float_of_int p.sp_banks *. tech.sram_bank_overhead)
+  in
+  let acc_area =
+    (float_of_int p.acc_capacity_bytes *. tech.acc_sram_area_per_byte)
+    +. (float_of_int p.acc_banks *. tech.sram_bank_overhead)
+  in
+  let blocks =
+    List.filter_map
+      (fun (cond, name, area) -> if cond then Some (name, area) else None)
+      [
+        (true, "dma", tech.dma_area);
+        (true, "controller", tech.controller_area);
+        (p.has_im2col, "im2col unit", tech.im2col_area);
+        (p.has_pooling, "pooling unit", tech.pooling_area);
+        ( p.has_transposer,
+          "transposer",
+          tech.transposer_area_per_pe_col *. float_of_int (Params.dim_cols p) );
+      ]
+  in
+  let cpu_area =
+    match host with
+    | No_host -> 0.
+    | Rocket -> tech.rocket_area
+    | Boom -> tech.boom_area
+  in
+  let named =
+    [
+      (Printf.sprintf "spatial array (%dx%d)" (Params.dim_rows p) (Params.dim_cols p), array_area);
+      (Printf.sprintf "scratchpad (%s)" (Table.fmt_bytes p.sp_capacity_bytes), sp_area);
+      (Printf.sprintf "accumulator (%s)" (Table.fmt_bytes p.acc_capacity_bytes), acc_area);
+    ]
+    @ blocks
+    @
+    match host with
+    | No_host -> []
+    | Rocket -> [ ("cpu (rocket, 1 core)", cpu_area) ]
+    | Boom -> [ ("cpu (boom, 1 core)", cpu_area) ]
+  in
+  let total = Mathx.sum_listf (List.map snd named) in
+  let components =
+    List.map
+      (fun (comp_name, area_um2) ->
+        { comp_name; area_um2; share = area_um2 /. total })
+      named
+  in
+  (* Power at fmax: combinational switching scales with logic area, clock
+     power with register bits, SRAM with capacity; leakage with total
+     area. *)
+  (* Switching power follows the structural (pre-upsizing) logic area:
+     upsized gates buy drive strength, not proportionally more switched
+     capacitance. *)
+  let comb_area = float_of_int (Params.pes p) *. pe_struct_area tech p in
+  let reg_power = float_of_int reg_bits *. tech.reg_power_per_bit_ghz *. fmax in
+  let comb_power = comb_area *. tech.comb_power_per_um2_ghz *. fmax in
+  let sram_kb = float_of_int (p.sp_capacity_bytes + p.acc_capacity_bytes) /. 1024. in
+  let sram_power = sram_kb *. tech.sram_power_per_kb_ghz *. fmax in
+  let leakage = total *. tech.leakage_power_per_um2 in
+  {
+    params = p;
+    host;
+    components;
+    total_area_um2 = total;
+    critical_path_ns = critical_path_ns tech p;
+    fmax_ghz = fmax;
+    power_mw = comb_power +. reg_power +. sram_power +. leakage;
+    pipeline_reg_bits = reg_bits;
+    spatial_array_area_um2 = array_area;
+  }
+
+let component_area report prefix =
+  List.fold_left
+    (fun acc c ->
+      if String.length c.comp_name >= String.length prefix
+         && String.sub c.comp_name 0 (String.length prefix) = prefix
+      then acc +. c.area_um2
+      else acc)
+    0. report.components
+
+let compare_design_points ?(tech = Tech.intel_22ffl) p1 p2 =
+  let r1 = estimate ~tech ~host:No_host p1 in
+  let r2 = estimate ~tech ~host:No_host p2 in
+  Printf.sprintf
+    "%s\n  fmax %.2f GHz, array %.0f um^2, power %.1f mW\n\
+     %s\n  fmax %.2f GHz, array %.0f um^2, power %.1f mW\n\
+     ratios (first/second): fmax %.2fx, area %.2fx, power %.2fx"
+    (Params.describe p1) r1.fmax_ghz r1.spatial_array_area_um2 r1.power_mw
+    (Params.describe p2) r2.fmax_ghz r2.spatial_array_area_um2 r2.power_mw
+    (r1.fmax_ghz /. r2.fmax_ghz)
+    (r1.spatial_array_area_um2 /. r2.spatial_array_area_um2)
+    (r1.power_mw /. r2.power_mw)

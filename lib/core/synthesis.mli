@@ -1,0 +1,39 @@
+(** Analytical synthesis: area / timing / power estimation of an elaborated
+    accelerator instance (the Cadence Genus + Innovus substitute).
+
+    The estimates drive Fig. 3 (pipelined vs combinational spatial arrays),
+    Fig. 6 (area breakdown of the default instance with its host CPU), and
+    the design-space-exploration example. Coefficients live in {!Tech}. *)
+
+type host_cpu = No_host | Rocket | Boom
+
+type component = {
+  comp_name : string;
+  area_um2 : float;
+  share : float;  (** fraction of total area *)
+}
+
+type report = {
+  params : Params.t;
+  host : host_cpu;
+  components : component list;  (** ordered: array, SP, ACC, blocks, CPU *)
+  total_area_um2 : float;
+  critical_path_ns : float;
+  fmax_ghz : float;
+  power_mw : float;  (** dynamic + leakage at [fmax_ghz] *)
+  pipeline_reg_bits : int;  (** inter-tile register bits in the array *)
+  spatial_array_area_um2 : float;
+}
+
+val estimate : ?tech:Tech.t -> ?host:host_cpu -> Params.t -> report
+
+val component_area : report -> string -> float
+(** Area of a named component; 0 when absent. *)
+
+val mesh_fmax_ghz : ?tech:Tech.t -> Params.t -> float
+(** Maximum clock frequency of the spatial array alone. *)
+
+val compare_design_points :
+  ?tech:Tech.t -> Params.t -> Params.t -> string
+(** Human-readable comparison (area/fmax/power ratios) of two instances —
+    the Fig. 3 experiment in one call. *)

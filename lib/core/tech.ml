@@ -1,0 +1,81 @@
+type t = {
+  name : string;
+  ff_delay_ns : float;
+  mul_delay_ns : float;
+  add_delay_ns : float;
+  tree_level_delay_ns : float;
+  mul_area_per_bit2 : float;
+  add_area_per_bit : float;
+  reg_area_per_bit : float;
+  pe_control_area : float;
+  area_freq_slope : float;
+  sram_area_per_byte : float;
+  acc_sram_area_per_byte : float;
+  sram_bank_overhead : float;
+  dma_area : float;
+  controller_area : float;
+  im2col_area : float;
+  pooling_area : float;
+  transposer_area_per_pe_col : float;
+  rocket_area : float;
+  boom_area : float;
+  comb_power_per_um2_ghz : float;
+  reg_power_per_bit_ghz : float;
+  sram_power_per_kb_ghz : float;
+  leakage_power_per_um2 : float;
+}
+
+let intel_22ffl =
+  {
+    name = "intel-22ffl";
+    ff_delay_ns = 0.15;
+    mul_delay_ns = 0.25;
+    add_delay_ns = 0.10;
+    tree_level_delay_ns = 0.105;
+    mul_area_per_bit2 = 1.45;
+    add_area_per_bit = 1.50;
+    reg_area_per_bit = 1.00;
+    pe_control_area = 26.4;
+    area_freq_slope = 0.50;
+    sram_area_per_byte = 2.125;
+    acc_sram_area_per_byte = 2.28;
+    sram_bank_overhead = 1500.0;
+    dma_area = 22_000.0;
+    controller_area = 26_000.0;
+    im2col_area = 14_000.0;
+    pooling_area = 8_000.0;
+    transposer_area_per_pe_col = 140.0;
+    rocket_area = 171_000.0;
+    boom_area = 1_150_000.0;
+    comb_power_per_um2_ghz = 0.00105;
+    reg_power_per_bit_ghz = 0.00125;
+    sram_power_per_kb_ghz = 0.045;
+    leakage_power_per_um2 = 0.0000085;
+  }
+
+let scale_to_node t ~factor =
+  if factor <= 0. then invalid_arg "Tech.scale_to_node: non-positive factor";
+  let a x = x *. factor *. factor in
+  let d x = x *. factor in
+  {
+    t with
+    name = Printf.sprintf "%s-x%.2f" t.name factor;
+    ff_delay_ns = d t.ff_delay_ns;
+    mul_delay_ns = d t.mul_delay_ns;
+    add_delay_ns = d t.add_delay_ns;
+    tree_level_delay_ns = d t.tree_level_delay_ns;
+    mul_area_per_bit2 = a t.mul_area_per_bit2;
+    add_area_per_bit = a t.add_area_per_bit;
+    reg_area_per_bit = a t.reg_area_per_bit;
+    pe_control_area = a t.pe_control_area;
+    sram_area_per_byte = a t.sram_area_per_byte;
+    acc_sram_area_per_byte = a t.acc_sram_area_per_byte;
+    sram_bank_overhead = a t.sram_bank_overhead;
+    dma_area = a t.dma_area;
+    controller_area = a t.controller_area;
+    im2col_area = a t.im2col_area;
+    pooling_area = a t.pooling_area;
+    transposer_area_per_pe_col = a t.transposer_area_per_pe_col;
+    rocket_area = a t.rocket_area;
+    boom_area = a t.boom_area;
+  }

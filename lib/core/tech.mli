@@ -1,0 +1,52 @@
+(** Process-technology coefficients for the analytical synthesis model.
+
+    The paper synthesizes Gemmini instances with Cadence Genus/Innovus in
+    Intel 22FFL; we replace that flow with an analytical model whose
+    coefficients are fitted to the paper's published data points:
+
+    - Fig. 6: 16x16 int8 array = 116K um^2, 256 KB scratchpad = 544K um^2,
+      64 KB accumulator = 146K um^2, Rocket core = 171K um^2;
+    - Fig. 3 / Section III-A: fully-pipelined vs fully-combinational 256-PE
+      arrays differ by 2.7x in fmax, 1.8x in area and 3.0x in power.
+
+    Two modeling choices matter: (1) synthesized area grows with target
+    frequency (gate upsizing), captured by [area_freq_slope]; (2) a
+    combinational tile's reduction is retimed into a tree by synthesis, so
+    critical path grows with log2 of the tile dimensions. *)
+
+type t = {
+  name : string;
+  (* delay, ns *)
+  ff_delay_ns : float;  (** clk->q + setup *)
+  mul_delay_ns : float;  (** 8-bit multiplier *)
+  add_delay_ns : float;  (** accumulator-width adder *)
+  tree_level_delay_ns : float;  (** per log2 level of in-tile reduction *)
+  (* area, um^2 *)
+  mul_area_per_bit2 : float;  (** x input_bits^2 *)
+  add_area_per_bit : float;
+  reg_area_per_bit : float;
+  pe_control_area : float;
+  area_freq_slope : float;  (** synthesized area x (1 + slope * fmax_ghz) *)
+  sram_area_per_byte : float;  (** single-port scratchpad SRAM *)
+  acc_sram_area_per_byte : float;  (** accumulator SRAM (wider, rd+wr) *)
+  sram_bank_overhead : float;  (** per-bank periphery *)
+  dma_area : float;
+  controller_area : float;
+  im2col_area : float;
+  pooling_area : float;
+  transposer_area_per_pe_col : float;
+  rocket_area : float;  (** in-order host CPU *)
+  boom_area : float;  (** out-of-order host CPU *)
+  (* power, mW *)
+  comb_power_per_um2_ghz : float;
+  reg_power_per_bit_ghz : float;
+  sram_power_per_kb_ghz : float;
+  leakage_power_per_um2 : float;
+}
+
+val intel_22ffl : t
+(** The calibrated default. *)
+
+val scale_to_node : t -> factor:float -> t
+(** Crude node scaling: multiplies areas by [factor^2], delays by
+    [factor], keeping the model self-consistent for what-if studies. *)

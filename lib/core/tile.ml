@@ -1,0 +1,70 @@
+type t = {
+  rows : int;
+  cols : int;
+  acc_type : Dtype.t;
+  stationary : int array array;
+}
+
+let create ~rows ~cols ~acc_type =
+  if rows <= 0 || cols <= 0 then invalid_arg "Tile.create: non-positive dims";
+  { rows; cols; acc_type; stationary = Array.make_matrix rows cols 0 }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let set_stationary t ~r ~c v = t.stationary.(r).(c) <- v
+let get_stationary t ~r ~c = t.stationary.(r).(c)
+
+let clear_stationary t =
+  Array.iter (fun row -> Array.fill row 0 t.cols 0) t.stationary
+
+let ws_pass t ~a_in ~psum_in =
+  if Array.length a_in <> t.rows || Array.length psum_in <> t.cols then
+    invalid_arg "Tile.ws_pass: edge width mismatch";
+  let a = Array.copy a_in in
+  let psum = Array.copy psum_in in
+  (* Raster order resolves the combinational network: values flow right
+     along rows and down along columns within the same cycle. *)
+  for r = 0 to t.rows - 1 do
+    let a_cur = ref a.(r) in
+    for c = 0 to t.cols - 1 do
+      let out =
+        Pe.ws_step ~acc_type:t.acc_type ~weight:t.stationary.(r).(c)
+          ~a_in:!a_cur ~psum_in:psum.(c)
+      in
+      psum.(c) <- out.Pe.psum_out;
+      a_cur := out.Pe.a_out
+    done;
+    a.(r) <- !a_cur
+  done;
+  (a, psum)
+
+let os_pass t ~a_in ~b_in =
+  if Array.length a_in <> t.rows || Array.length b_in <> t.cols then
+    invalid_arg "Tile.os_pass: edge width mismatch";
+  let a = Array.copy a_in in
+  let b = Array.copy b_in in
+  for r = 0 to t.rows - 1 do
+    let a_cur = ref a.(r) in
+    for c = 0 to t.cols - 1 do
+      let out =
+        Pe.os_step ~acc_type:t.acc_type ~acc:t.stationary.(r).(c) ~a_in:!a_cur
+          ~b_in:b.(c)
+      in
+      t.stationary.(r).(c) <- out.Pe.acc;
+      b.(c) <- out.Pe.b_out;
+      a_cur := out.Pe.a_out
+    done;
+    a.(r) <- !a_cur
+  done;
+  (a, b)
+
+let shift_weights_down t ~incoming =
+  if Array.length incoming <> t.cols then
+    invalid_arg "Tile.shift_weights_down: width mismatch";
+  let outgoing = Array.copy t.stationary.(t.rows - 1) in
+  for r = t.rows - 1 downto 1 do
+    Array.blit t.stationary.(r - 1) 0 t.stationary.(r) 0 t.cols
+  done;
+  Array.blit incoming 0 t.stationary.(0) 0 t.cols;
+  outgoing

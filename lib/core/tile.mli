@@ -1,0 +1,37 @@
+(** A combinational tile: a rectangular grid of PEs with no pipeline
+    registers between them (paper Fig. 2).
+
+    Signals entering a tile's left/top edges propagate through every PE of
+    the tile within a single clock cycle; the mesh places pipeline
+    registers only {e between} tiles. Larger tiles therefore shorten the
+    array's pipeline (and its area/power) at the cost of a longer
+    combinational critical path — the Fig. 3 trade-off. *)
+
+type t
+
+val create : rows:int -> cols:int -> acc_type:Dtype.t -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val set_stationary : t -> r:int -> c:int -> int -> unit
+(** Loads the stationary register of PE (r,c): the weight in WS mode, the
+    running output in OS mode. *)
+
+val get_stationary : t -> r:int -> c:int -> int
+
+val clear_stationary : t -> unit
+
+val ws_pass : t -> a_in:int array -> psum_in:int array -> int array * int array
+(** One combinational pass in WS mode. [a_in] has [rows] elements entering
+    the left edge; [psum_in] has [cols] elements entering the top edge.
+    Returns [(a_out, psum_out)] leaving the right and bottom edges. *)
+
+val os_pass : t -> a_in:int array -> b_in:int array -> int array * int array
+(** One combinational pass in OS mode; accumulators update in place.
+    Returns [(a_out, b_out)]. *)
+
+val shift_weights_down : t -> incoming:int array -> int array
+(** Weight-preload behaviour: every PE row passes its stationary values to
+    the row below; row 0 takes [incoming] ([cols] wide); the previous
+    bottom row's values are returned (they continue into the tile below). *)

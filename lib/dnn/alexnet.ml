@@ -1,0 +1,31 @@
+(* AlexNet (single-tower, 224x224x3 input): 5 convolutions, 3 max-pools,
+   3 fully-connected layers; ~0.7 GMACs, ~61M weights (FC-heavy). *)
+
+open Layer
+
+let conv ~h ~w ~in_ch ~out_ch ~kernel ~stride ~padding =
+  Conv
+    { in_h = h; in_w = w; in_ch; out_ch; kernel; stride; padding; relu = true; depthwise = false }
+
+let model : Layer.model =
+  {
+    model_name = "alexnet";
+    input_desc = "224x224x3";
+    layers =
+      [
+        ("conv1", conv ~h:224 ~w:224 ~in_ch:3 ~out_ch:64 ~kernel:11 ~stride:4 ~padding:2);
+        ( "pool1",
+          Max_pool { p_in_h = 55; p_in_w = 55; p_ch = 64; window = 3; p_stride = 2; p_padding = 0 } );
+        ("conv2", conv ~h:27 ~w:27 ~in_ch:64 ~out_ch:192 ~kernel:5 ~stride:1 ~padding:2);
+        ( "pool2",
+          Max_pool { p_in_h = 27; p_in_w = 27; p_ch = 192; window = 3; p_stride = 2; p_padding = 0 } );
+        ("conv3", conv ~h:13 ~w:13 ~in_ch:192 ~out_ch:384 ~kernel:3 ~stride:1 ~padding:1);
+        ("conv4", conv ~h:13 ~w:13 ~in_ch:384 ~out_ch:256 ~kernel:3 ~stride:1 ~padding:1);
+        ("conv5", conv ~h:13 ~w:13 ~in_ch:256 ~out_ch:256 ~kernel:3 ~stride:1 ~padding:1);
+        ( "pool5",
+          Max_pool { p_in_h = 13; p_in_w = 13; p_ch = 256; window = 3; p_stride = 2; p_padding = 0 } );
+        ("fc6", Matmul { m = 1; k = 9216; n = 4096; relu = true; count = 1 });
+        ("fc7", Matmul { m = 1; k = 4096; n = 4096; relu = true; count = 1 });
+        ("fc8", Matmul { m = 1; k = 4096; n = 1000; relu = false; count = 1 });
+      ];
+  }

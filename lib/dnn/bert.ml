@@ -1,0 +1,42 @@
+(* BERT-base encoder (12 layers, hidden 768, 12 heads, FFN 3072), run at a
+   sequence length of 128. All MAC work is GEMM; softmax/layernorm/GELU
+   appear as elementwise layers (host or peripheral work). *)
+
+open Layer
+
+let hidden = 768
+let heads = 12
+let head_dim = hidden / heads
+let ffn = 3072
+
+let encoder_layer ~seq i =
+  let n = Printf.sprintf "layer%d_" i in
+  [
+    (n ^ "q_proj", Matmul { m = seq; k = hidden; n = hidden; relu = false; count = 1 });
+    (n ^ "k_proj", Matmul { m = seq; k = hidden; n = hidden; relu = false; count = 1 });
+    (n ^ "v_proj", Matmul { m = seq; k = hidden; n = hidden; relu = false; count = 1 });
+    ( n ^ "attn_scores",
+      Matmul { m = seq; k = head_dim; n = seq; relu = false; count = heads } );
+    (n ^ "softmax", Elementwise { e_elems = heads * seq * seq; e_name = "softmax" });
+    ( n ^ "attn_context",
+      Matmul { m = seq; k = seq; n = head_dim; relu = false; count = heads } );
+    (n ^ "out_proj", Matmul { m = seq; k = hidden; n = hidden; relu = false; count = 1 });
+    (n ^ "add1", Elementwise { e_elems = seq * hidden; e_name = "residual" });
+    (n ^ "ln1", Elementwise { e_elems = seq * hidden; e_name = "layernorm" });
+    (n ^ "ffn_up", Matmul { m = seq; k = hidden; n = ffn; relu = false; count = 1 });
+    (n ^ "gelu", Elementwise { e_elems = seq * ffn; e_name = "gelu" });
+    (n ^ "ffn_down", Matmul { m = seq; k = ffn; n = hidden; relu = false; count = 1 });
+    (n ^ "add2", Elementwise { e_elems = seq * hidden; e_name = "residual" });
+    (n ^ "ln2", Elementwise { e_elems = seq * hidden; e_name = "layernorm" });
+  ]
+
+let model_with_seq seq : Layer.model =
+  {
+    model_name = Printf.sprintf "bert-base-seq%d" seq;
+    input_desc = Printf.sprintf "seq %d, hidden %d" seq hidden;
+    layers =
+      List.concat (List.init 12 (fun i -> encoder_layer ~seq (i + 1)))
+      @ [ ("pooler", Matmul { m = 1; k = hidden; n = hidden; relu = false; count = 1 }) ];
+  }
+
+let model : Layer.model = model_with_seq 128

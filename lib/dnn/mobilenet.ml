@@ -1,0 +1,73 @@
+(* MobileNetV2 (224x224x3): inverted residual blocks with depthwise
+   convolutions; ~0.3 GMACs. The depthwise layers have out_ch = 1 per
+   channel group, which maps poorly onto a wide spatial array — the reason
+   the paper reports only a 127x speedup for this network. *)
+
+open Layer
+
+let conv ~h ~in_ch ~out_ch ~kernel ~stride ~padding ?(relu = true) ?(depthwise = false) () =
+  Conv { in_h = h; in_w = h; in_ch; out_ch; kernel; stride; padding; relu; depthwise }
+
+(* Inverted residual: 1x1 expand (xt), 3x3 depthwise (stride s), 1x1
+   linear project; residual add when the block preserves shape. *)
+let inverted_residual ~name ~h ~in_ch ~expansion ~out_ch ~stride =
+  let mid = in_ch * expansion in
+  let oh = h / stride in
+  let expand =
+    if expansion = 1 then []
+    else
+      [ (name ^ "_expand", conv ~h ~in_ch ~out_ch:mid ~kernel:1 ~stride:1 ~padding:0 ()) ]
+  in
+  let body =
+    [
+      ( name ^ "_dw",
+        conv ~h ~in_ch:mid ~out_ch:mid ~kernel:3 ~stride ~padding:1 ~depthwise:true () );
+      ( name ^ "_project",
+        conv ~h:oh ~in_ch:mid ~out_ch ~kernel:1 ~stride:1 ~padding:0 ~relu:false () );
+    ]
+  in
+  let add =
+    if stride = 1 && in_ch = out_ch then
+      [
+        ( name ^ "_add",
+          Residual_add
+            {
+              r_h = oh;
+              r_w = oh;
+              r_ch = out_ch;
+              back1 = 1;
+              back2 = (if expansion = 1 then 3 else 4);
+            } );
+      ]
+    else []
+  in
+  (expand @ body @ add, oh, out_ch)
+
+(* (expansion, out channels, repeats, first stride) per the paper's Table 2. *)
+let block_table =
+  [ (1, 16, 1, 1); (6, 24, 2, 2); (6, 32, 3, 2); (6, 64, 4, 2); (6, 96, 3, 1); (6, 160, 3, 2); (6, 320, 1, 1) ]
+
+let model : Layer.model =
+  let layers = ref [ ("conv1", conv ~h:224 ~in_ch:3 ~out_ch:32 ~kernel:3 ~stride:2 ~padding:1 ()) ] in
+  let h = ref 112 and ch = ref 32 in
+  List.iteri
+    (fun bi (expansion, out_ch, repeats, stride) ->
+      for r = 1 to repeats do
+        let name = Printf.sprintf "block%d_%d" (bi + 1) r in
+        let stride = if r = 1 then stride else 1 in
+        let ls, oh, oc =
+          inverted_residual ~name ~h:!h ~in_ch:!ch ~expansion ~out_ch ~stride
+        in
+        layers := !layers @ ls;
+        h := oh;
+        ch := oc
+      done)
+    block_table;
+  let tail =
+    [
+      ("conv_last", conv ~h:!h ~in_ch:!ch ~out_ch:1280 ~kernel:1 ~stride:1 ~padding:0 ());
+      ("gap", Global_avg_pool { g_h = !h; g_w = !h; g_ch = 1280 });
+      ("fc", Matmul { m = 1; k = 1280; n = 1000; relu = false; count = 1 });
+    ]
+  in
+  { model_name = "mobilenetv2"; input_desc = "224x224x3"; layers = !layers @ tail }

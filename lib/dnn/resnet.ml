@@ -1,0 +1,84 @@
+(* ResNet50 (v1.5 bottleneck placement: the stride lives on the 3x3).
+   224x224x3 input, 1000-class head; ~4.1 GMACs, ~25M weights. *)
+
+open Layer
+
+let conv ~h ~w ~in_ch ~out_ch ~kernel ~stride ~padding ?(relu = true) () =
+  Conv
+    {
+      in_h = h;
+      in_w = w;
+      in_ch;
+      out_ch;
+      kernel;
+      stride;
+      padding;
+      relu;
+      depthwise = false;
+    }
+
+(* One bottleneck block: 1x1 reduce, 3x3 (carries the stride), 1x1 expand,
+   plus a projection shortcut on the first block of each stage. *)
+let bottleneck ~stage ~index ~h ~in_ch ~mid ~stride =
+  let out_ch = 4 * mid in
+  let oh = h / stride in
+  let name part = Printf.sprintf "conv%d_%d_%s" stage index part in
+  let main =
+    [
+      (name "1x1a", conv ~h ~w:h ~in_ch ~out_ch:mid ~kernel:1 ~stride:1 ~padding:0 ());
+      (name "3x3", conv ~h ~w:h ~in_ch:mid ~out_ch:mid ~kernel:3 ~stride ~padding:1 ());
+      ( name "1x1b",
+        conv ~h:oh ~w:oh ~in_ch:mid ~out_ch ~kernel:1 ~stride:1 ~padding:0
+          ~relu:false () );
+    ]
+  in
+  let shortcut =
+    if index = 1 then
+      [
+        ( name "proj",
+          conv ~h ~w:h ~in_ch ~out_ch ~kernel:1 ~stride ~padding:0 ~relu:false () );
+      ]
+    else []
+  in
+  let add =
+    let back1, back2 = if index = 1 then (1, 2) else (1, 4) in
+    [ (name "add", Residual_add { r_h = oh; r_w = oh; r_ch = out_ch; back1; back2 }) ]
+  in
+  (main @ shortcut @ add, oh, out_ch)
+
+let stage ~stage:s ~blocks ~h ~in_ch ~mid ~stride =
+  let rec go index h in_ch acc =
+    if index > blocks then (List.rev acc, h, 4 * mid)
+    else begin
+      let stride = if index = 1 then stride else 1 in
+      let layers, oh, out_ch = bottleneck ~stage:s ~index ~h ~in_ch ~mid ~stride in
+      go (index + 1) oh out_ch (List.rev_append layers acc)
+    end
+  in
+  go 1 h in_ch []
+
+let model : Layer.model =
+  let l1 =
+    [
+      ( "conv1",
+        conv ~h:224 ~w:224 ~in_ch:3 ~out_ch:64 ~kernel:7 ~stride:2 ~padding:3 () );
+      ( "pool1",
+        Max_pool
+          { p_in_h = 112; p_in_w = 112; p_ch = 64; window = 3; p_stride = 2; p_padding = 1 } );
+    ]
+  in
+  let s2, h, c = stage ~stage:2 ~blocks:3 ~h:56 ~in_ch:64 ~mid:64 ~stride:1 in
+  let s3, h, c = stage ~stage:3 ~blocks:4 ~h ~in_ch:c ~mid:128 ~stride:2 in
+  let s4, h, c = stage ~stage:4 ~blocks:6 ~h ~in_ch:c ~mid:256 ~stride:2 in
+  let s5, h, c = stage ~stage:5 ~blocks:3 ~h ~in_ch:c ~mid:512 ~stride:2 in
+  let head =
+    [
+      ("gap", Global_avg_pool { g_h = h; g_w = h; g_ch = c });
+      ("fc1000", Matmul { m = 1; k = c; n = 1000; relu = false; count = 1 });
+    ]
+  in
+  {
+    model_name = "resnet50";
+    input_desc = "224x224x3";
+    layers = l1 @ s2 @ s3 @ s4 @ s5 @ head;
+  }

@@ -1,0 +1,53 @@
+(* SqueezeNet v1.1 (224x224x3): fire modules (1x1 squeeze feeding parallel
+   1x1 and 3x3 expands); ~0.35 GMACs, 1.2M weights. The paper singles it
+   out as "designed to be run efficiently on modern CPUs", hence its
+   smaller accelerator speedup (1,760x). *)
+
+open Layer
+
+let conv ~h ~in_ch ~out_ch ~kernel ~stride ~padding =
+  Conv
+    {
+      in_h = h;
+      in_w = h;
+      in_ch;
+      out_ch;
+      kernel;
+      stride;
+      padding;
+      relu = true;
+      depthwise = false;
+    }
+
+let fire ~name ~h ~in_ch ~squeeze ~expand =
+  [
+    (name ^ "_squeeze1x1", conv ~h ~in_ch ~out_ch:squeeze ~kernel:1 ~stride:1 ~padding:0);
+    (name ^ "_expand1x1", conv ~h ~in_ch:squeeze ~out_ch:expand ~kernel:1 ~stride:1 ~padding:0);
+    (name ^ "_expand3x3", conv ~h ~in_ch:squeeze ~out_ch:expand ~kernel:3 ~stride:1 ~padding:1);
+  ]
+
+let maxpool ~name ~h ~ch =
+  [ (name, Max_pool { p_in_h = h; p_in_w = h; p_ch = ch; window = 3; p_stride = 2; p_padding = 0 }) ]
+
+let model : Layer.model =
+  {
+    model_name = "squeezenet1.1";
+    input_desc = "224x224x3";
+    layers =
+      [ ("conv1", conv ~h:224 ~in_ch:3 ~out_ch:64 ~kernel:3 ~stride:2 ~padding:0) ]
+      @ maxpool ~name:"pool1" ~h:111 ~ch:64
+      @ fire ~name:"fire2" ~h:55 ~in_ch:64 ~squeeze:16 ~expand:64
+      @ fire ~name:"fire3" ~h:55 ~in_ch:128 ~squeeze:16 ~expand:64
+      @ maxpool ~name:"pool3" ~h:55 ~ch:128
+      @ fire ~name:"fire4" ~h:27 ~in_ch:128 ~squeeze:32 ~expand:128
+      @ fire ~name:"fire5" ~h:27 ~in_ch:256 ~squeeze:32 ~expand:128
+      @ maxpool ~name:"pool5" ~h:27 ~ch:256
+      @ fire ~name:"fire6" ~h:13 ~in_ch:256 ~squeeze:48 ~expand:192
+      @ fire ~name:"fire7" ~h:13 ~in_ch:384 ~squeeze:48 ~expand:192
+      @ fire ~name:"fire8" ~h:13 ~in_ch:384 ~squeeze:64 ~expand:256
+      @ fire ~name:"fire9" ~h:13 ~in_ch:512 ~squeeze:64 ~expand:256
+      @ [
+          ("conv10", conv ~h:13 ~in_ch:512 ~out_ch:1000 ~kernel:1 ~stride:1 ~padding:0);
+          ("gap", Global_avg_pool { g_h = 13; g_w = 13; g_ch = 1000 });
+        ];
+  }

@@ -1,0 +1,102 @@
+(* Ablations of the design choices DESIGN.md calls out: each row removes or
+   resizes one mechanism and reports the end-to-end effect on a ResNet50
+   inference (plus a GEMM for the CISC-loop ablation). These are the
+   "why is this feature in the architecture" experiments the paper's
+   prose argues qualitatively. *)
+
+open Gem_util
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+module Kernels = Gem_sw.Kernels
+module H = Gem_vm.Hierarchy
+
+type row = { ablation : string; baseline : int; ablated : int }
+
+type result = { rows : row list }
+
+let resnet_cycles ?(quick = false) cfg =
+  let soc = Soc.create cfg in
+  (Runtime.run soc ~core:0 (Common.resnet ~quick) ~mode:Common.accel_mode)
+    .Runtime.r_total_cycles
+
+let with_accel f cfg =
+  { cfg with Soc_config.cores = List.map (fun c -> { c with Soc_config.accel = f c.Soc_config.accel }) cfg.Soc_config.cores }
+
+let measure ?(quick = false) () =
+  let base_cfg = Soc_config.default in
+  let base = resnet_cycles ~quick base_cfg in
+  let filter_off =
+    resnet_cycles ~quick
+      (Soc_config.map_tlb (fun t -> { t with H.filter_registers = false }) base_cfg)
+  in
+  let rob4 =
+    resnet_cycles ~quick
+      (with_accel (fun p -> { p with Gemmini.Params.max_in_flight = 4 }) base_cfg)
+  in
+  let dma_half =
+    resnet_cycles ~quick
+      (with_accel (fun p -> { p with Gemmini.Params.dma_bus_bytes = 4 }) base_cfg)
+  in
+  let no_shared_tlb =
+    resnet_cycles ~quick
+      (Soc_config.map_tlb (fun t -> { t with H.shared_entries = 0 }) base_cfg)
+  in
+  let no_im2col =
+    let soc = Soc.create (with_accel (Gemmini.Params.with_im2col false) base_cfg) in
+    (Runtime.run soc ~core:0 (Common.resnet ~quick)
+       ~mode:(Runtime.Accel { im2col_on_accel = false }))
+      .Runtime.r_total_cycles
+  in
+  (* CISC loop ablation on a large GEMM with a slow (deeply-shared) host. *)
+  let gemm use_loop =
+    let soc = Soc.create base_cfg in
+    let core = Soc.core soc 0 in
+    (* A heavily time-shared host: every RoCC dispatch costs 20 cycles. *)
+    Gemmini.Controller.set_issue_cycles (Soc.controller core) 20;
+    let m, k, n = ((if quick then 128 else 256), 256, 256) in
+    let a = Soc.alloc soc core ~bytes:(m * k) in
+    let b = Soc.alloc soc core ~bytes:(k * n) in
+    let out = Soc.alloc soc core ~bytes:(m * n) in
+    let p = Gemmini.Params.default in
+    let ops =
+      (if use_loop then Kernels.matmul_loop_ws_ops p ~a ~b ~out ~m ~k ~n ()
+       else Kernels.matmul_ops p ~a ~b ~out ~m ~k ~n ())
+      @ [ Kernels.fence ]
+    in
+    Soc.run_program soc core (List.to_seq ops)
+  in
+  {
+    rows =
+      [
+        { ablation = "no TLB filter registers"; baseline = base; ablated = filter_off };
+        { ablation = "ROB depth 16 -> 4"; baseline = base; ablated = rob4 };
+        { ablation = "DMA width 8 -> 4 B/cycle"; baseline = base; ablated = dma_half };
+        { ablation = "no shared L2 TLB"; baseline = base; ablated = no_shared_tlb };
+        { ablation = "no im2col block (CPU im2col)"; baseline = base; ablated = no_im2col };
+        { ablation = "discrete stream vs LOOP_WS (GEMM, busy host)"; baseline = gemm true; ablated = gemm false };
+      ];
+  }
+
+let table r =
+  let t =
+    Table.create ~title:"Ablations (ResNet50 unless noted; cycles, lower is better)"
+      [ "Mechanism removed/shrunk"; "With"; "Without"; "Slowdown" ]
+  in
+  List.iter (fun i -> Table.set_align t i Table.Right) [ 1; 2; 3 ];
+  List.iter
+    (fun row ->
+      Table.add_row t
+        [
+          row.ablation;
+          Table.fmt_int row.baseline;
+          Table.fmt_int row.ablated;
+          Table.fmt_x ~dec:2 (float_of_int row.ablated /. float_of_int row.baseline);
+        ])
+    r.rows;
+  t
+
+let run ?quick () =
+  let r = measure ?quick () in
+  Table.print (table r);
+  r

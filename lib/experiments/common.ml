@@ -1,0 +1,29 @@
+(* Shared experiment plumbing. Every figure driver supports a [quick] mode
+   (channel-scaled models) so experiment-shaped assertions can run in the
+   test suite in seconds; the bench harness runs them at full size. *)
+
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+
+let resnet ~quick =
+  if quick then Gem_dnn.Model_zoo.(scale_model ~factor:4 resnet50)
+  else Gem_dnn.Model_zoo.resnet50
+
+let accel_mode = Runtime.Accel { im2col_on_accel = true }
+
+let single_core_soc ?(tlb = (Soc_config.default_core).Soc_config.tlb) ?accel () =
+  let accel = Option.value accel ~default:Gemmini.Params.default in
+  Soc.create
+    {
+      Soc_config.default with
+      cores = [ { Soc_config.default_core with accel; tlb } ];
+    }
+
+let run_single ?tlb ?accel model ~mode =
+  let soc = single_core_soc ?tlb ?accel () in
+  (soc, Runtime.run soc ~core:0 model ~mode)
+
+let speedup ~baseline ~cycles = float_of_int baseline /. float_of_int cycles
+
+let fps cycles = Gem_sim.Time.fps ~freq_ghz:1.0 ~cycles_per_item:cycles

@@ -1,0 +1,100 @@
+(* Fig. 3 + Section III-A: pipelined (TPU-like) vs combinational
+   (NVDLA-like) spatial arrays, both with 256 PEs, plus the intermediate
+   tile factorizations only a two-level template can express.
+
+   Paper numbers: the fully-pipelined design achieves 2.7x higher maximum
+   frequency, but takes 1.8x the area and 3.0x the power of the
+   combinational design. *)
+
+open Gem_util
+
+type point = {
+  label : string;
+  params : Gemmini.Params.t;
+  fmax_ghz : float;
+  array_area_um2 : float;
+  power_mw : float;
+}
+
+type result = {
+  points : point list;
+  fmax_ratio : float;  (** pipelined / combinational; paper: 2.7 *)
+  area_ratio : float;  (** paper: 1.8 *)
+  power_ratio : float;  (** paper: 3.0 *)
+}
+
+let design_points ~pes =
+  let side = int_of_float (sqrt (float_of_int pes)) in
+  let rec factorizations tile =
+    if tile > side then []
+    else if side mod tile = 0 then
+      (Printf.sprintf "%dx%d mesh of %dx%d tiles" (side / tile) (side / tile)
+         tile tile,
+       {
+         Gemmini.Params.default with
+         mesh_rows = side / tile;
+         mesh_cols = side / tile;
+         tile_rows = tile;
+         tile_cols = tile;
+       })
+      :: factorizations (tile * 2)
+    else factorizations (tile + 1)
+  in
+  factorizations 1
+
+let measure ?(pes = 256) () =
+  let points =
+    List.map
+      (fun (label, params) ->
+        let r = Gemmini.Synthesis.estimate ~host:Gemmini.Synthesis.No_host params in
+        {
+          label;
+          params;
+          fmax_ghz = r.Gemmini.Synthesis.fmax_ghz;
+          array_area_um2 = r.Gemmini.Synthesis.spatial_array_area_um2;
+          power_mw = r.Gemmini.Synthesis.power_mw;
+        })
+      (design_points ~pes)
+  in
+  let first = List.hd points in
+  let last = List.nth points (List.length points - 1) in
+  {
+    points;
+    fmax_ratio = first.fmax_ghz /. last.fmax_ghz;
+    area_ratio = first.array_area_um2 /. last.array_area_um2;
+    power_ratio = first.power_mw /. last.power_mw;
+  }
+
+let table r =
+  let t =
+    Table.create
+      ~title:
+        "Fig. 3: TPU-like (fully pipelined) vs NVDLA-like (combinational) arrays, 256 PEs"
+      [ "Design point"; "fmax (GHz)"; "Array area (um^2)"; "Power (mW)" ]
+  in
+  List.iter (fun i -> Table.set_align t i Table.Right) [ 1; 2; 3 ];
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.label;
+          Table.fmt_f ~dec:2 p.fmax_ghz;
+          Table.fmt_int (int_of_float p.array_area_um2);
+          Table.fmt_f ~dec:1 p.power_mw;
+        ])
+    r.points;
+  Table.add_sep t;
+  Table.add_row t
+    [
+      "pipelined/combinational";
+      Table.fmt_x r.fmax_ratio;
+      Table.fmt_x r.area_ratio;
+      Table.fmt_x r.power_ratio;
+    ];
+  Table.add_row t [ "paper"; "2.7x"; "1.8x"; "3.0x" ];
+  t
+
+let run () =
+  let r = measure () in
+  Table.print (table r);
+  r

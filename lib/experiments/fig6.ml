@@ -1,0 +1,46 @@
+(* Fig. 6: area breakdown and layout of the default accelerator (16x16
+   array, 256 KB scratchpad, 64 KB accumulator) with its Rocket host.
+
+   Paper: spatial array 11.3%, scratchpad 52.9%, accumulator 14.2%,
+   CPU 16.6%; total ~1.03M um^2. *)
+
+open Gem_util
+
+type result = { report : Gemmini.Synthesis.report }
+
+let paper_shares =
+  [
+    ("spatial array", 11.3);
+    ("scratchpad", 52.9);
+    ("accumulator", 14.2);
+    ("cpu", 16.6);
+  ]
+
+let measured_share r prefix =
+  100.
+  *. Gemmini.Synthesis.component_area r.report prefix
+  /. r.report.Gemmini.Synthesis.total_area_um2
+
+let measure () =
+  { report = Gemmini.Synthesis.estimate ~host:Gemmini.Synthesis.Rocket Gemmini.Params.default }
+
+let table r =
+  let t = Gemmini.Floorplan.breakdown_table r.report in
+  Table.add_sep t;
+  List.iter
+    (fun (prefix, paper) ->
+      Table.add_row t
+        [
+          Printf.sprintf "paper: %s" prefix;
+          "";
+          Printf.sprintf "%.1f%% (measured %.1f%%)" paper (measured_share r prefix);
+        ])
+    paper_shares;
+  t
+
+let run () =
+  let r = measure () in
+  Table.print (table r);
+  print_newline ();
+  print_string (Gemmini.Floorplan.layout_sketch r.report);
+  r

@@ -1,0 +1,141 @@
+(* Fig. 9 (case study V-B): memory partitioning — given 1 MB of extra SRAM,
+   should it enlarge the accelerators' private scratchpads (BigSP) or the
+   shared L2 (BigL2)? ResNet50, single-core and dual-core SoCs.
+
+   Paper observations:
+   - single-core: BigSP wins (convolutions +10%, matmuls +1%, residual
+     additions slightly hurt);
+   - dual-core: BigL2 wins overall (+8.0% vs BigSP's +4.2%) because the
+     two cores' residual additions (+22% with BigL2) thrash each other's
+     layer outputs out of the 1 MB L2; L2 miss rate drops by ~7 points. *)
+
+open Gem_util
+module Layer = Gem_dnn.Layer
+module Runtime = Gem_sw.Runtime
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+
+type config_name = Base | BigSP | BigL2
+
+let config_label = function Base -> "Base" | BigSP -> "BigSP" | BigL2 -> "BigL2"
+
+(* Base: 256 KB scratchpad + 256 KB accumulator per core, 1 MB shared L2.
+   BigSP doubles the private memories; BigL2 doubles the L2. *)
+let soc_config name ~cores =
+  let sp, acc, l2 =
+    match name with
+    | Base -> (256, 256, 1024)
+    | BigSP -> (512, 512, 1024)
+    | BigL2 -> (256, 256, 2048)
+  in
+  let accel =
+    {
+      Gemmini.Params.default with
+      sp_capacity_bytes = sp * 1024;
+      acc_capacity_bytes = acc * 1024;
+    }
+  in
+  {
+    Soc_config.default with
+    cores = List.init cores (fun _ -> { Soc_config.default_core with accel });
+    l2_size_bytes = l2 * 1024;
+  }
+
+type run = {
+  name : config_name;
+  cores : int;
+  total_cycles : int;
+  conv_cycles : int;
+  matmul_cycles : int;
+  resadd_cycles : int;
+  l2_miss_rate : float;
+}
+
+type result = { runs : run list }
+
+let class_cycles r k =
+  Option.value ~default:0 (List.assoc_opt k (Runtime.cycles_by_class r))
+
+let measure_one ~quick name ~cores =
+  let model = Common.resnet ~quick in
+  let soc = Soc.create (soc_config name ~cores) in
+  let results =
+    if cores = 1 then [| Runtime.run soc ~core:0 model ~mode:Common.accel_mode |]
+    else
+      Runtime.run_parallel soc
+        (Array.make cores (model, Common.accel_mode))
+  in
+  let total =
+    Array.fold_left (fun acc r -> max acc r.Runtime.r_total_cycles) 0 results
+  in
+  let sum k =
+    Array.fold_left (fun acc r -> acc + class_cycles r k) 0 results
+  in
+  {
+    name;
+    cores;
+    total_cycles = total;
+    conv_cycles = sum Layer.Class_conv;
+    matmul_cycles = sum Layer.Class_matmul;
+    resadd_cycles = sum Layer.Class_resadd;
+    l2_miss_rate = Gem_mem.Cache.miss_rate (Soc.l2 soc);
+  }
+
+let measure ?(quick = false) () =
+  {
+    runs =
+      List.concat_map
+        (fun cores ->
+          List.map (fun name -> measure_one ~quick name ~cores) [ Base; BigSP; BigL2 ])
+        [ 1; 2 ];
+  }
+
+let find r ~name ~cores =
+  List.find (fun x -> x.name = name && x.cores = cores) r.runs
+
+let table r =
+  let t =
+    Table.create
+      ~title:
+        "Fig. 9: memory partitioning (ResNet50; per-class cycles summed over cores; normalized perf vs Base)"
+      [ "Cores"; "Config"; "Total cycles"; "Norm perf"; "Conv"; "Matmul"; "Resadd"; "L2 miss" ]
+  in
+  List.iter (fun i -> Table.set_align t i Table.Right) [ 2; 3; 4; 5; 6; 7 ];
+  List.iter
+    (fun cores ->
+      let base = find r ~name:Base ~cores in
+      List.iter
+        (fun name ->
+          let x = find r ~name ~cores in
+          Table.add_row t
+            [
+              string_of_int cores;
+              config_label name;
+              Table.fmt_int x.total_cycles;
+              Table.fmt_f ~dec:3
+                (float_of_int base.total_cycles /. float_of_int x.total_cycles);
+              Table.fmt_int x.conv_cycles;
+              Table.fmt_int x.matmul_cycles;
+              Table.fmt_int x.resadd_cycles;
+              Table.fmt_pct (100. *. x.l2_miss_rate);
+            ])
+        [ Base; BigSP; BigL2 ];
+      Table.add_sep t)
+    [ 1; 2 ];
+  t
+
+let run ?quick () =
+  let r = measure ?quick () in
+  Table.print (table r);
+  let b2 = find r ~name:Base ~cores:2 in
+  let sp2 = find r ~name:BigSP ~cores:2 in
+  let l22 = find r ~name:BigL2 ~cores:2 in
+  Printf.printf
+    "dual-core: BigL2 %+.1f%% overall, BigSP %+.1f%% (paper: +8.0%% / +4.2%%); \
+     resadd with BigL2 %+.1f%% (paper: +22%%); L2 miss rate %.1f%% -> %.1f%% (paper: -7.1 points)\n"
+    (100. *. ((float_of_int b2.total_cycles /. float_of_int l22.total_cycles) -. 1.))
+    (100. *. ((float_of_int b2.total_cycles /. float_of_int sp2.total_cycles) -. 1.))
+    (100. *. ((float_of_int b2.resadd_cycles /. float_of_int l22.resadd_cycles) -. 1.))
+    (100. *. b2.l2_miss_rate)
+    (100. *. l22.l2_miss_rate);
+  r

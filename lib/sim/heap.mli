@@ -1,0 +1,16 @@
+(** Binary min-heap keyed by simulated time.
+
+    The multi-core SoC driver repeatedly advances whichever core has the
+    smallest next-operation time; this heap provides that schedule. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> key:Time.cycles -> 'a -> unit
+val pop : 'a t -> (Time.cycles * 'a) option
+(** Removes and returns the minimum-keyed element. Ties pop in insertion
+    order. *)
+
+val peek_key : 'a t -> Time.cycles option

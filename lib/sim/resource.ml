@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  mutable busy_until : Time.cycles;
+  mutable busy_cycles : Time.cycles;
+  mutable requests : int;
+  mutable wait_cycles : Time.cycles;
+}
+
+let create ~name =
+  { name; busy_until = 0; busy_cycles = 0; requests = 0; wait_cycles = 0 }
+
+let name t = t.name
+
+let acquire t ~now ~occupancy =
+  if occupancy < 0 then invalid_arg "Resource.acquire: negative occupancy";
+  let start = max now t.busy_until in
+  t.wait_cycles <- t.wait_cycles + (start - now);
+  t.busy_until <- start + occupancy;
+  t.busy_cycles <- t.busy_cycles + occupancy;
+  t.requests <- t.requests + 1;
+  t.busy_until
+
+let busy_until t = t.busy_until
+let busy_cycles t = t.busy_cycles
+let requests t = t.requests
+let wait_cycles t = t.wait_cycles
+
+let utilization t ~horizon =
+  if horizon <= 0 then 0.
+  else float_of_int t.busy_cycles /. float_of_int horizon
+
+let reset t =
+  t.busy_until <- 0;
+  t.busy_cycles <- 0;
+  t.requests <- 0;
+  t.wait_cycles <- 0

@@ -1,0 +1,33 @@
+(** Serially-occupied shared resources with bandwidth-style arbitration.
+
+    A resource (a bus, a DRAM channel, a cache port) can serve one request
+    at a time. A request arriving at [now] that needs [occupancy] cycles of
+    service starts at [max now busy_until] and completes [occupancy] cycles
+    later. This greedy timestamp arbitration is how contention between the
+    accelerator's load/store streams — and between cores of a multi-core
+    SoC — is modeled. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val acquire : t -> now:Time.cycles -> occupancy:Time.cycles -> Time.cycles
+(** [acquire t ~now ~occupancy] reserves the resource and returns the
+    completion time. Requires [occupancy >= 0]. *)
+
+val busy_until : t -> Time.cycles
+
+val busy_cycles : t -> Time.cycles
+(** Total cycles of service performed so far. *)
+
+val requests : t -> int
+
+val wait_cycles : t -> Time.cycles
+(** Total cycles requests spent queued behind earlier requests. *)
+
+val utilization : t -> horizon:Time.cycles -> float
+(** Fraction of [horizon] the resource spent busy. *)
+
+val reset : t -> unit

@@ -1,0 +1,11 @@
+type cycles = int
+
+let zero = 0
+
+let seconds ~freq_ghz cycles = float_of_int cycles /. (freq_ghz *. 1e9)
+
+let fps ~freq_ghz ~cycles_per_item =
+  if cycles_per_item <= 0 then 0.
+  else freq_ghz *. 1e9 /. float_of_int cycles_per_item
+
+let pp fmt c = Format.pp_print_string fmt (Gem_util.Table.fmt_int c)

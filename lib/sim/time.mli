@@ -1,0 +1,18 @@
+(** Simulated time.
+
+    All timing in the simulator is expressed in accelerator clock cycles
+    (integer). Conversions to wall-clock seconds/FPS take the clock
+    frequency as a parameter; the paper evaluates at 1 GHz. *)
+
+type cycles = int
+
+val zero : cycles
+
+val seconds : freq_ghz:float -> cycles -> float
+(** Wall-clock seconds for [cycles] at the given clock frequency. *)
+
+val fps : freq_ghz:float -> cycles_per_item:cycles -> float
+(** Frames (items) per second, e.g. inference FPS at 1 GHz. *)
+
+val pp : Format.formatter -> cycles -> unit
+(** Prints with thousands separators. *)

@@ -1,0 +1,41 @@
+type event = { time : Time.cycles; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  mutable ring : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) ~enabled () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { capacity; enabled; ring = Array.make capacity None; next = 0; total = 0 }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let record t ~time ~tag detail =
+  if t.enabled then begin
+    t.ring.(t.next) <- Some { time; tag; detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let recordf t ~time ~tag fmt =
+  Printf.ksprintf (fun s -> record t ~time ~tag s) fmt
+
+let events t =
+  let out = ref [] in
+  for i = 0 to t.capacity - 1 do
+    let idx = (t.next + t.capacity - 1 - i) mod t.capacity in
+    match t.ring.(idx) with Some e -> out := e :: !out | None -> ()
+  done;
+  !out
+
+let count t = t.total
+
+let pp fmt t =
+  List.iter
+    (fun e -> Format.fprintf fmt "[%a] %-12s %s@." Time.pp e.time e.tag e.detail)
+    (events t)

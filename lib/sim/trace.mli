@@ -1,0 +1,31 @@
+(** Bounded event trace for debugging and profiling simulations.
+
+    Recording is off by default; when enabled the trace keeps the most
+    recent [capacity] events in a ring buffer so long simulations cannot
+    exhaust memory. *)
+
+type event = { time : Time.cycles; tag : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** Default capacity is 4096 events. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:Time.cycles -> tag:string -> string -> unit
+(** No-op when disabled. *)
+
+val recordf :
+  t -> time:Time.cycles -> tag:string -> ('a, unit, string, unit) format4 -> 'a
+(** Like {!record} with a format string; the formatting cost is only paid
+    when the trace is enabled. *)
+
+val events : t -> event list
+(** Most recent events, oldest first. *)
+
+val count : t -> int
+(** Total number of events recorded (including overwritten ones). *)
+
+val pp : Format.formatter -> t -> unit

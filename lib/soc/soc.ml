@@ -1,0 +1,283 @@
+open Gem_sim
+open Gem_mem
+open Gem_util
+
+type core = {
+  id : int;
+  cpu : Gem_cpu.Cpu_model.kind;
+  controller : Gemmini.Controller.t;
+  hierarchy : Gem_vm.Hierarchy.t;
+  page_table : Gem_vm.Page_table.t;
+  mutable next_vaddr : int;
+}
+
+type t = {
+  cfg : Soc_config.t;
+  l2 : Cache.t;
+  l2_port : Resource.t;
+  dram : Dram.t;
+  mainmem : Mainmem.t option;
+  mutable cores_arr : core array;
+  mutable next_paddr : int; (* shared physical page allocator *)
+}
+
+let page_size = Gem_vm.Page_table.page_size
+
+(* Physical memory layout: page-table nodes for core i live in their own
+   16 MiB region; data pages are allocated from a shared bump pointer
+   above all node regions. *)
+let pt_region_base i = 0x4000_0000 + (i * 0x0100_0000)
+let data_base cores = 0x4000_0000 + (cores * 0x0100_0000)
+let va_base = 0x0001_0000
+
+(* One L2+DRAM access path shared by every requester on the SoC. *)
+let mem_access soc ~now ~paddr ~bytes ~write =
+  let cfg = soc.cfg in
+  let line = cfg.Soc_config.l2_line_bytes in
+  let first = paddr / line and last = (paddr + max bytes 1 - 1) / line in
+  let finish = ref now in
+  for ln = first to last do
+    let addr = ln * line in
+    let port_done =
+      Resource.acquire soc.l2_port ~now
+        ~occupancy:(Mathx.ceil_div line cfg.Soc_config.l2_port_bytes)
+    in
+    let line_done =
+      match Cache.access soc.l2 ~addr ~write with
+      | Cache.Hit -> port_done + cfg.Soc_config.l2_hit_latency
+      | Cache.Miss { writeback } ->
+          (* Allocate: fetch the line from DRAM; a dirty victim writes
+             back, consuming bandwidth but not adding to the critical
+             path. *)
+          let fetch_done = Dram.access soc.dram ~now:port_done ~bytes:line ~write:false in
+          if writeback then
+            ignore (Dram.access soc.dram ~now:port_done ~bytes:line ~write:true);
+          fetch_done
+    in
+    if line_done > !finish then finish := line_done
+  done;
+  !finish
+
+let make_port soc : Gemmini.Dma.port =
+  {
+    Gemmini.Dma.read_timing =
+      (fun ~now ~paddr ~bytes -> mem_access soc ~now ~paddr ~bytes ~write:false);
+    write_timing =
+      (fun ~now ~paddr ~bytes -> mem_access soc ~now ~paddr ~bytes ~write:true);
+    read_data =
+      Option.map
+        (fun mm -> fun ~paddr ~n -> Array.init n (fun i -> Mainmem.read_byte mm ~addr:(paddr + i)))
+        soc.mainmem;
+    write_data =
+      Option.map
+        (fun mm ->
+          fun ~paddr bytes ->
+           Array.iteri (fun i b -> Mainmem.write_byte mm ~addr:(paddr + i) b) bytes)
+        soc.mainmem;
+  }
+
+let create cfg =
+  (match Soc_config.validate cfg with
+  | Ok () -> ()
+  | Error errs -> invalid_arg ("Soc: " ^ String.concat "; " errs));
+  let n = List.length cfg.Soc_config.cores in
+  let soc =
+    {
+      cfg;
+      l2 =
+        Cache.create ~size_bytes:cfg.Soc_config.l2_size_bytes
+          ~ways:cfg.Soc_config.l2_ways ~line_bytes:cfg.Soc_config.l2_line_bytes;
+      l2_port = Resource.create ~name:"l2-port";
+      dram =
+        Dram.create ~latency:cfg.Soc_config.dram_latency
+          ~bytes_per_cycle:cfg.Soc_config.dram_bytes_per_cycle ();
+      mainmem = (if cfg.Soc_config.functional then Some (Mainmem.create ()) else None);
+      cores_arr = [||];
+      next_paddr = data_base n;
+    }
+  in
+  let port = make_port soc in
+  let cores =
+    List.mapi
+      (fun i (cc : Soc_config.core_config) ->
+        let page_table =
+          Gem_vm.Page_table.create ~node_region_base:(pt_region_base i) ()
+        in
+        let ptw =
+          Gem_vm.Ptw.create
+            ~name:(Printf.sprintf "ptw%d" i)
+            ~page_table
+            ~mem_read:(fun ~now ~paddr ~bytes ->
+              mem_access soc ~now ~paddr ~bytes ~write:false)
+            ()
+        in
+        let hierarchy = Gem_vm.Hierarchy.create cc.Soc_config.tlb ~ptw in
+        let controller =
+          Gemmini.Controller.create ~params:cc.Soc_config.accel ~port
+            ~tlb:hierarchy
+            ~issue_cycles:(Gem_cpu.Cpu_model.issue_cycles cc.Soc_config.cpu)
+            ()
+        in
+        {
+          id = i;
+          cpu = cc.Soc_config.cpu;
+          controller;
+          hierarchy;
+          page_table;
+          next_vaddr = va_base;
+        })
+      cfg.Soc_config.cores
+  in
+  soc.cores_arr <- Array.of_list cores;
+  soc
+
+let config t = t.cfg
+let cores t = t.cores_arr
+let core t i = t.cores_arr.(i)
+let l2 t = t.l2
+let dram t = t.dram
+let mainmem t = t.mainmem
+
+let core_id c = c.id
+let cpu c = c.cpu
+let controller c = c.controller
+let tlb c = c.hierarchy
+let page_table c = c.page_table
+
+let alloc_paddr t ~pages =
+  let base = t.next_paddr in
+  t.next_paddr <- t.next_paddr + (pages * page_size);
+  base
+
+let alloc t c ~bytes =
+  if bytes <= 0 then invalid_arg "Soc.alloc: non-positive size";
+  let pages = Mathx.ceil_div bytes page_size in
+  let vaddr = c.next_vaddr in
+  c.next_vaddr <- c.next_vaddr + (pages * page_size);
+  let paddr = alloc_paddr t ~pages in
+  Gem_vm.Page_table.map_range c.page_table ~vaddr ~bytes:(pages * page_size) ~paddr;
+  vaddr
+
+
+(* --- host-side data access (functional mode) ----------------------------- *)
+
+let require_mainmem t =
+  match t.mainmem with
+  | Some mm -> mm
+  | None -> invalid_arg "Soc: host data access requires a functional SoC"
+
+let translate_exn c ~vaddr =
+  match Gem_vm.Page_table.translate c.page_table ~vaddr with
+  | Some paddr -> paddr
+  | None -> invalid_arg (Printf.sprintf "Soc: unmapped vaddr 0x%x" vaddr)
+
+(* Host accesses never cross page boundaries unsafely: walk bytewise by
+   page segment. *)
+let host_bytes_iter c ~vaddr ~n ~f =
+  let off = ref 0 in
+  while !off < n do
+    let va = vaddr + !off in
+    let in_page = page_size - (va land (page_size - 1)) in
+    let seg = min in_page (n - !off) in
+    let pa = translate_exn c ~vaddr:va in
+    f ~pa ~off:!off ~len:seg;
+    off := !off + seg
+  done
+
+let host_write_i8 t c ~vaddr data =
+  let mm = require_mainmem t in
+  host_bytes_iter c ~vaddr ~n:(Array.length data) ~f:(fun ~pa ~off ~len ->
+      for i = 0 to len - 1 do
+        Mainmem.write_i8 mm ~addr:(pa + i) data.(off + i)
+      done)
+
+let host_read_i8 t c ~vaddr ~n =
+  let mm = require_mainmem t in
+  let out = Array.make n 0 in
+  host_bytes_iter c ~vaddr ~n ~f:(fun ~pa ~off ~len ->
+      for i = 0 to len - 1 do
+        out.(off + i) <- Mainmem.read_i8 mm ~addr:(pa + i)
+      done);
+  out
+
+let host_write_i32 t c ~vaddr data =
+  let mm = require_mainmem t in
+  host_bytes_iter c ~vaddr ~n:(4 * Array.length data) ~f:(fun ~pa ~off ~len ->
+      (* segments are page-sized and pages are 4-aligned, so i32s never
+         straddle a segment *)
+      assert (off land 3 = 0 && len land 3 = 0);
+      for i = 0 to (len / 4) - 1 do
+        Mainmem.write_i32 mm ~addr:(pa + (4 * i)) data.((off / 4) + i)
+      done)
+
+let host_read_i32 t c ~vaddr ~n =
+  let mm = require_mainmem t in
+  let out = Array.make n 0 in
+  host_bytes_iter c ~vaddr ~n:(4 * n) ~f:(fun ~pa ~off ~len ->
+      assert (off land 3 = 0 && len land 3 = 0);
+      for i = 0 to (len / 4) - 1 do
+        out.((off / 4) + i) <- Mainmem.read_i32 mm ~addr:(pa + (4 * i))
+      done);
+  out
+
+(* --- program execution ---------------------------------------------------- *)
+
+type op =
+  | Insn of Gemmini.Isa.t
+  | Host_work of { cycles : int; tag : string }
+  | Marker of (core -> unit)
+
+let exec_op c = function
+  | Insn insn -> Gemmini.Controller.execute c.controller insn
+  | Host_work { cycles; tag = _ } ->
+      Gemmini.Controller.host_work c.controller ~cycles
+  | Marker f -> f c
+
+let run_program _t c program =
+  Seq.iter (exec_op c) program;
+  Gemmini.Controller.finish_time c.controller
+
+let run_parallel t programs =
+  let n = Array.length programs in
+  if n > Array.length t.cores_arr then
+    invalid_arg "Soc.run_parallel: more programs than cores";
+  (* Per-core stream cursors. *)
+  let cursors = Array.map (fun s -> ref s) programs in
+  let next_op i =
+    match !(cursors.(i)) () with
+    | Seq.Nil -> None
+    | Seq.Cons (op, rest) ->
+        cursors.(i) := rest;
+        Some op
+  in
+  let done_flags = Array.make n false in
+  let finished = ref 0 in
+  while !finished < n do
+    (* Advance the live core whose issue cursor is earliest: simulated-
+       time-ordered interleaving of shared-resource accesses. *)
+    let best = ref (-1) in
+    let best_time = ref max_int in
+    for i = 0 to n - 1 do
+      if not done_flags.(i) then begin
+        let now = Gemmini.Controller.now (controller t.cores_arr.(i)) in
+        if now < !best_time then begin
+          best_time := now;
+          best := i
+        end
+      end
+    done;
+    let i = !best in
+    match next_op i with
+    | Some op -> exec_op t.cores_arr.(i) op
+    | None ->
+        done_flags.(i) <- true;
+        incr finished
+  done;
+  Array.mapi
+    (fun i _ -> Gemmini.Controller.finish_time (controller t.cores_arr.(i)))
+    programs
+
+let finish_time t =
+  Array.fold_left
+    (fun acc c -> max acc (Gemmini.Controller.finish_time c.controller))
+    0 t.cores_arr

@@ -1,0 +1,60 @@
+(** An elaborated SoC: cores (CPU + accelerator + TLBs + page table) wired
+    to a shared L2, a shared DRAM channel, and — in functional mode — a
+    shared physical main memory.
+
+    All DMA and page-table-walk traffic flows through the shared L2 and
+    DRAM bandwidth models, so multi-core contention (Fig. 9) and
+    translation overheads (Fig. 4 / Fig. 8) are emergent rather than
+    scripted. *)
+
+type t
+
+type core
+
+val create : Soc_config.t -> t
+
+val config : t -> Soc_config.t
+val cores : t -> core array
+val core : t -> int -> core
+val l2 : t -> Gem_mem.Cache.t
+val dram : t -> Gem_mem.Dram.t
+val mainmem : t -> Gem_mem.Mainmem.t option
+
+(* Core accessors *)
+
+val core_id : core -> int
+val cpu : core -> Gem_cpu.Cpu_model.kind
+val controller : core -> Gemmini.Controller.t
+val tlb : core -> Gem_vm.Hierarchy.t
+val page_table : core -> Gem_vm.Page_table.t
+
+val alloc : t -> core -> bytes:int -> int
+(** Allocates [bytes] of page-aligned virtual memory in the core's address
+    space, backed by fresh physical pages (mapped in the page table).
+    Returns the virtual address. *)
+
+(* Host-side (zero-simulated-cost) data access, functional mode only. *)
+
+val host_write_i8 : t -> core -> vaddr:int -> int array -> unit
+val host_read_i8 : t -> core -> vaddr:int -> n:int -> int array
+val host_write_i32 : t -> core -> vaddr:int -> int array -> unit
+val host_read_i32 : t -> core -> vaddr:int -> n:int -> int array
+
+(** Programs: per-core streams of accelerator commands, host work, and
+    bookkeeping markers. *)
+type op =
+  | Insn of Gemmini.Isa.t
+  | Host_work of { cycles : int; tag : string }
+  | Marker of (core -> unit)
+      (** executed (zero cost) when the core reaches this point *)
+
+val run_program : t -> core -> op Seq.t -> Gem_sim.Time.cycles
+(** Runs a single core's program to completion; returns its finish time. *)
+
+val run_parallel : t -> op Seq.t array -> Gem_sim.Time.cycles array
+(** Runs one program per core, interleaved in simulated-time order (the
+    core whose issue cursor is earliest executes next), so shared-resource
+    contention is interleaving-accurate. Returns per-core finish times. *)
+
+val finish_time : t -> Gem_sim.Time.cycles
+(** Max finish time over cores. *)

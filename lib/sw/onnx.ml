@@ -1,0 +1,486 @@
+open Gem_dnn
+
+type op =
+  | Conv of { stride : int; padding : int; group : int }
+  | Gemm
+  | Relu
+  | Add
+  | Max_pool of { kernel : int; stride : int; padding : int }
+  | Global_average_pool
+  | Flatten
+  | Softmax
+
+type node = { n_name : string; op : op; inputs : string list; output : string }
+
+type tensor_info = { t_name : string; dims : int array }
+
+type graph = {
+  g_name : string;
+  g_input : tensor_info;
+  initializers : tensor_info list;
+  nodes : node list;
+  g_output : string;
+}
+
+(* --- validation ------------------------------------------------------------ *)
+
+let validate g =
+  let defined = Hashtbl.create 16 in
+  Hashtbl.replace defined g.g_input.t_name ();
+  List.iter (fun t -> Hashtbl.replace defined t.t_name ()) g.initializers;
+  let rec go = function
+    | [] ->
+        if Hashtbl.mem defined g.g_output then Ok ()
+        else Error (Printf.sprintf "graph output %S is never produced" g.g_output)
+    | n :: rest -> (
+        match List.find_opt (fun i -> not (Hashtbl.mem defined i)) n.inputs with
+        | Some missing ->
+            Error
+              (Printf.sprintf "node %S reads undefined tensor %S" n.n_name missing)
+        | None ->
+            if Hashtbl.mem defined n.output then
+              Error (Printf.sprintf "tensor %S assigned twice" n.output)
+            else begin
+              Hashtbl.replace defined n.output ();
+              go rest
+            end)
+  in
+  go g.nodes
+
+(* --- shape inference --------------------------------------------------------- *)
+
+let conv_out ~in_dim ~kernel ~stride ~padding =
+  ((in_dim + (2 * padding) - kernel) / stride) + 1
+
+let infer_shapes g =
+  (match validate g with Ok () -> () | Error e -> invalid_arg ("Onnx: " ^ e));
+  let shapes = Hashtbl.create 16 in
+  Hashtbl.replace shapes g.g_input.t_name g.g_input.dims;
+  List.iter (fun t -> Hashtbl.replace shapes t.t_name t.dims) g.initializers;
+  let shape_of name = Hashtbl.find shapes name in
+  let out_shapes =
+    List.map
+      (fun n ->
+        let out =
+          match (n.op, n.inputs) with
+          | Conv { stride; padding; group }, [ x; w ] ->
+              let xs = shape_of x and ws = shape_of w in
+              if Array.length xs <> 4 || Array.length ws <> 4 then
+                invalid_arg (Printf.sprintf "Onnx: %s: Conv wants rank-4 tensors" n.n_name);
+              let kh = ws.(0) and cin = ws.(2) and cout = ws.(3) in
+              let expected_cin = if group > 1 then 1 else xs.(3) in
+              if cin <> expected_cin then
+                invalid_arg
+                  (Printf.sprintf "Onnx: %s: weight channels %d, input %d (group %d)"
+                     n.n_name cin xs.(3) group);
+              if group > 1 && group <> xs.(3) then
+                invalid_arg (Printf.sprintf "Onnx: %s: only depthwise grouping" n.n_name);
+              [|
+                xs.(0);
+                conv_out ~in_dim:xs.(1) ~kernel:kh ~stride ~padding;
+                conv_out ~in_dim:xs.(2) ~kernel:kh ~stride ~padding;
+                cout;
+              |]
+          | Gemm, [ x; w ] ->
+              let xs = shape_of x and ws = shape_of w in
+              let k = xs.(Array.length xs - 1) in
+              if Array.length ws <> 2 || ws.(0) <> k then
+                invalid_arg (Printf.sprintf "Onnx: %s: Gemm dims mismatch" n.n_name);
+              let m = Array.fold_left ( * ) 1 xs / k in
+              [| m; ws.(1) |]
+          | (Relu | Softmax), [ x ] -> shape_of x
+          | Add, [ a; b ] ->
+              let sa = shape_of a and sb = shape_of b in
+              if sa <> sb then
+                invalid_arg (Printf.sprintf "Onnx: %s: Add shape mismatch" n.n_name);
+              sa
+          | Max_pool { kernel; stride; padding }, [ x ] ->
+              let xs = shape_of x in
+              [|
+                xs.(0);
+                conv_out ~in_dim:xs.(1) ~kernel ~stride ~padding;
+                conv_out ~in_dim:xs.(2) ~kernel ~stride ~padding;
+                xs.(3);
+              |]
+          | Global_average_pool, [ x ] ->
+              let xs = shape_of x in
+              [| xs.(0); 1; 1; xs.(3) |]
+          | Flatten, [ x ] ->
+              let xs = shape_of x in
+              [| xs.(0); Array.fold_left ( * ) 1 xs / xs.(0) |]
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "Onnx: %s: wrong number of inputs" n.n_name)
+        in
+        Hashtbl.replace shapes n.output out;
+        (n.n_name, out))
+      g.nodes
+  in
+  out_shapes
+
+(* --- lowering ----------------------------------------------------------------- *)
+
+(* Relu nodes fuse into the producing Conv/Gemm; Flatten disappears. Each
+   remaining node becomes one Layer.t. Add operands are mapped to layer
+   back-references by position among emitted layers. *)
+let lower g =
+  ignore (infer_shapes g);
+  let shapes = Hashtbl.create 16 in
+  Hashtbl.replace shapes g.g_input.t_name g.g_input.dims;
+  List.iter (fun t -> Hashtbl.replace shapes t.t_name t.dims) g.initializers;
+  List.iter2
+    (fun n (_, s) -> Hashtbl.replace shapes n.output s)
+    g.nodes (infer_shapes g);
+  let shape_of name = Hashtbl.find shapes name in
+  (* producer: tensor name -> index of the layer that produces it (after
+     fusion), or None for the graph input. *)
+  let producer = Hashtbl.create 16 in
+  let layers = ref [] in
+  let n_layers = ref 0 in
+  let emit name layer source_tensor =
+    layers := (name, layer) :: !layers;
+    Hashtbl.replace producer source_tensor !n_layers;
+    incr n_layers
+  in
+  let alias out inp =
+    (* out is produced wherever inp was (fused/erased node) *)
+    match Hashtbl.find_opt producer inp with
+    | Some i -> Hashtbl.replace producer out i
+    | None -> ()
+  in
+  (* A Relu that immediately follows a Conv/Gemm consuming its unique
+     output fuses into it: pre-scan consumers. *)
+  let relu_after = Hashtbl.create 8 in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        (match (a.op, b.op) with
+        | (Conv _ | Gemm), Relu when b.inputs = [ a.output ] ->
+            Hashtbl.replace relu_after a.n_name b.n_name
+        | _ -> ());
+        scan rest
+    | _ -> []
+  in
+  ignore (scan g.nodes);
+  let fused_relu n = Hashtbl.mem relu_after n.n_name in
+  let is_fused_relu_node n =
+    n.op = Relu
+    && Hashtbl.fold (fun _ v acc -> acc || v = n.n_name) relu_after false
+  in
+  List.iter
+    (fun n ->
+      match n.op with
+      | Conv { stride; padding; group } ->
+          let x = List.nth n.inputs 0 and w = List.nth n.inputs 1 in
+          let xs = shape_of x and ws = shape_of w in
+          let spec =
+            {
+              Layer.in_h = xs.(1);
+              in_w = xs.(2);
+              in_ch = xs.(3);
+              out_ch = ws.(3);
+              kernel = ws.(0);
+              stride;
+              padding;
+              relu = fused_relu n;
+              depthwise = group > 1;
+            }
+          in
+          emit n.n_name (Layer.Conv spec) n.output
+      | Gemm ->
+          let x = List.nth n.inputs 0 and w = List.nth n.inputs 1 in
+          let xs = shape_of x and ws = shape_of w in
+          let k = ws.(0) and out = ws.(1) in
+          let m = Array.fold_left ( * ) 1 xs / k in
+          emit n.n_name
+            (Layer.Matmul { m; k; n = out; relu = fused_relu n; count = 1 })
+            n.output
+      | Relu ->
+          if is_fused_relu_node n then alias n.output (List.hd n.inputs)
+          else begin
+            let xs = shape_of (List.hd n.inputs) in
+            emit n.n_name
+              (Layer.Elementwise
+                 { e_elems = Array.fold_left ( * ) 1 xs; e_name = "relu" })
+              n.output
+          end
+      | Add ->
+          let a = List.nth n.inputs 0 and b = List.nth n.inputs 1 in
+          let back tensor =
+            match Hashtbl.find_opt producer tensor with
+            | Some i -> !n_layers - i
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Onnx: %s adds the graph input directly" n.n_name)
+          in
+          let xs = shape_of a in
+          emit n.n_name
+            (Layer.Residual_add
+               { r_h = xs.(1); r_w = xs.(2); r_ch = xs.(3); back1 = back a; back2 = back b })
+            n.output
+      | Max_pool { kernel; stride; padding } ->
+          let xs = shape_of (List.hd n.inputs) in
+          emit n.n_name
+            (Layer.Max_pool
+               {
+                 p_in_h = xs.(1);
+                 p_in_w = xs.(2);
+                 p_ch = xs.(3);
+                 window = kernel;
+                 p_stride = stride;
+                 p_padding = padding;
+               })
+            n.output
+      | Global_average_pool ->
+          let xs = shape_of (List.hd n.inputs) in
+          emit n.n_name
+            (Layer.Global_avg_pool { g_h = xs.(1); g_w = xs.(2); g_ch = xs.(3) })
+            n.output
+      | Flatten -> alias n.output (List.hd n.inputs)
+      | Softmax ->
+          let xs = shape_of (List.hd n.inputs) in
+          emit n.n_name
+            (Layer.Elementwise
+               { e_elems = Array.fold_left ( * ) 1 xs; e_name = "softmax" })
+            n.output)
+    g.nodes;
+  {
+    Layer.model_name = g.g_name;
+    input_desc =
+      String.concat "x" (Array.to_list (Array.map string_of_int g.g_input.dims));
+    layers = List.rev !layers;
+  }
+
+(* --- textual format ------------------------------------------------------------ *)
+
+type sexp = Atom of string | List of sexp list
+
+let rec sexp_to_buf buf = function
+  | Atom s -> Buffer.add_string buf s
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          sexp_to_buf buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let dims_sexp dims =
+  List (Array.to_list (Array.map (fun d -> Atom (string_of_int d)) dims))
+
+let op_sexp = function
+  | Conv { stride; padding; group } ->
+      [ Atom "Conv"; Atom (string_of_int stride); Atom (string_of_int padding); Atom (string_of_int group) ]
+  | Gemm -> [ Atom "Gemm" ]
+  | Relu -> [ Atom "Relu" ]
+  | Add -> [ Atom "Add" ]
+  | Max_pool { kernel; stride; padding } ->
+      [ Atom "MaxPool"; Atom (string_of_int kernel); Atom (string_of_int stride); Atom (string_of_int padding) ]
+  | Global_average_pool -> [ Atom "GlobalAveragePool" ]
+  | Flatten -> [ Atom "Flatten" ]
+  | Softmax -> [ Atom "Softmax" ]
+
+let to_string g =
+  let node_sexp n =
+    List
+      ([ Atom "node"; Atom n.n_name ]
+      @ op_sexp n.op
+      @ [ List (List.map (fun i -> Atom i) n.inputs); Atom n.output ])
+  in
+  let buf = Buffer.create 512 in
+  sexp_to_buf buf
+    (List
+       ([
+          Atom "graph";
+          Atom g.g_name;
+          List [ Atom "input"; Atom g.g_input.t_name; dims_sexp g.g_input.dims ];
+        ]
+       @ List.map
+           (fun t -> List [ Atom "init"; Atom t.t_name; dims_sexp t.dims ])
+           g.initializers
+       @ List.map node_sexp g.nodes
+       @ [ List [ Atom "output"; Atom g.g_output ] ]));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* tokenizer + reader *)
+let tokenize s =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := `Atom (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          flush ();
+          tokens := `L :: !tokens
+      | ')' ->
+          flush ();
+          tokens := `R :: !tokens
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !tokens
+
+let read_sexp tokens =
+  let rec go tokens =
+    match tokens with
+    | [] -> Error "unexpected end of input"
+    | `Atom a :: rest -> Ok (Atom a, rest)
+    | `L :: rest ->
+        let rec items acc rest =
+          match rest with
+          | `R :: rest -> Ok (List (List.rev acc), rest)
+          | [] -> Error "unclosed parenthesis"
+          | _ -> (
+              match go rest with
+              | Ok (item, rest) -> items (item :: acc) rest
+              | Error _ as e -> e)
+        in
+        items [] rest
+    | `R :: _ -> Error "unexpected )"
+  in
+  match go tokens with
+  | Ok (sexp, []) -> Ok sexp
+  | Ok (_, _ :: _) -> Error "trailing tokens"
+  | Error _ as e -> e
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_dims = function
+  | List atoms ->
+      let dims =
+        List.map (function Atom a -> int_of_string a | List _ -> failwith "dims") atoms
+      in
+      Ok (Array.of_list dims)
+  | Atom _ -> Error "expected dimension list"
+
+let parse_int a = match int_of_string_opt a with Some i -> Ok i | None -> Error ("bad int " ^ a)
+
+let parse_node items =
+  match items with
+  | Atom name :: Atom op :: rest -> (
+      let finish op rest =
+        match rest with
+        | [ List inputs; Atom output ] ->
+            let inputs =
+              List.map (function Atom a -> a | List _ -> "") inputs
+            in
+            Ok { n_name = name; op; inputs; output }
+        | _ -> Error (Printf.sprintf "node %s: malformed inputs/output" name)
+      in
+      match (op, rest) with
+      | "Conv", Atom s :: Atom p :: Atom grp :: rest ->
+          let* s = parse_int s in
+          let* p = parse_int p in
+          let* grp = parse_int grp in
+          finish (Conv { stride = s; padding = p; group = grp }) rest
+      | "Gemm", rest -> finish Gemm rest
+      | "Relu", rest -> finish Relu rest
+      | "Add", rest -> finish Add rest
+      | "MaxPool", Atom k :: Atom s :: Atom p :: rest ->
+          let* k = parse_int k in
+          let* s = parse_int s in
+          let* p = parse_int p in
+          finish (Max_pool { kernel = k; stride = s; padding = p }) rest
+      | "GlobalAveragePool", rest -> finish Global_average_pool rest
+      | "Flatten", rest -> finish Flatten rest
+      | "Softmax", rest -> finish Softmax rest
+      | other, _ -> Error (Printf.sprintf "unknown op %S" other))
+  | _ -> Error "malformed node"
+
+let parse text =
+  let* sexp = read_sexp (tokenize text) in
+  match sexp with
+  | List (Atom "graph" :: Atom g_name :: rest) ->
+      let input = ref None in
+      let inits = ref [] in
+      let nodes = ref [] in
+      let output = ref None in
+      let* () =
+        List.fold_left
+          (fun acc item ->
+            let* () = acc in
+            match item with
+            | List [ Atom "input"; Atom name; dims ] ->
+                let* dims = parse_dims dims in
+                input := Some { t_name = name; dims };
+                Ok ()
+            | List [ Atom "init"; Atom name; dims ] ->
+                let* dims = parse_dims dims in
+                inits := { t_name = name; dims } :: !inits;
+                Ok ()
+            | List (Atom "node" :: items) ->
+                let* node = parse_node items in
+                nodes := node :: !nodes;
+                Ok ()
+            | List [ Atom "output"; Atom name ] ->
+                output := Some name;
+                Ok ()
+            | _ -> Error "unrecognized graph item")
+          (Ok ()) rest
+      in
+      let* g_input =
+        match !input with Some i -> Ok i | None -> Error "graph has no input"
+      in
+      let* g_output =
+        match !output with Some o -> Ok o | None -> Error "graph has no output"
+      in
+      let g =
+        {
+          g_name;
+          g_input;
+          initializers = List.rev !inits;
+          nodes = List.rev !nodes;
+          g_output;
+        }
+      in
+      let* () = validate g in
+      Ok g
+  | _ -> Error "expected (graph ...)"
+
+(* --- builders --------------------------------------------------------------- *)
+
+let conv_node ~name ~input ~weight ?(stride = 1) ?(padding = 0) ?(group = 1) () =
+  {
+    n_name = name;
+    op = Conv { stride; padding; group };
+    inputs = [ input; weight ];
+    output = name ^ "_out";
+  }
+
+let simple_cnn =
+  {
+    g_name = "simple-cnn";
+    g_input = { t_name = "data"; dims = [| 1; 8; 8; 3 |] };
+    initializers =
+      [
+        { t_name = "w1"; dims = [| 3; 3; 3; 8 |] };
+        { t_name = "w2"; dims = [| 3; 3; 8; 8 |] };
+        { t_name = "wfc"; dims = [| 8; 10 |] };
+      ];
+    nodes =
+      [
+        conv_node ~name:"conv1" ~input:"data" ~weight:"w1" ~padding:1 ();
+        { n_name = "relu1"; op = Relu; inputs = [ "conv1_out" ]; output = "act1" };
+        conv_node ~name:"conv2" ~input:"act1" ~weight:"w2" ~padding:1 ();
+        { n_name = "add"; op = Add; inputs = [ "conv2_out"; "act1" ]; output = "sum" };
+        {
+          n_name = "pool";
+          op = Max_pool { kernel = 2; stride = 2; padding = 0 };
+          inputs = [ "sum" ];
+          output = "pooled";
+        };
+        { n_name = "gap"; op = Global_average_pool; inputs = [ "pooled" ]; output = "gapped" };
+        { n_name = "flat"; op = Flatten; inputs = [ "gapped" ]; output = "flatted" };
+        { n_name = "fc"; op = Gemm; inputs = [ "flatted"; "wfc" ]; output = "logits" };
+        { n_name = "prob"; op = Softmax; inputs = [ "logits" ]; output = "probs" };
+      ];
+    g_output = "probs";
+  }

@@ -1,0 +1,66 @@
+(** ONNX-style graph front end — the top of Gemmini's multi-level
+    programming stack ("a push-button software flow which reads DNN
+    descriptions in the ONNX file format", Section III-B).
+
+    The module defines a graph IR with named tensors and operator nodes, a
+    textual serialization (an s-expression dialect standing in for ONNX
+    protobuf), NHWC shape inference, and a lowering pass onto the
+    {!Gem_dnn.Layer} IR that the runtime executes. Residual [Add] nodes
+    are resolved to layer back-references during lowering, so cache-reuse
+    distances survive the translation. *)
+
+type op =
+  | Conv of { stride : int; padding : int; group : int }
+      (** [group = in_channels] expresses depthwise convolution *)
+  | Gemm
+  | Relu
+  | Add
+  | Max_pool of { kernel : int; stride : int; padding : int }
+  | Global_average_pool
+  | Flatten
+  | Softmax
+
+type node = {
+  n_name : string;
+  op : op;
+  inputs : string list;  (** tensor names: activations then initializers *)
+  output : string;
+}
+
+type tensor_info = { t_name : string; dims : int array }
+
+type graph = {
+  g_name : string;
+  g_input : tensor_info;  (** NHWC activation input *)
+  initializers : tensor_info list;  (** weights: conv [kh;kw;cin;cout], gemm [k;n] *)
+  nodes : node list;  (** topologically ordered *)
+  g_output : string;
+}
+
+val validate : graph -> (unit, string) result
+(** Checks reference integrity (every node input is the graph input, an
+    initializer, or an earlier node's output) and single assignment. *)
+
+val infer_shapes : graph -> (string * int array) list
+(** Output shape for every node, in node order. Raises [Invalid_argument]
+    on malformed graphs (wrong ranks, mismatched channels). *)
+
+val lower : graph -> Gem_dnn.Layer.model
+(** Translates to the layer IR: Conv(+Relu) fuse, Gemm becomes a matmul,
+    Add becomes a residual-add with correct back-references, Softmax
+    becomes host elementwise work. *)
+
+(* Textual format. *)
+
+val to_string : graph -> string
+val parse : string -> (graph, string) result
+(** [parse (to_string g) = Ok g]. *)
+
+(* Builders for tests/examples. *)
+
+val conv_node :
+  name:string -> input:string -> weight:string -> ?stride:int -> ?padding:int ->
+  ?group:int -> unit -> node
+
+val simple_cnn : graph
+(** A small example graph exercising every operator. *)

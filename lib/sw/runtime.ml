@@ -1,0 +1,498 @@
+open Gem_util
+open Gem_dnn
+module Soc = Gem_soc.Soc
+module Cpu = Gem_cpu.Cpu_model
+
+type mode = Accel of { im2col_on_accel : bool } | Cpu_only
+
+let mode_desc = function
+  | Accel { im2col_on_accel = true } -> "accel+im2col"
+  | Accel { im2col_on_accel = false } -> "accel(cpu-im2col)"
+  | Cpu_only -> "cpu-only"
+
+type layer_record = {
+  lr_name : string;
+  lr_class : Layer.klass;
+  lr_cycles : Gem_sim.Time.cycles;
+  lr_macs : int;
+}
+
+type result = {
+  r_model : string;
+  r_mode : string;
+  r_core : int;
+  r_total_cycles : Gem_sim.Time.cycles;
+  r_layers : layer_record list;
+}
+
+let cycles_by_class r =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun lr ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl lr.lr_class) in
+      Hashtbl.replace tbl lr.lr_class (prev + lr.lr_cycles))
+    r.r_layers;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+(* Fixed requantization scale applied by every MAC layer's store path (and
+   by the golden model): int32 accumulator -> int8 activation. *)
+let out_scale = 0.0625
+
+(* Deterministic test weights. *)
+let weight_rng ~seed ~idx = Rng.create ~seed:((seed * 7919) + idx)
+
+let gen_weight_matrix ~seed ~idx ~rows ~cols =
+  Matrix.random (weight_rng ~seed ~idx) ~rows ~cols ~lo:(-8) ~hi:8
+
+let gen_bias ~seed ~idx ~n =
+  let rng = Rng.create ~seed:((seed * 104729) + idx + 1) in
+  Array.init n (fun _ -> Rng.int_in rng ~lo:(-128) ~hi:128)
+
+(* --- CPU-only costs -------------------------------------------------------- *)
+
+let cpu_layer_cycles cpu layer =
+  let macs = Layer.macs layer in
+  match layer with
+  | Layer.Conv { depthwise = true; _ } -> Cpu.depthwise_macs_cycles cpu ~macs
+  | Layer.Conv _ -> Cpu.conv_macs_cycles cpu ~macs
+  | Layer.Matmul _ -> Cpu.matmul_macs_cycles cpu ~macs
+  | Layer.Residual_add _ ->
+      Cpu.elementwise_cycles cpu ~elems:(Layer.out_bytes layer)
+  | Layer.Max_pool p ->
+      Cpu.pooling_cycles cpu ~elems:(Layer.out_bytes layer) ~window:p.Layer.window
+  | Layer.Global_avg_pool { g_h; g_w; g_ch } ->
+      Cpu.elementwise_cycles cpu ~elems:(g_h * g_w * g_ch)
+  | Layer.Elementwise { e_elems; _ } -> Cpu.elementwise_cycles cpu ~elems:e_elems
+
+let cpu_only_cycles cpu model =
+  Mathx.sum_list (List.map (fun (_, l) -> cpu_layer_cycles cpu l) model.Layer.layers)
+
+(* --- planning --------------------------------------------------------------- *)
+
+type tensors = {
+  t_out : int array;  (** output VA per layer index *)
+  t_weights : int array;
+  t_bias : int array;
+  t_patch : int array;  (** per-layer patch VA (functional) or shared scratch *)
+  t_input : int;  (** VA of the network input *)
+}
+
+let page = 4096
+
+let allocate_tensors soc core model ~functional =
+  let layers = Array.of_list model.Layer.layers in
+  let n = Array.length layers in
+  let alloc bytes = Soc.alloc soc core ~bytes:(bytes + page) in
+  let first_in_bytes =
+    match layers with
+    | [||] -> page
+    | _ -> Layer.in_bytes (snd layers.(0))
+  in
+  let t_input = alloc (max page first_in_bytes) in
+  let t_out = Array.make n 0 in
+  let t_weights = Array.make n 0 in
+  let t_bias = Array.make n 0 in
+  let t_patch = Array.make n 0 in
+  (* Shared patch scratch for timing mode: sized for the largest conv. *)
+  let max_patch =
+    Array.fold_left
+      (fun acc (_, l) ->
+        match l with
+        | Layer.Conv c ->
+            (match Layer.as_matmul l with
+            | Some mm ->
+                let per = mm.Layer.m * mm.Layer.k * mm.Layer.count in
+                max acc (if c.Layer.depthwise then per else per)
+            | None -> acc)
+        | _ -> acc)
+      0 layers
+  in
+  let shared_patch = if max_patch > 0 then alloc max_patch else 0 in
+  Array.iteri
+    (fun i (_, l) ->
+      t_out.(i) <- alloc (max 16 (Layer.out_bytes l));
+      let wb = Layer.weight_bytes l in
+      if wb > 0 then t_weights.(i) <- alloc wb;
+      (match Layer.as_matmul l with
+      | Some mm ->
+          t_bias.(i) <- alloc (4 * mm.Layer.n * mm.Layer.count)
+      | None -> ());
+      t_patch.(i) <-
+        (match l with
+        | Layer.Conv _ when functional ->
+            (match Layer.as_matmul l with
+            | Some mm -> alloc (mm.Layer.m * mm.Layer.k * mm.Layer.count)
+            | None -> 0)
+        | Layer.Conv _ -> shared_patch
+        | _ -> 0))
+    layers;
+  { t_out; t_weights; t_bias; t_patch; t_input }
+
+(* Functional-mode data staging helpers. *)
+
+(* Batch-1 GEMMs are emitted transposed (C^T = W^T . x) so the big weight
+   operand streams through pages sequentially instead of page-strided; the
+   weights of such layers are therefore stored transposed. *)
+let swapped_matmul (l : Layer.t) =
+  match l with Layer.Matmul { m = 1; _ } -> true | _ -> false
+
+let write_weights soc core tensors ~seed model =
+  List.iteri
+    (fun i (_, l) ->
+      match Layer.as_matmul l with
+      | None -> ()
+      | Some mm ->
+          let rows = mm.Layer.k and cols = mm.Layer.n in
+          let total = mm.Layer.count in
+          for inst = 0 to total - 1 do
+            let w = gen_weight_matrix ~seed ~idx:((i * 131) + inst) ~rows ~cols in
+            let w = if swapped_matmul l then Matrix.transpose w else w in
+            let flat = Array.concat (Array.to_list w) in
+            Soc.host_write_i8 soc core
+              ~vaddr:(tensors.t_weights.(i) + (inst * rows * cols))
+              flat
+          done;
+          let bias = gen_bias ~seed ~idx:i ~n:(cols * total) in
+          Soc.host_write_i32 soc core ~vaddr:(tensors.t_bias.(i)) bias)
+    model.Layer.layers
+
+let read_tensor soc core ~vaddr ~shape =
+  let n = Array.fold_left ( * ) 1 shape in
+  let data = Soc.host_read_i8 soc core ~vaddr ~n in
+  let t = Tensor.create shape in
+  Array.blit data 0 (Tensor.data t) 0 n;
+  t
+
+let write_tensor soc core ~vaddr t =
+  Soc.host_write_i8 soc core ~vaddr (Tensor.data t)
+
+(* --- per-layer emission ------------------------------------------------------ *)
+
+let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
+  let params = Gemmini.Controller.params (Soc.controller core) in
+  let cpu = Soc.cpu core in
+  let out_va = tensors.t_out.(idx) in
+  let marker f = [ Soc.Marker f ] in
+  match (mode, layer) with
+  | Cpu_only, l ->
+      [ Soc.Host_work { cycles = cpu_layer_cycles cpu l; tag = "cpu-layer" } ]
+  | Accel _, Layer.Elementwise { e_elems; e_name } ->
+      (if functional then
+         (* Host ops are identity passes in the functional model. *)
+         marker (fun core ->
+             let data = Soc.host_read_i8 soc core ~vaddr:input_va ~n:e_elems in
+             Soc.host_write_i8 soc core ~vaddr:out_va data)
+       else [])
+      @ Kernels.host_elementwise_ops ~cpu ~elems:e_elems ~tag:e_name
+  | Accel _, Layer.Global_avg_pool { g_h; g_w; g_ch } ->
+      (if functional then
+         marker (fun core ->
+             let t = read_tensor soc core ~vaddr:input_va ~shape:[| 1; g_h; g_w; g_ch |] in
+             write_tensor soc core ~vaddr:out_va (Gemmini.Peripheral.avg_pool_global t))
+       else [])
+      @ Kernels.host_elementwise_ops ~cpu ~elems:(g_h * g_w * g_ch) ~tag:"gap"
+  | Accel _, Layer.Max_pool p ->
+      if functional then
+        marker (fun core ->
+            let t =
+              read_tensor soc core ~vaddr:input_va
+                ~shape:[| 1; p.Layer.p_in_h; p.Layer.p_in_w; p.Layer.p_ch |]
+            in
+            let pooled =
+              Gemmini.Peripheral.max_pool ~window:p.Layer.window
+                ~stride:p.Layer.p_stride ~padding:p.Layer.p_padding t
+            in
+            write_tensor soc core ~vaddr:out_va pooled)
+      else Kernels.maxpool_ops params ~cpu ~input:input_va ~out:out_va ~spec:p ()
+  | Accel _, Layer.Residual_add { r_h; r_w; r_ch; back1; back2 } ->
+      let operand back =
+        let j = idx - back in
+        if j < 0 then tensors.t_input else tensors.t_out.(j)
+      in
+      Kernels.resadd_ops params ~x:(operand back1) ~y:(operand back2) ~out:out_va
+        ~elems:(r_h * r_w * r_ch) ()
+  | Accel { im2col_on_accel }, Layer.Conv spec ->
+      let patch_va = tensors.t_patch.(idx) in
+      let prep =
+        if functional then
+          (* Materialize the patch matrix so the datapath reads real data;
+             the hardware im2col block is modeled in timing mode only. *)
+          marker (fun core ->
+              let t =
+                read_tensor soc core ~vaddr:input_va
+                  ~shape:[| 1; spec.Layer.in_h; spec.Layer.in_w; spec.Layer.in_ch |]
+              in
+              if spec.Layer.depthwise then begin
+                let mk = Layer.as_matmul layer |> Option.get in
+                let per = mk.Layer.m * mk.Layer.k in
+                for ch = 0 to spec.Layer.in_ch - 1 do
+                  let chan =
+                    Tensor.init [| 1; spec.Layer.in_h; spec.Layer.in_w; 1 |]
+                      (fun i -> Tensor.get4 t 0 i.(1) i.(2) ch)
+                  in
+                  let patch =
+                    Gemmini.Peripheral.im2col ~input:chan ~kernel:spec.Layer.kernel
+                      ~stride:spec.Layer.stride ~padding:spec.Layer.padding
+                  in
+                  let flat = Array.concat (Array.to_list patch) in
+                  Soc.host_write_i8 soc core ~vaddr:(patch_va + (ch * per)) flat
+                done
+              end
+              else begin
+                let patch =
+                  Gemmini.Peripheral.im2col ~input:t ~kernel:spec.Layer.kernel
+                    ~stride:spec.Layer.stride ~padding:spec.Layer.padding
+                in
+                let flat = Array.concat (Array.to_list patch) in
+                Soc.host_write_i8 soc core ~vaddr:patch_va flat
+              end)
+        else []
+      in
+      let im2col : Kernels.conv_im2col =
+        if functional then Kernels.Im2col_preexpanded patch_va
+        else if im2col_on_accel && params.Gemmini.Params.has_im2col then
+          Kernels.Im2col_on_accel
+        else Kernels.Im2col_on_cpu
+      in
+      prep
+      @ Kernels.conv_ops params ~cpu ~im2col ~bias:(tensors.t_bias.(idx))
+          ~scale:out_scale ~input:input_va ~weights:(tensors.t_weights.(idx))
+          ~out:out_va ~spec ~patch_scratch:tensors.t_patch.(idx) ()
+  | Accel _, Layer.Matmul mm ->
+      let act =
+        if mm.Layer.relu then Gemmini.Peripheral.Relu
+        else Gemmini.Peripheral.No_activation
+      in
+      let instance i =
+        if mm.Layer.m = 1 then
+          (* C^T = W^T . x: the transposed weight matrix is the streaming
+             A operand (page-sequential rows); x and C^T are flat vectors,
+             so no data movement changes. Bias becomes per-row, which the
+             store path cannot broadcast — the kernel biases through the
+             accumulator mvin channel all the same because each output
+             block row sees its own bias word. For the swapped layout the
+             bias is added via a host-free accumulate mvin of the bias
+             vector reinterpreted column-wise. *)
+          Kernels.matmul_ops params
+            ~bias_column:(tensors.t_bias.(idx) + (4 * mm.Layer.n * i))
+            ~act ~scale:out_scale
+            ~a:(tensors.t_weights.(idx) + (i * mm.Layer.k * mm.Layer.n))
+            ~b:(input_va + (i * mm.Layer.m * mm.Layer.k))
+            ~out:(out_va + (i * mm.Layer.m * mm.Layer.n))
+            ~m:mm.Layer.n ~k:mm.Layer.k ~n:1 ()
+        else
+          Kernels.matmul_ops params
+            ~bias:(tensors.t_bias.(idx) + (4 * mm.Layer.n * i))
+            ~act ~scale:out_scale
+            ~a:(input_va + (i * mm.Layer.m * mm.Layer.k))
+            ~b:(tensors.t_weights.(idx) + (i * mm.Layer.k * mm.Layer.n))
+            ~out:(out_va + (i * mm.Layer.m * mm.Layer.n))
+            ~m:mm.Layer.m ~k:mm.Layer.k ~n:mm.Layer.n ()
+      in
+      List.concat (List.init mm.Layer.count instance)
+
+let plan_ops soc core model ~mode ~records =
+  let functional = Option.is_some (Soc.mainmem soc) in
+  let tensors = allocate_tensors soc core model ~functional in
+  let layers = Array.of_list model.Layer.layers in
+  let last_finish = ref 0 in
+  let emit_layer idx =
+    let name, layer = layers.(idx) in
+    let input_va = if idx = 0 then tensors.t_input else tensors.t_out.(idx - 1) in
+    let ops = layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer in
+    let finish_marker =
+      Soc.Marker
+        (fun core ->
+          let f = Gemmini.Controller.finish_time (Soc.controller core) in
+          records :=
+            {
+              lr_name = name;
+              lr_class = Layer.class_of layer;
+              lr_cycles = f - !last_finish;
+              lr_macs = Layer.macs layer;
+            }
+            :: !records;
+          last_finish := f)
+    in
+    ops @ [ Kernels.fence; finish_marker ]
+  in
+  let n = Array.length layers in
+  Seq.concat_map
+    (fun idx -> List.to_seq (emit_layer idx))
+    (Seq.init n (fun i -> i))
+
+let make_result core_id model mode records total =
+  {
+    r_model = model.Layer.model_name;
+    r_mode = mode_desc mode;
+    r_core = core_id;
+    r_total_cycles = total;
+    r_layers = List.rev records;
+  }
+
+let run soc ~core:core_idx model ~mode =
+  let core = Soc.core soc core_idx in
+  let records = ref [] in
+  let ops = plan_ops soc core model ~mode ~records in
+  let total = Soc.run_program soc core ops in
+  make_result core_idx model mode !records total
+
+let run_parallel soc jobs =
+  let programs =
+    Array.mapi
+      (fun i (model, mode) ->
+        let core = Soc.core soc i in
+        let records = ref [] in
+        let ops = plan_ops soc core model ~mode ~records in
+        (records, ops))
+      jobs
+  in
+  let finishes = Soc.run_parallel soc (Array.map snd programs) in
+  Array.mapi
+    (fun i (model, mode) ->
+      let records, _ = programs.(i) in
+      make_result i model mode !records finishes.(i))
+    jobs
+
+(* --- functional execution and the golden model ------------------------------- *)
+
+let act_fn relu v = if relu then Gemmini.Peripheral.apply_activation Gemmini.Peripheral.Relu v else v
+
+let requantize ~relu v =
+  act_fn relu (Gemmini.Peripheral.scale_to Gemmini.Dtype.Int8 ~scale:out_scale v)
+
+let reference_inference model ~input ~seed =
+  let layers = Array.of_list model.Layer.layers in
+  let outputs = Array.make (Array.length layers) input in
+  let current = ref input in
+  Array.iteri
+    (fun idx (_, layer) ->
+      let inp = if idx = 0 then input else !current in
+      let out =
+        match layer with
+        | Layer.Conv spec ->
+            let oh, ow = Layer.conv_out_dims spec in
+            if spec.Layer.depthwise then begin
+              let k2 = spec.Layer.kernel * spec.Layer.kernel in
+              let out = Tensor.create [| 1; oh; ow; spec.Layer.in_ch |] in
+              for ch = 0 to spec.Layer.in_ch - 1 do
+                let chan =
+                  Tensor.init [| 1; spec.Layer.in_h; spec.Layer.in_w; 1 |]
+                    (fun i -> Tensor.get4 inp 0 i.(1) i.(2) ch)
+                in
+                let patch =
+                  Gemmini.Peripheral.im2col ~input:chan ~kernel:spec.Layer.kernel
+                    ~stride:spec.Layer.stride ~padding:spec.Layer.padding
+                in
+                let w = gen_weight_matrix ~seed ~idx:((idx * 131) + ch) ~rows:k2 ~cols:1 in
+                let bias = gen_bias ~seed ~idx ~n:spec.Layer.in_ch in
+                let prod = Matrix.mul_sat32 patch w in
+                for px = 0 to (oh * ow) - 1 do
+                  let v = Fixed.sat32 (Matrix.get prod px 0 + bias.(ch)) in
+                  Tensor.set4 out 0 (px / ow) (px mod ow) ch
+                    (requantize ~relu:spec.Layer.relu v)
+                done
+              done;
+              out
+            end
+            else begin
+              let patch =
+                Gemmini.Peripheral.im2col ~input:inp ~kernel:spec.Layer.kernel
+                  ~stride:spec.Layer.stride ~padding:spec.Layer.padding
+              in
+              let k = spec.Layer.kernel * spec.Layer.kernel * spec.Layer.in_ch in
+              let w = gen_weight_matrix ~seed ~idx:(idx * 131) ~rows:k ~cols:spec.Layer.out_ch in
+              let bias = gen_bias ~seed ~idx ~n:spec.Layer.out_ch in
+              let prod = Matrix.mul_sat32 patch w in
+              Tensor.init [| 1; oh; ow; spec.Layer.out_ch |] (fun i ->
+                  let px = (i.(1) * ow) + i.(2) in
+                  let v = Fixed.sat32 (Matrix.get prod px i.(3) + bias.(i.(3))) in
+                  requantize ~relu:spec.Layer.relu v)
+            end
+        | Layer.Matmul mm ->
+            if mm.Layer.count <> 1 then
+              invalid_arg "Runtime.reference_inference: batched matmul unsupported";
+            let a =
+              Matrix.init ~rows:mm.Layer.m ~cols:mm.Layer.k (fun r c ->
+                  (Tensor.data inp).((r * mm.Layer.k) + c))
+            in
+            let w = gen_weight_matrix ~seed ~idx:(idx * 131) ~rows:mm.Layer.k ~cols:mm.Layer.n in
+            let bias = gen_bias ~seed ~idx ~n:mm.Layer.n in
+            let prod = Matrix.mul_sat32 a w in
+            Tensor.init [| mm.Layer.m; mm.Layer.n |] (fun i ->
+                let v = Fixed.sat32 (Matrix.get prod i.(0) i.(1) + bias.(i.(1))) in
+                requantize ~relu:mm.Layer.relu v)
+        | Layer.Residual_add { back1; back2; _ } ->
+            let operand back = if idx - back < 0 then input else outputs.(idx - back) in
+            let x = operand back1 and y = operand back2 in
+            let xd = Tensor.data x and yd = Tensor.data y in
+            let t = Tensor.create (Tensor.shape x) in
+            let td = Tensor.data t in
+            for i = 0 to Array.length td - 1 do
+              td.(i) <- Fixed.sat8 (xd.(i) + yd.(i))
+            done;
+            t
+        | Layer.Max_pool p ->
+            Gemmini.Peripheral.max_pool ~window:p.Layer.window ~stride:p.Layer.p_stride
+              ~padding:p.Layer.p_padding inp
+        | Layer.Global_avg_pool _ -> Gemmini.Peripheral.avg_pool_global inp
+        | Layer.Elementwise _ -> inp
+      in
+      outputs.(idx) <- out;
+      current := out)
+    layers;
+  !current
+
+let run_functional soc ~core:core_idx model ~input ~seed =
+  if Option.is_none (Soc.mainmem soc) then
+    invalid_arg "Runtime.run_functional: SoC is not functional";
+  let core = Soc.core soc core_idx in
+  let records = ref [] in
+  (* Allocation happens inside plan_ops; stage input and weights before
+     executing. The tensors record is recomputed identically because the
+     bump allocator is deterministic — so instead we plan first, then pull
+     the input VA from the plan via a prelude marker. *)
+  let mode = Accel { im2col_on_accel = false } in
+  let tensors_ref = ref None in
+  let ops =
+    (* Re-implement plan_ops with access to tensors: allocate here, then
+       reuse the internal emission path. *)
+    let functional = true in
+    let tensors = allocate_tensors soc core model ~functional in
+    tensors_ref := Some tensors;
+    let layers = Array.of_list model.Layer.layers in
+    let last_finish = ref 0 in
+    let emit_layer idx =
+      let name, layer = layers.(idx) in
+      let input_va = if idx = 0 then tensors.t_input else tensors.t_out.(idx - 1) in
+      let ops = layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer in
+      let finish_marker =
+        Soc.Marker
+          (fun core ->
+            let f = Gemmini.Controller.finish_time (Soc.controller core) in
+            records :=
+              {
+                lr_name = name;
+                lr_class = Layer.class_of layer;
+                lr_cycles = f - !last_finish;
+                lr_macs = Layer.macs layer;
+              }
+              :: !records;
+            last_finish := f)
+      in
+      ops @ [ Kernels.fence; finish_marker ]
+    in
+    Seq.concat_map
+      (fun idx -> List.to_seq (emit_layer idx))
+      (Seq.init (Array.length layers) (fun i -> i))
+  in
+  let tensors = Option.get !tensors_ref in
+  write_weights soc core tensors ~seed model;
+  write_tensor soc core ~vaddr:tensors.t_input input;
+  ignore (Soc.run_program soc core ops);
+  (* Read back the final output with the golden model's shape. *)
+  let reference_shape =
+    Tensor.shape (reference_inference model ~input ~seed)
+  in
+  let n = List.length model.Layer.layers in
+  read_tensor soc core ~vaddr:(tensors.t_out.(n - 1)) ~shape:reference_shape

@@ -1,0 +1,86 @@
+(** The model runtime: Gemmini's "push-button" software flow, one level
+    above the kernel library.
+
+    Given a {!Gem_dnn.Layer.model} and an elaborated SoC, the runtime
+    allocates virtual memory for every tensor (through the core's page
+    table), lowers each layer onto the accelerator kernels (or onto the
+    host CPU for the software baseline), interposes per-layer fences and
+    bookkeeping markers, and executes the resulting command stream on the
+    simulated SoC.
+
+    Two execution styles:
+    - {b timing}: shape-only simulation of full networks (what every
+      figure of the paper uses);
+    - {b functional}: real int8 data flows through the DMA, scratchpad and
+      cycle-accurate mesh; validated against {!reference_inference} in the
+      integration tests. *)
+
+type mode =
+  | Accel of { im2col_on_accel : bool }
+  | Cpu_only  (** the Fig. 7 baseline: every layer in software *)
+
+val mode_desc : mode -> string
+
+type layer_record = {
+  lr_name : string;
+  lr_class : Gem_dnn.Layer.klass;
+  lr_cycles : Gem_sim.Time.cycles;  (** wall time of this layer (fenced) *)
+  lr_macs : int;
+}
+
+type result = {
+  r_model : string;
+  r_mode : string;
+  r_core : int;
+  r_total_cycles : Gem_sim.Time.cycles;
+  r_layers : layer_record list;
+}
+
+val cycles_by_class :
+  result -> (Gem_dnn.Layer.klass * Gem_sim.Time.cycles) list
+(** Aggregated per-layer-class wall time (the Fig. 9 breakdown). *)
+
+val plan_ops :
+  Gem_soc.Soc.t ->
+  Gem_soc.Soc.core ->
+  Gem_dnn.Layer.model ->
+  mode:mode ->
+  records:layer_record list ref ->
+  Kernels.op Seq.t
+(** Lazily-produced command stream for one inference. Tensor allocation
+    happens immediately; per-layer ops materialize as the stream is
+    consumed. *)
+
+val run : Gem_soc.Soc.t -> core:int -> Gem_dnn.Layer.model -> mode:mode -> result
+(** Single-core inference (timing). *)
+
+val run_parallel :
+  Gem_soc.Soc.t -> (Gem_dnn.Layer.model * mode) array -> result array
+(** One inference per core, interleaved in simulated time (the Fig. 9
+    dual-core experiments). *)
+
+val cpu_only_cycles :
+  Gem_cpu.Cpu_model.kind -> Gem_dnn.Layer.model -> Gem_sim.Time.cycles
+(** Analytic software baseline (no SoC needed): the Fig. 7 denominators. *)
+
+(* Functional execution (small models). *)
+
+val run_functional :
+  Gem_soc.Soc.t ->
+  core:int ->
+  Gem_dnn.Layer.model ->
+  input:Gem_util.Tensor.t ->
+  seed:int ->
+  Gem_util.Tensor.t
+(** Runs a real inference through the accelerator datapath: weights are
+    generated deterministically from [seed], data moves through the DMA /
+    scratchpad / mesh. Returns the final activation tensor (NHWC). The
+    SoC must be functional. *)
+
+val reference_inference :
+  Gem_dnn.Layer.model ->
+  input:Gem_util.Tensor.t ->
+  seed:int ->
+  Gem_util.Tensor.t
+(** Pure-host golden model with the same weight generation and
+    quantization; [run_functional] must match it bit-for-bit. *)

@@ -1,0 +1,52 @@
+open Gem_util
+
+type t = { ti : int; tk : int; tj : int }
+
+let manual ~ti ~tk ~tj =
+  if ti <= 0 || tk <= 0 || tj <= 0 then invalid_arg "Tiling.manual: non-positive tile";
+  { ti; tk; tj }
+
+let fits p t =
+  let dim = Gemmini.Params.dim p in
+  (* A tile: ti*tk DIM-blocks, one block = DIM scratchpad rows; B tile:
+     tk*tj blocks. Both double-buffered. C tile: ti*tj blocks in the
+     accumulator. *)
+  let sp_rows_needed = 2 * ((t.ti * t.tk) + (t.tk * t.tj)) * dim in
+  let acc_rows_needed = t.ti * t.tj * dim in
+  sp_rows_needed <= Gemmini.Params.sp_rows p
+  && acc_rows_needed <= Gemmini.Params.acc_rows p
+
+let blocks p ~m ~k ~n =
+  let dim = Gemmini.Params.dim p in
+  (Mathx.ceil_div m dim, Mathx.ceil_div k dim, Mathx.ceil_div n dim)
+
+let choose p ~m ~k ~n =
+  let bi, bk, bj = blocks p ~m ~k ~n in
+  (* Round-robin growth, like gemmini's tiled_matmul_auto: repeatedly try
+     to bump each tile dimension (capped at the problem extent) and keep
+     the bump if the tiles still fit. *)
+  let t = ref { ti = 1; tk = 1; tj = 1 } in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let try_bump f cap current =
+      let candidate = f !t in
+      if current < cap && fits p candidate then begin
+        t := candidate;
+        continue := true
+      end
+    in
+    try_bump (fun t -> { t with ti = t.ti + 1 }) bi !t.ti;
+    try_bump (fun t -> { t with tj = t.tj + 1 }) bj !t.tj;
+    try_bump (fun t -> { t with tk = t.tk + 1 }) bk !t.tk
+  done;
+  !t
+
+let dram_traffic_bytes p t ~m ~k ~n =
+  let bi, bk, bj = blocks p ~m ~k ~n in
+  let sweeps_a = Mathx.ceil_div bj t.tj in
+  let sweeps_b = Mathx.ceil_div bi t.ti in
+  ignore bk;
+  (m * k * sweeps_a) + (k * n * sweeps_b) + (m * n)
+
+let describe t = Printf.sprintf "ti=%d tk=%d tj=%d (DIM-blocks)" t.ti t.tk t.tj

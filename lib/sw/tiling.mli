@@ -1,0 +1,40 @@
+(** Loop-tile selection — the paper's "Data Staging and Mapping" heuristic
+    (Section III-B): "based on the dimensions of a layer's inputs, and the
+    hardware parameters of the accelerator instantiation, Gemmini uses
+    heuristics to maximize the amount of data moved into the scratchpad
+    per iteration."
+
+    A matmul [M x K x N] is tiled into blocks of [ti x tk x tj]
+    DIM-square sub-blocks. The A and B tiles must fit (double-buffered)
+    in the scratchpad; the C tile must fit in the accumulator. Larger
+    tiles mean less re-streaming of A and B from DRAM/L2 — the mechanism
+    behind the Fig. 9 BigSP speedups. *)
+
+type t = {
+  ti : int;  (** M-dimension tile, in DIM-blocks *)
+  tk : int;  (** K-dimension tile, in DIM-blocks *)
+  tj : int;  (** N-dimension tile, in DIM-blocks *)
+}
+
+val choose : Gemmini.Params.t -> m:int -> k:int -> n:int -> t
+(** The automatic heuristic: grow ti/tj/tk round-robin while the tiles
+    fit, never exceeding the problem's own extent. *)
+
+val manual : ti:int -> tk:int -> tj:int -> t
+(** "If the programmer wishes, the low-level API also allows them to
+    manually set tile-sizes for each kernel." Validated at kernel-emission
+    time against the instance's memories. *)
+
+val fits : Gemmini.Params.t -> t -> bool
+(** Double-buffered A+B fit the scratchpad and C fits the accumulator. *)
+
+val blocks : Gemmini.Params.t -> m:int -> k:int -> n:int -> int * int * int
+(** Problem extents in DIM-blocks (ceiling division). *)
+
+val dram_traffic_bytes : Gemmini.Params.t -> t -> m:int -> k:int -> n:int -> int
+(** Predicted bytes moved for the tiled schedule: A is re-read once per
+    J-tile sweep, B once per I-tile sweep, C written once (int8 out). The
+    kernel emitter's actual traffic matches this model (asserted in
+    tests). *)
+
+val describe : t -> string

@@ -1,0 +1,31 @@
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Mathx.ceil_div: non-positive divisor";
+  if a < 0 then invalid_arg "Mathx.ceil_div: negative dividend";
+  (a + b - 1) / b
+
+let round_up a b = ceil_div a b * b
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_ceil n =
+  if n < 1 then invalid_arg "Mathx.log2_ceil";
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let log2_exact n =
+  if not (is_pow2 n) then invalid_arg "Mathx.log2_exact: not a power of two";
+  log2_ceil n
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let clamp_f ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let imin3 a b c = min a (min b c)
+let imax3 a b c = max a (max b c)
+
+let sum_list = List.fold_left ( + ) 0
+let sum_listf = List.fold_left ( +. ) 0.
+
+let pct part whole = if whole = 0. then 0. else 100. *. part /. whole
+
+let ratio a b = if b = 0. then 0. else a /. b

@@ -1,0 +1,77 @@
+type t = int array array
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dims";
+  Array.make_matrix rows cols 0
+
+let init ~rows ~cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.init: non-positive dims";
+  Array.init rows (fun r -> Array.init cols (fun c -> f r c))
+
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+let get m r c = m.(r).(c)
+let set m r c v = m.(r).(c) <- v
+let copy m = Array.map Array.copy m
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  && begin
+       let ok = ref true in
+       for r = 0 to rows a - 1 do
+         if a.(r) <> b.(r) then ok := false
+       done;
+       !ok
+     end
+
+let transpose m = init ~rows:(cols m) ~cols:(rows m) (fun r c -> m.(c).(r))
+
+let mul_with ~accumulate a b =
+  let n = rows a and k = cols a and p = cols b in
+  if rows b <> k then invalid_arg "Matrix.mul: dimension mismatch";
+  init ~rows:n ~cols:p (fun i j ->
+      let acc = ref 0 in
+      for x = 0 to k - 1 do
+        acc := accumulate !acc a.(i).(x) b.(x).(j)
+      done;
+      !acc)
+
+let mul = mul_with ~accumulate:(fun acc x y -> acc + (x * y))
+let mul_sat32 = mul_with ~accumulate:(fun acc x y -> Fixed.mac32 ~acc x y)
+
+let add_with f a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg "Matrix.add: dimension mismatch";
+  init ~rows:(rows a) ~cols:(cols a) (fun r c -> f a.(r).(c) b.(r).(c))
+
+let add = add_with ( + )
+let add_sat32 = add_with (fun x y -> Fixed.sat32 (x + y))
+
+let map f m = Array.map (Array.map f) m
+
+let random rng ~rows ~cols ~lo ~hi =
+  init ~rows ~cols (fun _ _ -> Rng.int_in rng ~lo ~hi)
+
+let of_lists lists =
+  match lists with
+  | [] -> invalid_arg "Matrix.of_lists: empty"
+  | first :: _ ->
+      let c = List.length first in
+      if c = 0 || List.exists (fun row -> List.length row <> c) lists then
+        invalid_arg "Matrix.of_lists: ragged rows";
+      Array.of_list (List.map Array.of_list lists)
+
+let to_string m =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int v))
+        row;
+      Buffer.add_char buf '\n')
+    m;
+  Buffer.contents buf
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

@@ -1,0 +1,32 @@
+(** Dense integer matrices — reference semantics for the spatial array.
+
+    The functional simulator's golden model: plain row-major [int array
+    array] matrices with exact (arbitrary-precision within OCaml int)
+    arithmetic, plus saturating variants matching the hardware datapath. *)
+
+type t = int array array
+
+val create : rows:int -> cols:int -> t
+val init : rows:int -> cols:int -> (int -> int -> int) -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> int
+val set : t -> int -> int -> int -> unit
+val copy : t -> t
+val equal : t -> t -> bool
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Plain matrix product; dimensions must agree. *)
+
+val mul_sat32 : t -> t -> t
+(** Product with int32-saturating accumulation — the accumulator
+    semantics of an integer Gemmini instance. *)
+
+val add : t -> t -> t
+val add_sat32 : t -> t -> t
+val map : (int -> int) -> t -> t
+val random : Rng.t -> rows:int -> cols:int -> lo:int -> hi:int -> t
+val of_lists : int list list -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

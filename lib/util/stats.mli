@@ -1,0 +1,71 @@
+(** Running statistics, counters and windowed time series.
+
+    Every architectural structure in the simulator (TLBs, caches, meshes,
+    controllers) exposes its activity through these primitives so that
+    experiments can be written against a uniform statistics surface. *)
+
+(** Streaming mean/min/max/variance accumulator (Welford). *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  (** [min] of an empty accumulator is [nan]. *)
+
+  val max : t -> float
+  val total : t -> float
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh accumulator equivalent to having seen both
+      streams. *)
+end
+
+(** Named monotonically increasing event counters. *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+(** Ratio of two counters, e.g. hits / accesses. *)
+val hit_rate : hits:int -> total:int -> float
+
+(** Fixed-width histogram over [0, range). Out-of-range samples clamp to the
+    first/last bucket. *)
+module Histogram : sig
+  type t
+
+  val create : buckets:int -> range:float -> t
+  val add : t -> float -> unit
+  val bucket_counts : t -> int array
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t p] approximates the [p]-th percentile ([0 <= p <= 100])
+      using bucket midpoints. [nan] when empty. *)
+end
+
+(** Windowed time series: samples are bucketed by timestamp into fixed-width
+    windows; used e.g. for the Fig. 4 TLB miss-rate-over-time plot. *)
+module Series : sig
+  type t
+
+  val create : window:float -> t
+  (** [window] is the bucket width in timestamp units (cycles). *)
+
+  val add : t -> time:float -> float -> unit
+  val windows : t -> (float * float) array
+  (** [(window_start_time, mean_of_samples)] for every non-empty window in
+      increasing time order. *)
+
+  val window_totals : t -> (float * float * int) array
+  (** [(window_start_time, sum_of_samples, n_samples)] per window. *)
+end

@@ -1,0 +1,107 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  ncols : int;
+  mutable aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title headers =
+  let ncols = List.length headers in
+  if ncols = 0 then invalid_arg "Table.create: no columns";
+  { title; headers; ncols; aligns = Array.make ncols Left; rows = [] }
+
+let set_align t col align =
+  if col < 0 || col >= t.ncols then invalid_arg "Table.set_align: bad column";
+  t.aligns.(col) <- align
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.ncols then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (t.ncols - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let emit_cells ?(aligns = t.aligns) cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  emit_sep ();
+  emit_cells ~aligns:(Array.make t.ncols Left) t.headers;
+  emit_sep ();
+  List.iter (function Cells c -> emit_cells c | Sep -> emit_sep ()) rows;
+  emit_sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_f ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+
+let fmt_pct ?(dec = 1) x = Printf.sprintf "%.*f%%" dec x
+
+let fmt_x ?(dec = 1) x =
+  if x >= 100. then Printf.sprintf "%.0fx" x else Printf.sprintf "%.*fx" dec x
+
+let fmt_bytes n =
+  if n >= 1 lsl 30 && n mod (1 lsl 30) = 0 then
+    Printf.sprintf "%d GB" (n lsr 30)
+  else if n >= 1 lsl 20 && n mod (1 lsl 20) = 0 then
+    Printf.sprintf "%d MB" (n lsr 20)
+  else if n >= 1 lsl 10 && n mod (1 lsl 10) = 0 then
+    Printf.sprintf "%d KB" (n lsr 10)
+  else Printf.sprintf "%d B" n

@@ -1,0 +1,46 @@
+(** ASCII table rendering for benchmark and experiment output.
+
+    The benchmark harness prints every reproduced paper table/figure as an
+    aligned text table; this module centralizes the formatting. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers.
+    Columns default to left alignment; numeric-looking cells are still
+    aligned per-column via {!set_align}. *)
+
+val set_align : t -> int -> align -> unit
+(** [set_align t col align] overrides the alignment of column [col]. *)
+
+val add_row : t -> string list -> unit
+(** Adds a row. Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Adds a horizontal separator row. *)
+
+val render : t -> string
+(** Renders the table to a string (ends with a newline). *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)
+
+(* Cell formatting helpers. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [12_345] -> ["12,345"]. *)
+
+val fmt_f : ?dec:int -> float -> string
+(** Fixed-point float with [dec] decimals (default 2). *)
+
+val fmt_pct : ?dec:int -> float -> string
+(** [fmt_pct x] renders [x] (already in percent) as ["12.3%"]. *)
+
+val fmt_x : ?dec:int -> float -> string
+(** Speedup factor, e.g. ["2670x"]. *)
+
+val fmt_bytes : int -> string
+(** Human-readable byte size: ["256 KB"], ["1 MB"], ... *)

@@ -1,0 +1,89 @@
+type t = { shape : int array; strides : int array; data : int array }
+
+let compute_strides shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * shape.(i + 1)
+  done;
+  strides
+
+let num_elems_of shape = Array.fold_left ( * ) 1 shape
+
+let create shape =
+  if Array.length shape = 0 then invalid_arg "Tensor.create: rank 0";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Tensor.create: bad dim") shape;
+  {
+    shape = Array.copy shape;
+    strides = compute_strides shape;
+    data = Array.make (num_elems_of shape) 0;
+  }
+
+let shape t = Array.copy t.shape
+let rank t = Array.length t.shape
+let num_elems t = Array.length t.data
+
+let offset t idx =
+  if Array.length idx <> Array.length t.shape then
+    invalid_arg "Tensor: index rank mismatch";
+  let off = ref 0 in
+  Array.iteri
+    (fun i x ->
+      if x < 0 || x >= t.shape.(i) then invalid_arg "Tensor: index out of range";
+      off := !off + (x * t.strides.(i)))
+    idx;
+  !off
+
+let get t idx = t.data.(offset t idx)
+let set t idx v = t.data.(offset t idx) <- v
+
+let init shape f =
+  let t = create shape in
+  let n = Array.length shape in
+  let idx = Array.make n 0 in
+  let total = num_elems t in
+  for flat = 0 to total - 1 do
+    let rem = ref flat in
+    for i = 0 to n - 1 do
+      idx.(i) <- !rem / t.strides.(i);
+      rem := !rem mod t.strides.(i)
+    done;
+    t.data.(flat) <- f idx
+  done;
+  t
+
+let get4 t a b c d =
+  t.data.((a * t.strides.(0)) + (b * t.strides.(1)) + (c * t.strides.(2)) + d)
+
+let set4 t a b c d v =
+  t.data.((a * t.strides.(0)) + (b * t.strides.(1)) + (c * t.strides.(2)) + d) <- v
+
+let data t = t.data
+
+let of_matrix m =
+  let rows = Matrix.rows m and cols = Matrix.cols m in
+  init [| rows; cols |] (fun idx -> Matrix.get m idx.(0) idx.(1))
+
+let to_matrix t =
+  if rank t <> 2 then invalid_arg "Tensor.to_matrix: rank must be 2";
+  Matrix.init ~rows:t.shape.(0) ~cols:t.shape.(1) (fun r c ->
+      t.data.((r * t.strides.(0)) + c))
+
+let reshape t shape =
+  if num_elems_of shape <> num_elems t then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { shape = Array.copy shape; strides = compute_strides shape; data = t.data }
+
+let map f t =
+  { shape = Array.copy t.shape; strides = Array.copy t.strides; data = Array.map f t.data }
+
+let equal a b = a.shape = b.shape && a.data = b.data
+
+let random rng shape ~lo ~hi =
+  let t = create shape in
+  for i = 0 to num_elems t - 1 do
+    t.data.(i) <- Rng.int_in rng ~lo ~hi
+  done;
+  t
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v

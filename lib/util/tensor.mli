@@ -1,0 +1,40 @@
+(** Dense n-dimensional integer tensors (row-major).
+
+    Functional DNN data: activations are NHWC, convolution weights are
+    [kh][kw][in_ch][out_ch] — the layouts Gemmini's software stack uses so
+    that innermost dimensions are contiguous for DMA. *)
+
+type t
+
+val create : int array -> t
+(** Zero-filled tensor with the given shape. *)
+
+val init : int array -> (int array -> int) -> t
+(** [init shape f] calls [f index] for every position. *)
+
+val shape : t -> int array
+val rank : t -> int
+val num_elems : t -> int
+
+val get : t -> int array -> int
+val set : t -> int array -> int -> unit
+
+val get4 : t -> int -> int -> int -> int -> int
+(** Unchecked-rank fast path for rank-4 tensors. *)
+
+val set4 : t -> int -> int -> int -> int -> int -> unit
+
+val data : t -> int array
+(** The underlying flat row-major array (not a copy). *)
+
+val of_matrix : Matrix.t -> t
+val to_matrix : t -> Matrix.t
+(** Rank-2 only. *)
+
+val reshape : t -> int array -> t
+(** Shares data; element count must match. *)
+
+val map : (int -> int) -> t -> t
+val equal : t -> t -> bool
+val random : Rng.t -> int array -> lo:int -> hi:int -> t
+val fill : t -> int -> unit

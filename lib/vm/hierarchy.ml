@@ -1,0 +1,190 @@
+open Gem_sim
+
+type config = {
+  private_entries : int;
+  shared_entries : int;
+  filter_registers : bool;
+  private_hit_latency : Time.cycles;
+  shared_hit_latency : Time.cycles;
+}
+
+let default_config =
+  {
+    private_entries = 4;
+    shared_entries = 0;
+    filter_registers = true;
+    private_hit_latency = 2;
+    shared_hit_latency = 8;
+  }
+
+type filter = { mutable vpn : int; mutable ppn : int }
+
+type t = {
+  cfg : config;
+  private_tlb : Tlb.t;
+  shared_tlb : Tlb.t;
+  ptw : Ptw.t;
+  filter_read : filter;
+  filter_write : filter;
+  (* last vpn per direction, tracked regardless of filter enablement, for
+     the paper's page-locality statistics *)
+  mutable last_read_vpn : int;
+  mutable last_write_vpn : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable same_page_reads : int;
+  mutable same_page_writes : int;
+  mutable requests : int;
+  mutable filter_hits : int;
+  mutable private_hits : int;
+  mutable shared_hits : int;
+  mutable walks : int;
+  mutable stall_cycles : Time.cycles;
+  mutable observer : (Time.cycles -> level -> unit) option;
+}
+
+and level = Filter | Private | Shared | Walk
+
+type outcome = { paddr : int; finish : Time.cycles; level : level }
+
+let create cfg ~ptw =
+  if cfg.private_entries <= 0 then
+    invalid_arg "Hierarchy.create: private TLB needs at least one entry";
+  if cfg.shared_entries < 0 then
+    invalid_arg "Hierarchy.create: negative shared TLB size";
+  {
+    cfg;
+    private_tlb = Tlb.create ~entries:cfg.private_entries;
+    shared_tlb = Tlb.create ~entries:cfg.shared_entries;
+    ptw;
+    filter_read = { vpn = -1; ppn = -1 };
+    filter_write = { vpn = -1; ppn = -1 };
+    last_read_vpn = -1;
+    last_write_vpn = -1;
+    reads = 0;
+    writes = 0;
+    same_page_reads = 0;
+    same_page_writes = 0;
+    requests = 0;
+    filter_hits = 0;
+    private_hits = 0;
+    shared_hits = 0;
+    walks = 0;
+    stall_cycles = 0;
+    observer = None;
+  }
+
+let config t = t.cfg
+let set_observer t obs = t.observer <- obs
+
+let observe t now level =
+  match t.observer with None -> () | Some f -> f now level
+
+let note_locality t ~vpn ~write =
+  if write then begin
+    t.writes <- t.writes + 1;
+    if t.last_write_vpn = vpn then t.same_page_writes <- t.same_page_writes + 1;
+    t.last_write_vpn <- vpn
+  end
+  else begin
+    t.reads <- t.reads + 1;
+    if t.last_read_vpn = vpn then t.same_page_reads <- t.same_page_reads + 1;
+    t.last_read_vpn <- vpn
+  end
+
+let translate t ~now ~vaddr ~write =
+  let vpn = Page_table.vpn_of_vaddr vaddr in
+  let offset = Page_table.page_offset vaddr in
+  t.requests <- t.requests + 1;
+  note_locality t ~vpn ~write;
+  let filter = if write then t.filter_write else t.filter_read in
+  let paddr_of ppn = (ppn lsl Page_table.page_bits) lor offset in
+  if t.cfg.filter_registers && filter.vpn = vpn then begin
+    (* Filter hit: 0-cycle translation, skips the TLB entirely. *)
+    t.filter_hits <- t.filter_hits + 1;
+    observe t now Filter;
+    { paddr = paddr_of filter.ppn; finish = now; level = Filter }
+  end
+  else begin
+    let fill_filter ppn =
+      if t.cfg.filter_registers then begin
+        filter.vpn <- vpn;
+        filter.ppn <- ppn
+      end
+    in
+    match Tlb.lookup t.private_tlb ~vpn with
+    | Tlb.Hit ppn ->
+        t.private_hits <- t.private_hits + 1;
+        fill_filter ppn;
+        observe t now Private;
+        let finish = now + t.cfg.private_hit_latency in
+        t.stall_cycles <- t.stall_cycles + (finish - now);
+        { paddr = paddr_of ppn; finish; level = Private }
+    | Tlb.Miss -> (
+        match Tlb.lookup t.shared_tlb ~vpn with
+        | Tlb.Hit ppn ->
+            t.shared_hits <- t.shared_hits + 1;
+            Tlb.fill t.private_tlb ~vpn ~ppn;
+            fill_filter ppn;
+            observe t now Shared;
+            let finish =
+              now + t.cfg.private_hit_latency + t.cfg.shared_hit_latency
+            in
+            t.stall_cycles <- t.stall_cycles + (finish - now);
+            { paddr = paddr_of ppn; finish; level = Shared }
+        | Tlb.Miss ->
+            t.walks <- t.walks + 1;
+            observe t now Walk;
+            let miss_time =
+              now + t.cfg.private_hit_latency + t.cfg.shared_hit_latency
+            in
+            let ppn, finish = Ptw.walk t.ptw ~now:miss_time ~vpn in
+            Tlb.fill t.private_tlb ~vpn ~ppn;
+            Tlb.fill t.shared_tlb ~vpn ~ppn;
+            fill_filter ppn;
+            t.stall_cycles <- t.stall_cycles + (finish - now);
+            { paddr = paddr_of ppn; finish; level = Walk })
+  end
+
+let flush t =
+  Tlb.flush t.private_tlb;
+  Tlb.flush t.shared_tlb;
+  t.filter_read.vpn <- -1;
+  t.filter_write.vpn <- -1;
+  t.last_read_vpn <- -1;
+  t.last_write_vpn <- -1
+
+let requests t = t.requests
+let filter_hits t = t.filter_hits
+let private_hits t = t.private_hits
+let shared_hits t = t.shared_hits
+let walks t = t.walks
+
+let private_hit_rate t =
+  Gem_util.Stats.hit_rate ~hits:t.private_hits
+    ~total:(t.requests - t.filter_hits)
+
+let effective_hit_rate t =
+  Gem_util.Stats.hit_rate ~hits:(t.filter_hits + t.private_hits) ~total:t.requests
+
+let same_page_fraction_reads t =
+  Gem_util.Stats.hit_rate ~hits:t.same_page_reads ~total:t.reads
+
+let same_page_fraction_writes t =
+  Gem_util.Stats.hit_rate ~hits:t.same_page_writes ~total:t.writes
+
+let translation_stall_cycles t = t.stall_cycles
+
+let reset_stats t =
+  Tlb.reset_stats t.private_tlb;
+  Tlb.reset_stats t.shared_tlb;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.same_page_reads <- 0;
+  t.same_page_writes <- 0;
+  t.requests <- 0;
+  t.filter_hits <- 0;
+  t.private_hits <- 0;
+  t.shared_hits <- 0;
+  t.walks <- 0;
+  t.stall_cycles <- 0

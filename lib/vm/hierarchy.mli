@@ -1,0 +1,82 @@
+(** Gemmini's accelerator-side address-translation system: optional
+    read/write filter registers in front of a private TLB, backed by a
+    shared L2 TLB, backed by a single page-table walker.
+
+    This is the structure co-designed in the paper's Section V-A:
+    - the {e filter registers} cache the last translation used by the read
+      stream and the write stream separately; a filter hit costs 0 cycles
+      and avoids read/write contention on the TLB ports;
+    - the {e private TLB} is small (4–64 entries) with a several-cycle hit
+      latency;
+    - the {e shared L2 TLB} (0–512 entries) is slower but cheaper than a
+      page walk;
+    - walks go to the shared {!Ptw}. *)
+
+type config = {
+  private_entries : int;
+  shared_entries : int; (** 0 disables the shared L2 TLB. *)
+  filter_registers : bool;
+  private_hit_latency : Gem_sim.Time.cycles;
+      (** cycles added to a request that hits in the private TLB *)
+  shared_hit_latency : Gem_sim.Time.cycles;
+      (** additional cycles for a shared-TLB hit *)
+}
+
+val default_config : config
+(** 4-entry private, no shared TLB, filter registers on — the paper's
+    recommended low-cost design point. *)
+
+type t
+
+val create : config -> ptw:Ptw.t -> t
+
+val config : t -> config
+
+type level = Filter | Private | Shared | Walk
+
+type outcome = {
+  paddr : int;
+  finish : Gem_sim.Time.cycles;
+  level : level; (** where the translation was satisfied *)
+}
+
+val translate :
+  t -> now:Gem_sim.Time.cycles -> vaddr:int -> write:bool -> outcome
+(** Translates one request. Raises {!Ptw.Page_fault} on unmapped pages. *)
+
+val set_observer : t -> (Gem_sim.Time.cycles -> level -> unit) option -> unit
+(** Installs a per-request probe (used to record miss-rate time series,
+    Fig. 4). The observer sees the request time and the level that
+    satisfied it. *)
+
+val flush : t -> unit
+(** Invalidate filter registers and both TLBs (context switch). *)
+
+(* Statistics *)
+
+val requests : t -> int
+val filter_hits : t -> int
+val private_hits : t -> int
+(** Hits in the private TLB proper (excludes filter hits). *)
+
+val shared_hits : t -> int
+val walks : t -> int
+
+val private_hit_rate : t -> float
+(** Private TLB hit rate over requests that reached it. *)
+
+val effective_hit_rate : t -> float
+(** Paper's "private TLB hit rate (including hits on the filter
+    registers)": (filter hits + private hits) / all requests. *)
+
+val same_page_fraction_reads : t -> float
+(** Fraction of consecutive read requests to the same virtual page
+    (paper reports 87 %). *)
+
+val same_page_fraction_writes : t -> float
+(** Same for writes (paper reports 83 %). *)
+
+val translation_stall_cycles : t -> Gem_sim.Time.cycles
+(** Total cycles requests spent waiting on translation. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,84 @@
+open Gem_sim
+
+type t = {
+  page_table : Page_table.t;
+  mem_read : now:Time.cycles -> paddr:int -> bytes:int -> Time.cycles;
+  walker : Resource.t;
+  pte_cache_entries : int;
+  pte_cache : (int, unit) Hashtbl.t; (* non-leaf PTE paddrs *)
+  pte_cache_fifo : int Queue.t;
+  mutable walks : int;
+  mutable pte_reads : int;
+  mutable pte_cache_hits : int;
+  mutable total_walk_cycles : Time.cycles;
+}
+
+exception Page_fault of int
+
+let create ?(name = "ptw") ?(pte_cache_entries = 64) ~page_table ~mem_read () =
+  {
+    page_table;
+    mem_read;
+    walker = Resource.create ~name;
+    pte_cache_entries;
+    pte_cache = Hashtbl.create (max 16 pte_cache_entries);
+    pte_cache_fifo = Queue.create ();
+    walks = 0;
+    pte_reads = 0;
+    pte_cache_hits = 0;
+    total_walk_cycles = 0;
+  }
+
+let cache_insert t paddr =
+  if t.pte_cache_entries > 0 && not (Hashtbl.mem t.pte_cache paddr) then begin
+    if Queue.length t.pte_cache_fifo >= t.pte_cache_entries then
+      Hashtbl.remove t.pte_cache (Queue.pop t.pte_cache_fifo);
+    Hashtbl.add t.pte_cache paddr ();
+    Queue.push paddr t.pte_cache_fifo
+  end
+
+let walk t ~now ~vpn =
+  t.walks <- t.walks + 1;
+  (* Wait for the (single) walker to become free. *)
+  let start = Resource.acquire t.walker ~now ~occupancy:0 in
+  let pte_addrs, result = Page_table.walk t.page_table ~vpn in
+  let n_levels = List.length pte_addrs in
+  (* Each level's PTE read depends on the previous one completing; cached
+     non-leaf levels are free. *)
+  let finish =
+    List.fold_left
+      (fun (time, level) paddr ->
+        let is_leaf = level = n_levels - 1 in
+        let time' =
+          if (not is_leaf) && Hashtbl.mem t.pte_cache paddr then begin
+            t.pte_cache_hits <- t.pte_cache_hits + 1;
+            time
+          end
+          else begin
+            t.pte_reads <- t.pte_reads + 1;
+            if not is_leaf then cache_insert t paddr;
+            t.mem_read ~now:time ~paddr ~bytes:8
+          end
+        in
+        (time', level + 1))
+      (start, 0) pte_addrs
+    |> fst
+  in
+  (* Occupy the walker for the walk's duration so concurrent requesters
+     queue behind it. *)
+  ignore (Resource.acquire t.walker ~now:start ~occupancy:(finish - start));
+  t.total_walk_cycles <- t.total_walk_cycles + (finish - now);
+  match result with
+  | None -> raise (Page_fault vpn)
+  | Some ppn -> (ppn, finish)
+
+let walks t = t.walks
+let pte_reads t = t.pte_reads
+let pte_cache_hits t = t.pte_cache_hits
+let total_walk_cycles t = t.total_walk_cycles
+
+let reset_stats t =
+  t.walks <- 0;
+  t.pte_reads <- 0;
+  t.pte_cache_hits <- 0;
+  t.total_walk_cycles <- 0

@@ -1,0 +1,89 @@
+type entry = { mutable vpn : int; mutable ppn : int; mutable age : int }
+
+type t = {
+  entries : int;
+  index : (int, entry) Hashtbl.t; (* vpn -> live entry *)
+  slots : entry array;
+  mutable used : int;
+  mutable clock : int;
+  mutable lookups : int;
+  mutable hits : int;
+}
+
+type result = Hit of int | Miss
+
+let create ~entries =
+  if entries < 0 then invalid_arg "Tlb.create: negative size";
+  {
+    entries;
+    index = Hashtbl.create (max 16 entries);
+    slots = Array.init entries (fun _ -> { vpn = -1; ppn = -1; age = 0 });
+    used = 0;
+    clock = 0;
+    lookups = 0;
+    hits = 0;
+  }
+
+let entries t = t.entries
+
+let lookup t ~vpn =
+  t.lookups <- t.lookups + 1;
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.index vpn with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e.age <- t.clock;
+      Hit e.ppn
+  | None -> Miss
+
+let probe t ~vpn =
+  match Hashtbl.find_opt t.index vpn with Some e -> Some e.ppn | None -> None
+
+let fill t ~vpn ~ppn =
+  if t.entries > 0 then begin
+    t.clock <- t.clock + 1;
+    match Hashtbl.find_opt t.index vpn with
+    | Some e ->
+        e.ppn <- ppn;
+        e.age <- t.clock
+    | None ->
+        let e =
+          if t.used < t.entries then begin
+            let e = t.slots.(t.used) in
+            t.used <- t.used + 1;
+            e
+          end
+          else begin
+            (* Evict true LRU; the scan only runs on fills of a full TLB. *)
+            let victim = ref t.slots.(0) in
+            Array.iter (fun e -> if e.age < !victim.age then victim := e) t.slots;
+            Hashtbl.remove t.index !victim.vpn;
+            !victim
+          end
+        in
+        e.vpn <- vpn;
+        e.ppn <- ppn;
+        e.age <- t.clock;
+        Hashtbl.replace t.index vpn e
+  end
+
+let flush t =
+  Array.iter
+    (fun e ->
+      e.vpn <- -1;
+      e.ppn <- -1;
+      e.age <- 0)
+    t.slots;
+  Hashtbl.reset t.index;
+  t.used <- 0
+
+let occupancy t = t.used
+
+let lookups t = t.lookups
+let hits t = t.hits
+let misses t = t.lookups - t.hits
+let hit_rate t = Gem_util.Stats.hit_rate ~hits:t.hits ~total:t.lookups
+
+let reset_stats t =
+  t.lookups <- 0;
+  t.hits <- 0

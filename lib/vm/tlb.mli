@@ -1,0 +1,38 @@
+(** Fully-associative TLB with true LRU replacement.
+
+    Gemmini's private accelerator TLB and the larger shared L2 TLB of the
+    Section V-A case study are both instances of this structure (the paper
+    sweeps 4–512 entries, small enough that full associativity is what the
+    RTL builds). An [entries = 0] TLB is legal and misses on every lookup —
+    that is the "no shared L2 TLB" design point of Fig. 8. *)
+
+type t
+
+val create : entries:int -> t
+
+val entries : t -> int
+
+type result = Hit of int (** PPN *) | Miss
+
+val lookup : t -> vpn:int -> result
+(** Updates recency on hit, counts statistics. *)
+
+val probe : t -> vpn:int -> int option
+(** Like {!lookup} but with no recency/statistics side effects. *)
+
+val fill : t -> vpn:int -> ppn:int -> unit
+(** Installs a translation, evicting the LRU entry if full. No-op on a
+    0-entry TLB. Refilling an existing vpn updates its PPN and recency. *)
+
+val flush : t -> unit
+(** Invalidates everything (context switch / sfence.vma). *)
+
+val occupancy : t -> int
+
+(* Statistics *)
+
+val lookups : t -> int
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,125 @@
+(* gem_dnn: model-zoo MAC/weight counts against published values, layer
+   arithmetic, residual back-references, scaling. *)
+
+open Gem_dnn
+
+let test_model_macs () =
+  (* Exact MAC counts for the generated layer tables; reference values
+     match the published per-network totals (ResNet50 ~4.1 GMACs, AlexNet
+     ~0.71, SqueezeNet1.1 ~0.35, MobileNetV2 ~0.3, BERT-base@128 ~11.2). *)
+  Alcotest.(check int) "resnet50" 4_089_184_256 (Layer.total_macs Model_zoo.resnet50);
+  Alcotest.(check int) "alexnet" 714_188_480 (Layer.total_macs Model_zoo.alexnet);
+  Alcotest.(check int) "squeezenet" 349_151_936 (Layer.total_macs Model_zoo.squeezenet);
+  Alcotest.(check int) "mobilenetv2" 300_774_272 (Layer.total_macs Model_zoo.mobilenetv2);
+  Alcotest.(check int) "bert" 11_174_215_680 (Layer.total_macs Model_zoo.bert)
+
+let test_model_weights () =
+  let mb m = Layer.total_weight_bytes m / 1_000_000 in
+  Alcotest.(check int) "resnet50 ~25.5M" 25 (mb Model_zoo.resnet50);
+  Alcotest.(check int) "alexnet ~61M" 61 (mb Model_zoo.alexnet);
+  Alcotest.(check int) "squeezenet ~1.2M" 1 (mb Model_zoo.squeezenet);
+  Alcotest.(check int) "mobilenet ~3.5M" 3 (mb Model_zoo.mobilenetv2)
+
+let test_layer_math () =
+  let conv =
+    Layer.Conv
+      {
+        Layer.in_h = 56;
+        in_w = 56;
+        in_ch = 64;
+        out_ch = 64;
+        kernel = 3;
+        stride = 1;
+        padding = 1;
+        relu = true;
+        depthwise = false;
+      }
+  in
+  Alcotest.(check int) "conv macs" (56 * 56 * 64 * 64 * 9) (Layer.macs conv);
+  Alcotest.(check int) "conv weights" (64 * 64 * 9) (Layer.weight_bytes conv);
+  (match Layer.as_matmul conv with
+  | Some mm ->
+      Alcotest.(check int) "lowered M" (56 * 56) mm.Layer.m;
+      Alcotest.(check int) "lowered K" (9 * 64) mm.Layer.k;
+      Alcotest.(check int) "lowered N" 64 mm.Layer.n
+  | None -> Alcotest.fail "conv should lower");
+  let dw = Layer.Conv { (match conv with Layer.Conv c -> c | _ -> assert false) with Layer.depthwise = true } in
+  (match Layer.as_matmul dw with
+  | Some mm ->
+      Alcotest.(check int) "dw N=1" 1 mm.Layer.n;
+      Alcotest.(check int) "dw count" 64 mm.Layer.count
+  | None -> Alcotest.fail "dw should lower")
+
+let test_resnet_structure () =
+  let m = Model_zoo.resnet50 in
+  let convs =
+    List.length
+      (List.filter
+         (fun (_, l) -> Layer.class_of l = Layer.Class_conv)
+         m.Layer.layers)
+  in
+  let adds =
+    List.length
+      (List.filter
+         (fun (_, l) -> Layer.class_of l = Layer.Class_resadd)
+         m.Layer.layers)
+  in
+  Alcotest.(check int) "53 convolutions (incl. projections)" 53 convs;
+  Alcotest.(check int) "16 residual adds" 16 adds;
+  (* Every resadd back-reference points at a layer with matching size. *)
+  let layers = Array.of_list m.Layer.layers in
+  Array.iteri
+    (fun i (_, l) ->
+      match l with
+      | Layer.Residual_add { r_h; r_w; r_ch; back1; back2 } ->
+          List.iter
+            (fun back ->
+              let _, src = layers.(i - back) in
+              Alcotest.(check int)
+                (Printf.sprintf "operand bytes at layer %d (back %d)" i back)
+                (r_h * r_w * r_ch) (Layer.out_bytes src))
+            [ back1; back2 ]
+      | _ -> ())
+    layers
+
+let test_mobilenet_depthwise () =
+  let dw_macs =
+    Gem_util.Mathx.sum_list
+      (List.filter_map
+         (fun (_, l) ->
+           if Layer.class_of l = Layer.Class_depthwise then Some (Layer.macs l)
+           else None)
+         Model_zoo.mobilenetv2.Layer.layers)
+  in
+  (* Depthwise is a small MAC fraction but a large time fraction on wide
+     arrays — the asymmetry the paper highlights. *)
+  Alcotest.(check bool) "dw macs ~ 10-15% of total" true
+    (let frac = float_of_int dw_macs /. float_of_int (Layer.total_macs Model_zoo.mobilenetv2) in
+     frac > 0.05 && frac < 0.25)
+
+let test_scale_model () =
+  let s = Model_zoo.scale_model ~factor:4 Model_zoo.resnet50 in
+  Alcotest.(check int) "layer count preserved"
+    (Layer.layer_count Model_zoo.resnet50)
+    (Layer.layer_count s);
+  Alcotest.(check bool) "macs shrink ~16x" true
+    (let ratio =
+       float_of_int (Layer.total_macs Model_zoo.resnet50)
+       /. float_of_int (Layer.total_macs s)
+     in
+     ratio > 10. && ratio < 24.)
+
+let test_find () =
+  Alcotest.(check bool) "find by name" true (Model_zoo.find "ResNet50" <> None);
+  Alcotest.(check bool) "unknown" true (Model_zoo.find "vgg" = None)
+
+let suite =
+  [
+    Alcotest.test_case "model-zoo MAC counts (published values)" `Quick test_model_macs;
+    Alcotest.test_case "model-zoo weight sizes" `Quick test_model_weights;
+    Alcotest.test_case "layer arithmetic and lowering" `Quick test_layer_math;
+    Alcotest.test_case "ResNet50 structure + resadd backrefs" `Quick test_resnet_structure;
+    Alcotest.test_case "MobileNetV2 depthwise share" `Quick test_mobilenet_depthwise;
+    Alcotest.test_case "scale_model" `Quick test_scale_model;
+    Alcotest.test_case "model lookup" `Quick test_find;
+  ]

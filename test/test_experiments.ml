@@ -1,0 +1,128 @@
+(* Experiment-shaped assertions: every figure driver runs (quick mode) and
+   its qualitative claims — who wins, which direction deltas point — hold.
+   These are the regression guards for the paper reproduction itself. *)
+
+module E = Gem_experiments
+
+let test_table1 () =
+  let t = E.Table1.table () in
+  let s = Gem_util.Table.render t in
+  Alcotest.(check bool) "renders with gemmini row" true (String.length s > 500)
+
+let test_fig3_shape () =
+  let r = E.Fig3.measure () in
+  Alcotest.(check bool) "fmax ratio 2.2-3.2" true
+    (r.E.Fig3.fmax_ratio > 2.2 && r.E.Fig3.fmax_ratio < 3.2);
+  Alcotest.(check bool) "area ratio 1.5-2.1" true
+    (r.E.Fig3.area_ratio > 1.5 && r.E.Fig3.area_ratio < 2.1);
+  Alcotest.(check bool) "power ratio 2.4-3.6" true
+    (r.E.Fig3.power_ratio > 2.4 && r.E.Fig3.power_ratio < 3.6);
+  (* Monotone across the intermediate factorizations. *)
+  let fmaxes = List.map (fun p -> p.E.Fig3.fmax_ghz) r.E.Fig3.points in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "fmax decreases with tile size" true (decreasing fmaxes)
+
+let test_fig6_shape () =
+  let r = E.Fig6.measure () in
+  let share p = E.Fig6.measured_share r p in
+  Alcotest.(check bool) "scratchpad dominates" true (share "scratchpad" > 45.);
+  Alcotest.(check bool) "array ~10-13%" true
+    (share "spatial array" > 9. && share "spatial array" < 14.);
+  Alcotest.(check bool) "cpu > array" true (share "cpu" > share "spatial array")
+
+let test_fig4_shape () =
+  let r = E.Fig4.measure ~quick:true ~window_cycles:50_000. () in
+  Alcotest.(check bool) "many requests" true (r.E.Fig4.total_requests > 10_000);
+  Alcotest.(check bool) "has windows" true (Array.length r.E.Fig4.windows > 10);
+  Alcotest.(check bool) "spiky: peak well above mean" true
+    (r.E.Fig4.peak_window_miss_rate > 2. *. r.E.Fig4.overall_miss_rate)
+
+let test_fig7_shape () =
+  let r = E.Fig7.measure ~quick:true () in
+  List.iter
+    (fun row ->
+      let open E.Fig7 in
+      (* The accelerator always wins big over software. *)
+      Alcotest.(check bool) (row.model ^ ": accel >> cpu") true
+        (row.baseline_rocket > 20 * row.rocket_accel_im2col);
+      (* BOOM helps when the CPU does im2col; is ~neutral otherwise. *)
+      Alcotest.(check bool) (row.model ^ ": boom helps cpu-im2col") true
+        (row.boom_cpu_im2col <= row.rocket_cpu_im2col);
+      Alcotest.(check bool) (row.model ^ ": im2col unit helps or is neutral") true
+        (row.rocket_accel_im2col <= row.rocket_cpu_im2col))
+    r.E.Fig7.rows;
+  (* MobileNet (depthwise-heavy) gets the smallest CNN speedup; BERT shows
+     no im2col sensitivity at all. *)
+  let find name = List.find (fun x -> x.E.Fig7.model = name) r.E.Fig7.rows in
+  let speedup row =
+    float_of_int row.E.Fig7.baseline_rocket /. float_of_int row.E.Fig7.rocket_accel_im2col
+  in
+  Alcotest.(check bool) "mobilenet lowest CNN speedup" true
+    (speedup (find "mobilenetv2/4") < speedup (find "resnet50/4")
+    && speedup (find "mobilenetv2/4") < speedup (find "squeezenet1.1/4")
+    && speedup (find "mobilenetv2/4") < speedup (find "alexnet/4"));
+  let bert = find "bert-base-seq128/4" in
+  Alcotest.(check int) "bert ignores im2col unit" bert.E.Fig7.rocket_cpu_im2col
+    bert.E.Fig7.rocket_accel_im2col
+
+let test_fig8_shape () =
+  let r = E.Fig8.measure ~quick:true () in
+  let find ~priv ~shared ~filters =
+    List.find
+      (fun p ->
+        p.E.Fig8.private_entries = priv
+        && p.E.Fig8.shared_entries = shared
+        && p.E.Fig8.filters = filters)
+      r.E.Fig8.points
+  in
+  (* Bigger private TLB helps (no filters). *)
+  Alcotest.(check bool) "private 4 -> 16 helps" true
+    ((find ~priv:16 ~shared:0 ~filters:false).E.Fig8.cycles
+    < (find ~priv:4 ~shared:0 ~filters:false).E.Fig8.cycles);
+  (* Filters make the small TLB competitive: better than quadrupling the
+     private TLB without them. *)
+  Alcotest.(check bool) "4+filters beats 16 without" true
+    ((find ~priv:4 ~shared:0 ~filters:true).E.Fig8.cycles
+    < (find ~priv:16 ~shared:0 ~filters:false).E.Fig8.cycles);
+  (* The recommended config is within 10% of the best swept point. *)
+  Alcotest.(check bool) "small+filters near best" true (r.E.Fig8.small_with_filters_gap < 0.10);
+  (* Page locality is high, reads and writes both. *)
+  let p = List.hd r.E.Fig8.points in
+  Alcotest.(check bool) "read locality > 70%" true (p.E.Fig8.same_page_reads > 0.7);
+  Alcotest.(check bool) "write locality > 70%" true (p.E.Fig8.same_page_writes > 0.7)
+
+let test_fig9_shape () =
+  let r = E.Fig9.measure ~quick:true () in
+  let f name cores = E.Fig9.find r ~name ~cores in
+  let open E.Fig9 in
+  (* Single core: extra SRAM in the scratchpad never hurts. *)
+  Alcotest.(check bool) "1-core BigSP >= Base" true
+    ((f BigSP 1).total_cycles <= (f Base 1).total_cycles);
+  (* Dual core: BigL2 is the best configuration (the paper's headline). *)
+  Alcotest.(check bool) "2-core BigL2 beats Base" true
+    ((f BigL2 2).total_cycles < (f Base 2).total_cycles);
+  Alcotest.(check bool) "2-core BigL2 best overall" true
+    ((f BigL2 2).total_cycles <= (f BigSP 2).total_cycles);
+  (* The resadd class is where BigL2's dual-core win comes from. *)
+  Alcotest.(check bool) "2-core resadd improves with BigL2" true
+    ((f BigL2 2).resadd_cycles < (f Base 2).resadd_cycles);
+  (* And the L2 miss rate drops. *)
+  Alcotest.(check bool) "L2 miss rate drops" true
+    ((f BigL2 2).l2_miss_rate < (f Base 2).l2_miss_rate);
+  (* Contention: dual core is slower than single core end-to-end. *)
+  Alcotest.(check bool) "contention visible" true
+    ((f Base 2).total_cycles > (f Base 1).total_cycles)
+
+let suite =
+  [
+    Alcotest.test_case "table1 renders" `Quick test_table1;
+    Alcotest.test_case "fig3: pipelining trade-off shape" `Quick test_fig3_shape;
+    Alcotest.test_case "fig6: breakdown shape" `Quick test_fig6_shape;
+    Alcotest.test_case "fig4: miss-rate series shape" `Slow test_fig4_shape;
+    Alcotest.test_case "fig7: speedup shapes" `Slow test_fig7_shape;
+    Alcotest.test_case "fig8: TLB co-design shapes" `Slow test_fig8_shape;
+    Alcotest.test_case "fig9: partitioning shapes" `Slow test_fig9_shape;
+  ]

@@ -1,0 +1,155 @@
+(* ISA encode/decode: bit-exact roundtrip over the full command space. *)
+
+open Gemmini
+module L = Local_addr
+
+let check_roundtrip cmd =
+  match Isa.decode (Isa.encode cmd) with
+  | Ok cmd' ->
+      if not (Isa.equal cmd cmd') then
+        Alcotest.failf "roundtrip mismatch:\n  %s\n  %s" (Isa.to_string cmd)
+          (Isa.to_string cmd')
+  | Error e -> Alcotest.failf "decode failed for %s: %s" (Isa.to_string cmd) e
+
+let sample_cmds =
+  [
+    Isa.Config_ex
+      {
+        dataflow = `WS;
+        activation = Peripheral.Relu;
+        sys_shift = 12;
+        a_transpose = true;
+        b_transpose = false;
+      };
+    Isa.Config_ex
+      {
+        dataflow = `OS;
+        activation = Peripheral.Relu6 { shift = 5 };
+        sys_shift = 0;
+        a_transpose = false;
+        b_transpose = true;
+      };
+    Isa.Config_ld { ld_stride_bytes = 224 * 3; ld_scale = 0.5; ld_shrunk = false; ld_id = 0 };
+    Isa.Config_ld { ld_stride_bytes = 0; ld_scale = 1.0; ld_shrunk = true; ld_id = 2 };
+    Isa.Config_st
+      {
+        st_stride_bytes = 1000;
+        st_activation = Peripheral.Relu;
+        st_scale = 0.0625;
+        st_pool = Some { Isa.window = 3; stride = 2; padding = 1 };
+      };
+    Isa.Mvin
+      ( { Isa.dram_addr = 0xDEAD000; local = L.scratchpad ~row:1234; cols = 64; rows = 16 },
+        1 );
+    Isa.Mvout
+      {
+        Isa.dram_addr = 0xBEEF000;
+        local = L.accumulator ~accumulate:true ~row:77 ();
+        cols = 16;
+        rows = 16;
+      };
+    Isa.Preload
+      {
+        b = L.scratchpad ~row:512;
+        c = L.accumulator ~row:0 ();
+        b_cols = 16;
+        b_rows = 16;
+        c_cols = 16;
+        c_rows = 16;
+      };
+    Isa.Compute_preloaded
+      {
+        a = L.scratchpad ~row:0;
+        bd = L.garbage;
+        a_cols = 16;
+        a_rows = 16;
+        bd_cols = 16;
+        bd_rows = 16;
+      };
+    Isa.Compute_accumulated
+      {
+        a = L.garbage;
+        bd = L.accumulator ~full_width:true ~row:3 ();
+        a_cols = 1;
+        a_rows = 1;
+        bd_cols = 1;
+        bd_rows = 1;
+      };
+    Isa.Flush;
+    Isa.Fence;
+  ]
+
+let test_samples () = List.iter check_roundtrip sample_cmds
+
+let qcheck_mv_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let* addr = int_range 0 ((1 lsl 40) - 1) in
+      let* row = int_range 0 100000 in
+      let* cols = int_range 1 0xFFFF in
+      let* rows = int_range 1 0xFFFF in
+      let* id = int_range 0 2 in
+      let* acc = bool in
+      let* accum = bool in
+      let* full = bool in
+      return (addr, row, cols, rows, id, acc, accum, full))
+  in
+  QCheck2.Test.make ~name:"mvin/mvout roundtrip" ~count:200 gen
+    (fun (addr, row, cols, rows, id, acc, accum, full) ->
+      let local =
+        if acc then L.accumulator ~accumulate:accum ~full_width:full ~row ()
+        else L.scratchpad ~row
+      in
+      let mv = { Isa.dram_addr = addr; local; cols; rows } in
+      check_roundtrip (Isa.Mvin (mv, id));
+      check_roundtrip (Isa.Mvout mv);
+      true)
+
+let qcheck_config_ld_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let* stride = int_range 0 0xFFFF_FFFF in
+      let* id = int_range 0 2 in
+      let* shrunk = bool in
+      let* scale = oneofl [ 1.0; 0.5; 0.25; 0.0625; 2.0 ] in
+      return (stride, id, shrunk, scale))
+  in
+  QCheck2.Test.make ~name:"config_ld roundtrip" ~count:100 gen
+    (fun (stride, id, shrunk, scale) ->
+      check_roundtrip
+        (Isa.Config_ld
+           { ld_stride_bytes = stride; ld_scale = scale; ld_shrunk = shrunk; ld_id = id });
+      true)
+
+let test_local_addr () =
+  let sp = L.scratchpad ~row:42 in
+  Alcotest.(check bool) "sp not acc" false (L.is_accumulator sp);
+  Alcotest.(check int) "row" 42 (L.row sp);
+  let acc = L.accumulator ~accumulate:true ~full_width:true ~row:7 () in
+  Alcotest.(check bool) "acc" true (L.is_accumulator acc);
+  Alcotest.(check bool) "accumulate" true (L.accumulate_flag acc);
+  Alcotest.(check bool) "full" true (L.full_width_flag acc);
+  Alcotest.(check int) "row" 7 (L.row acc);
+  let acc2 = L.add_rows acc 5 in
+  Alcotest.(check int) "add_rows keeps flags" 12 (L.row acc2);
+  Alcotest.(check bool) "add_rows keeps acc" true (L.accumulate_flag acc2);
+  Alcotest.(check bool) "garbage" true (L.is_garbage L.garbage);
+  Alcotest.(check bool) "garbage roundtrip" true
+    (L.is_garbage (L.of_bits (L.to_bits L.garbage)))
+
+let test_bad_decode () =
+  (match Isa.decode { Isa.funct = 99; rs1 = 0L; rs2 = 0L } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown funct error");
+  match Isa.decode { Isa.funct = 0; rs1 = 3L; rs2 = 0L } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected bad config selector error"
+
+let suite =
+  [
+    Alcotest.test_case "sample command roundtrips" `Quick test_samples;
+    Alcotest.test_case "local address flags" `Quick test_local_addr;
+    Alcotest.test_case "bad decodes rejected" `Quick test_bad_decode;
+    QCheck_alcotest.to_alcotest qcheck_mv_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_config_ld_roundtrip;
+  ]

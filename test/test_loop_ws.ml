@@ -1,0 +1,173 @@
+(* The LOOP_WS CISC extension: one command executes a whole tiled matmul
+   through the hardware sequencer. Checks: bit-exact equivalence with the
+   discrete command stream, host-dispatch savings, and encode/decode of
+   the new command family. Also: OS-noise failure injection (periodic TLB
+   flushes, as context switches would cause — paper Section III-C). *)
+
+open Gem_util
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Kernels = Gem_sw.Kernels
+module Isa = Gemmini.Isa
+
+let small_params =
+  {
+    Gemmini.Params.default with
+    mesh_rows = 4;
+    mesh_cols = 4;
+    sp_capacity_bytes = 4 * 1024;
+    sp_banks = 4;
+    acc_capacity_bytes = 2 * 1024;
+    acc_banks = 2;
+  }
+
+let functional_soc () =
+  Soc.create
+    {
+      Soc_config.default with
+      functional = true;
+      cores = [ { Soc_config.default_core with accel = small_params } ];
+    }
+
+let setup_matmul soc core ~m ~k ~n ~seed =
+  let rng = Rng.create ~seed in
+  let a = Matrix.random rng ~rows:m ~cols:k ~lo:(-16) ~hi:16 in
+  let b = Matrix.random rng ~rows:k ~cols:n ~lo:(-8) ~hi:8 in
+  let bias = Array.init n (fun _ -> Rng.int_in rng ~lo:(-100) ~hi:100) in
+  let a_va = Soc.alloc soc core ~bytes:(m * k) in
+  let b_va = Soc.alloc soc core ~bytes:(k * n) in
+  let bias_va = Soc.alloc soc core ~bytes:(4 * n) in
+  let out_va = Soc.alloc soc core ~bytes:(m * n) in
+  Soc.host_write_i8 soc core ~vaddr:a_va (Array.concat (Array.to_list a));
+  Soc.host_write_i8 soc core ~vaddr:b_va (Array.concat (Array.to_list b));
+  Soc.host_write_i32 soc core ~vaddr:bias_va bias;
+  (a_va, b_va, bias_va, out_va)
+
+let qcheck_loop_ws_equivalence =
+  let gen =
+    QCheck2.Gen.(
+      let* m = int_range 1 20 in
+      let* k = int_range 1 20 in
+      let* n = int_range 1 20 in
+      let* seed = int_range 0 100_000 in
+      let* with_bias = bool in
+      return (m, k, n, seed, with_bias))
+  in
+  QCheck2.Test.make ~name:"LOOP_WS == discrete command stream (bit-exact)"
+    ~count:30 gen (fun (m, k, n, seed, with_bias) ->
+      let run use_loop =
+        let soc = functional_soc () in
+        let core = Soc.core soc 0 in
+        let a, b, bias, out = setup_matmul soc core ~m ~k ~n ~seed in
+        let bias = if with_bias then Some bias else None in
+        let ops =
+          (if use_loop then
+             Kernels.matmul_loop_ws_ops small_params ?bias
+               ~act:Gemmini.Peripheral.Relu ~scale:0.0625 ~a ~b ~out ~m ~k ~n ()
+           else
+             Kernels.matmul_ops small_params ?bias ~act:Gemmini.Peripheral.Relu
+               ~scale:0.0625 ~a ~b ~out ~m ~k ~n ())
+          @ [ Kernels.fence ]
+        in
+        ignore (Soc.run_program soc core (List.to_seq ops));
+        Soc.host_read_i8 soc core ~vaddr:out ~n:(m * n)
+      in
+      run true = run false)
+
+let test_loop_ws_issue_savings () =
+  (* With a slow host, the sequencer's 1-cycle micro-ops beat per-command
+     RoCC dispatch. *)
+  let run use_loop =
+    let soc = Soc.create Soc_config.default in
+    let core = Soc.core soc 0 in
+    Gemmini.Controller.set_issue_cycles (Soc.controller core) 20;
+    let a = Soc.alloc soc core ~bytes:(256 * 256) in
+    let b = Soc.alloc soc core ~bytes:(256 * 256) in
+    let out = Soc.alloc soc core ~bytes:(256 * 256) in
+    let p = Gemmini.Params.default in
+    let ops =
+      (if use_loop then Kernels.matmul_loop_ws_ops p ~a ~b ~out ~m:256 ~k:256 ~n:256 ()
+       else Kernels.matmul_ops p ~a ~b ~out ~m:256 ~k:256 ~n:256 ())
+      @ [ Kernels.fence ]
+    in
+    let cycles = Soc.run_program soc core (List.to_seq ops) in
+    let s = Gemmini.Controller.stats (Soc.controller core) in
+    (cycles, s)
+  in
+  let loop_cycles, loop_stats = run true in
+  let discrete_cycles, discrete_stats = run false in
+  Alcotest.(check bool) "few host dispatches" true
+    (loop_stats.Gemmini.Controller.insns < 10);
+  Alcotest.(check bool) "micro-ops expanded" true
+    (loop_stats.Gemmini.Controller.loop_micro_ops > 1000);
+  Alcotest.(check int) "same compute work" discrete_stats.Gemmini.Controller.macs
+    loop_stats.Gemmini.Controller.macs;
+  Alcotest.(check bool)
+    (Printf.sprintf "loop faster on a slow host (%d < %d)" loop_cycles discrete_cycles)
+    true
+    (loop_cycles < discrete_cycles)
+
+let test_loop_ws_requires_config () =
+  let soc = Soc.create Soc_config.default in
+  let core = Soc.core soc 0 in
+  Alcotest.check_raises "unconfigured loop rejected"
+    (Invalid_argument "Controller: LOOP_WS without LOOP_WS_CONFIG_BOUNDS")
+    (fun () ->
+      Gemmini.Controller.execute (Soc.controller core)
+        (Isa.Loop_ws { Isa.lw_a_stride = 1; lw_b_stride = 1; lw_c_stride = 1; lw_scale = 1.0 }))
+
+let test_loop_ws_encoding () =
+  List.iter
+    (fun cmd ->
+      match Isa.decode (Isa.encode cmd) with
+      | Ok cmd' ->
+          if not (Isa.equal cmd cmd') then
+            Alcotest.failf "roundtrip: %s vs %s" (Isa.to_string cmd) (Isa.to_string cmd')
+      | Error e -> Alcotest.failf "decode: %s" e)
+    [
+      Isa.Loop_ws_bounds
+        { Isa.lw_m = 1024; lw_k = 768; lw_n = 3072; lw_has_bias = true; lw_activation = Gemmini.Peripheral.Relu };
+      Isa.Loop_ws_addrs { Isa.lw_a = 0x1234_5000; lw_b = 0xFEDC_0000 };
+      Isa.Loop_ws_outs { Isa.lw_bias = 0x10_0000; lw_c = 0x20_0000 };
+      Isa.Loop_ws { Isa.lw_a_stride = 768; lw_b_stride = 3072; lw_c_stride = 3072; lw_scale = 0.0625 };
+    ]
+
+(* --- OS-noise failure injection ----------------------------------------------- *)
+
+let test_context_switch_noise () =
+  (* Periodic TLB flushes (what a context switch does to the accelerator's
+     translation state) must not affect results, only time. *)
+  let run ~flush_every =
+    let soc = functional_soc () in
+    let core = Soc.core soc 0 in
+    let a, b, bias, out = setup_matmul soc core ~m:12 ~k:9 ~n:10 ~seed:33 in
+    ignore bias;
+    let base_ops =
+      Kernels.matmul_ops small_params ~a ~b ~out ~m:12 ~k:9 ~n:10 ()
+      @ [ Kernels.fence ]
+    in
+    let ops =
+      match flush_every with
+      | None -> base_ops
+      | Some n ->
+          List.concat
+            (List.mapi
+               (fun i op -> if i mod n = n - 1 then [ op; Kernels.flush_tlb ] else [ op ])
+               base_ops)
+    in
+    let cycles = Soc.run_program soc core (List.to_seq ops) in
+    (Soc.host_read_i8 soc core ~vaddr:out ~n:120, cycles)
+  in
+  let clean, t_clean = run ~flush_every:None in
+  let noisy, t_noisy = run ~flush_every:(Some 5) in
+  Alcotest.(check (array int)) "results survive context switches" clean noisy;
+  Alcotest.(check bool) "flushes cost time" true (t_noisy > t_clean)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_loop_ws_equivalence;
+    Alcotest.test_case "LOOP_WS saves host dispatches" `Quick test_loop_ws_issue_savings;
+    Alcotest.test_case "LOOP_WS requires configuration" `Quick test_loop_ws_requires_config;
+    Alcotest.test_case "LOOP_WS command encoding" `Quick test_loop_ws_encoding;
+    Alcotest.test_case "context-switch TLB flush injection" `Quick test_context_switch_noise;
+  ]

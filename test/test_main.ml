@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "gemmini"
+    [
+      ("util", Test_util.suite);
+      ("mem", Test_mem.suite);
+      ("vm", Test_vm.suite);
+      ("mesh", Test_mesh.suite);
+      ("isa", Test_isa.suite);
+      ("synthesis", Test_synthesis.suite);
+      ("dnn", Test_dnn.suite);
+      ("sw", Test_sw.suite);
+      ("runtime", Test_runtime.suite);
+      ("soc", Test_soc.suite);
+      ("loop_ws", Test_loop_ws.suite);
+      ("experiments", Test_experiments.suite);
+    ]

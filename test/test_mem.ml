@@ -1,0 +1,138 @@
+(* gem_mem: SRAM banking, set-associative cache behavior, DRAM/bus timing,
+   sparse main memory. *)
+
+open Gem_mem
+
+let test_sram_rw () =
+  let s = Sram.create ~banks:4 ~rows_per_bank:8 ~elems_per_row:16 in
+  Alcotest.(check int) "total rows" 32 (Sram.total_rows s);
+  Alcotest.(check int) "bank of row" 2 (Sram.bank_of_row s 17);
+  Sram.write_row s ~row:17 (Array.init 16 (fun i -> i));
+  Alcotest.(check int) "readback" 5 (Sram.read_elem s ~row:17 ~col:5);
+  (* Short writes zero-pad. *)
+  Sram.write_row s ~row:17 [| 9 |];
+  Alcotest.(check int) "pad wrote" 9 (Sram.read_elem s ~row:17 ~col:0);
+  Alcotest.(check int) "pad zeroed" 0 (Sram.read_elem s ~row:17 ~col:5);
+  Alcotest.check_raises "row bounds"
+    (Invalid_argument "Sram: row 32 out of range [0,32)") (fun () ->
+      ignore (Sram.read_row s ~row:32))
+
+let test_sram_accumulate () =
+  let s = Sram.create ~banks:1 ~rows_per_bank:4 ~elems_per_row:4 in
+  Sram.write_row s ~row:0 [| 10; 20; 30; 40 |];
+  Sram.accumulate_row s ~row:0 [| 1; 2; 3; 4 |];
+  Alcotest.(check (array int)) "accumulated" [| 11; 22; 33; 44 |] (Sram.read_row s ~row:0);
+  Sram.write_row s ~row:1 [| Gem_util.Fixed.int32_max; 0; 0; 0 |];
+  Sram.accumulate_row s ~row:1 [| 100; 0; 0; 0 |];
+  Alcotest.(check int) "saturates" Gem_util.Fixed.int32_max (Sram.read_row s ~row:1).(0)
+
+let test_cache_basics () =
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  Alcotest.(check int) "sets" 16 (Cache.sets c);
+  (match Cache.access c ~addr:0 ~write:false with
+  | Cache.Miss { writeback = false } -> ()
+  | _ -> Alcotest.fail "cold miss expected");
+  (match Cache.access c ~addr:32 ~write:false with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "same line should hit");
+  (* Fill one set past associativity: set 0 lines are multiples of 1024. *)
+  for i = 1 to 4 do
+    ignore (Cache.access c ~addr:(i * 1024) ~write:false)
+  done;
+  (match Cache.access c ~addr:0 ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "LRU line should have been evicted")
+
+let test_cache_lru_order () =
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  (* Touch lines A B C D, re-touch A, add E: victim must be B. *)
+  let line i = i * 1024 in
+  List.iter (fun i -> ignore (Cache.access c ~addr:(line i) ~write:false)) [ 0; 1; 2; 3 ];
+  ignore (Cache.access c ~addr:(line 0) ~write:false);
+  ignore (Cache.access c ~addr:(line 4) ~write:false);
+  Alcotest.(check bool) "A still resident" true (Cache.probe c ~addr:(line 0));
+  Alcotest.(check bool) "B evicted" false (Cache.probe c ~addr:(line 1))
+
+let test_cache_writeback () =
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  for i = 1 to 4 do
+    ignore (Cache.access c ~addr:(i * 1024) ~write:false)
+  done;
+  Alcotest.(check int) "one writeback of the dirty victim" 1 (Cache.writebacks c)
+
+let qcheck_cache_occupancy =
+  QCheck2.Test.make ~name:"cache occupancy never exceeds capacity, access implies resident"
+    ~count:50
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 50 300))
+    (fun (seed, n) ->
+      let c = Cache.create ~size_bytes:2048 ~ways:2 ~line_bytes:64 in
+      let rng = Gem_util.Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to n do
+        let addr = Gem_util.Rng.int rng 65536 in
+        let write = Gem_util.Rng.bool rng in
+        ignore (Cache.access c ~addr ~write);
+        if not (Cache.probe c ~addr) then ok := false;
+        if Cache.resident_lines c > 32 then ok := false
+      done;
+      !ok)
+
+let test_cache_range () =
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  let hits, misses, _ = Cache.access_range c ~addr:0 ~bytes:256 ~write:false in
+  Alcotest.(check (pair int int)) "4 cold lines" (0, 4) (hits, misses);
+  let hits, misses, _ = Cache.access_range c ~addr:32 ~bytes:64 ~write:false in
+  (* 32..96 overlaps lines 0 and 1, both resident. *)
+  Alcotest.(check (pair int int)) "warm range" (2, 0) (hits, misses)
+
+let test_dram_timing () =
+  let d = Dram.create ~latency:100 ~bytes_per_cycle:16 () in
+  let t1 = Dram.access d ~now:0 ~bytes:64 ~write:false in
+  Alcotest.(check int) "first access" 104 t1;
+  (* Second access queues behind the first's occupancy (4 cycles). *)
+  let t2 = Dram.access d ~now:0 ~bytes:64 ~write:false in
+  Alcotest.(check int) "queued access" 108 t2;
+  Alcotest.(check int) "bytes counted" 128 (Dram.bytes_read d)
+
+let test_bus () =
+  let b = Bus.create ~width_bytes:8 () in
+  Alcotest.(check int) "transfer time" 8 (Bus.transfer b ~now:0 ~bytes:64);
+  Alcotest.(check int) "second queues" 16 (Bus.transfer b ~now:0 ~bytes:64)
+
+let test_mainmem () =
+  let m = Mainmem.create () in
+  Alcotest.(check int) "untouched is zero" 0 (Mainmem.read_byte m ~addr:123456);
+  Mainmem.write_i8 m ~addr:100 (-5);
+  Alcotest.(check int) "i8 sign" (-5) (Mainmem.read_i8 m ~addr:100);
+  Mainmem.write_i32 m ~addr:200 (-123456789);
+  Alcotest.(check int) "i32 roundtrip" (-123456789) (Mainmem.read_i32 m ~addr:200);
+  (* Cross-page array roundtrip. *)
+  let data = Array.init 100 (fun i -> i - 50) in
+  Mainmem.write_i8_array m ~addr:4090 data;
+  Alcotest.(check (array int)) "cross-page array" data
+    (Mainmem.read_i8_array m ~addr:4090 ~n:100);
+  Alcotest.(check bool) "pages sparse" true (Mainmem.touched_pages m < 10)
+
+let qcheck_mainmem_i32 =
+  QCheck2.Test.make ~name:"mainmem i32 roundtrip (full range)" ~count:200
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range Gem_util.Fixed.int32_min Gem_util.Fixed.int32_max))
+    (fun (addr, v) ->
+      let m = Mainmem.create () in
+      Mainmem.write_i32 m ~addr v;
+      Mainmem.read_i32 m ~addr = v)
+
+let suite =
+  [
+    Alcotest.test_case "sram read/write" `Quick test_sram_rw;
+    Alcotest.test_case "sram accumulate" `Quick test_sram_accumulate;
+    Alcotest.test_case "cache basics" `Quick test_cache_basics;
+    Alcotest.test_case "cache LRU order" `Quick test_cache_lru_order;
+    Alcotest.test_case "cache writeback" `Quick test_cache_writeback;
+    Alcotest.test_case "cache range access" `Quick test_cache_range;
+    Alcotest.test_case "dram timing" `Quick test_dram_timing;
+    Alcotest.test_case "bus timing" `Quick test_bus;
+    Alcotest.test_case "main memory" `Quick test_mainmem;
+    QCheck_alcotest.to_alcotest qcheck_cache_occupancy;
+    QCheck_alcotest.to_alcotest qcheck_mainmem_i32;
+  ]

@@ -1,0 +1,133 @@
+(* gem_soc + controller integration: allocation, host access, fences,
+   multi-core interleaving and contention. *)
+
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+module Kernels = Gem_sw.Kernels
+
+let small_model = Gem_dnn.Model_zoo.(scale_model ~factor:8 squeezenet)
+let mode = Runtime.Accel { im2col_on_accel = true }
+
+let test_alloc_distinct () =
+  let soc = Soc.create Soc_config.dual_core in
+  let c0 = Soc.core soc 0 and c1 = Soc.core soc 1 in
+  let v0 = Soc.alloc soc c0 ~bytes:10000 in
+  let v1 = Soc.alloc soc c1 ~bytes:10000 in
+  (* Same or different VAs are fine (separate address spaces), but the
+     physical backing must differ. *)
+  let p0 = Option.get (Gem_vm.Page_table.translate (Soc.page_table c0) ~vaddr:v0) in
+  let p1 = Option.get (Gem_vm.Page_table.translate (Soc.page_table c1) ~vaddr:v1) in
+  Alcotest.(check bool) "distinct physical pages" true (abs (p0 - p1) >= 4096);
+  (* Two allocations on one core never overlap. *)
+  let v2 = Soc.alloc soc c0 ~bytes:4096 in
+  Alcotest.(check bool) "va grows" true (v2 >= v0 + 10000)
+
+let test_host_access_roundtrip () =
+  let soc = Soc.create (Soc_config.with_functional true Soc_config.default) in
+  let core = Soc.core soc 0 in
+  let va = Soc.alloc soc core ~bytes:9000 in
+  let data = Array.init 9000 (fun i -> (i mod 256) - 128) in
+  Soc.host_write_i8 soc core ~vaddr:va data;
+  Alcotest.(check (array int)) "i8 roundtrip across pages" data
+    (Soc.host_read_i8 soc core ~vaddr:va ~n:9000);
+  let words = Array.init 100 (fun i -> (i * 1_000_003) - 50_000_000) in
+  Soc.host_write_i32 soc core ~vaddr:(va + 4096) words;
+  Alcotest.(check (array int)) "i32 roundtrip" words
+    (Soc.host_read_i32 soc core ~vaddr:(va + 4096) ~n:100)
+
+let test_fence_drains () =
+  let soc = Soc.create Soc_config.default in
+  let core = Soc.core soc 0 in
+  let ctl = Soc.controller core in
+  let va = Soc.alloc soc core ~bytes:(1 lsl 16) in
+  let ops =
+    Kernels.matmul_ops Gemmini.Params.default ~a:va ~b:va ~out:(va + 32768)
+      ~m:64 ~k:64 ~n:64 ()
+    @ [ Kernels.fence ]
+  in
+  ignore (Soc.run_program soc core (List.to_seq ops));
+  (* After a fence, the issue cursor has caught up with all pipelines. *)
+  Alcotest.(check int) "now = finish after fence"
+    (Gemmini.Controller.finish_time ctl)
+    (Gemmini.Controller.now ctl)
+
+let test_controller_stats () =
+  let soc = Soc.create Soc_config.default in
+  let core = Soc.core soc 0 in
+  let va = Soc.alloc soc core ~bytes:(1 lsl 16) in
+  let ops =
+    Kernels.matmul_ops Gemmini.Params.default ~a:va ~b:va ~out:(va + 32768)
+      ~m:32 ~k:32 ~n:32 ()
+    @ [ Kernels.fence ]
+  in
+  ignore (Soc.run_program soc core (List.to_seq ops));
+  let s = Gemmini.Controller.stats (Soc.controller core) in
+  Alcotest.(check int) "macs counted" (32 * 32 * 32) s.Gemmini.Controller.macs;
+  Alcotest.(check int) "computes = 8 blocks" 8 s.Gemmini.Controller.computes;
+  Alcotest.(check bool) "loads happened" true (s.Gemmini.Controller.loads > 0);
+  Alcotest.(check bool) "stores happened" true (s.Gemmini.Controller.stores > 0);
+  Alcotest.(check bool) "utilization sane" true
+    (let u = Gemmini.Controller.utilization (Soc.controller core) in
+     u > 0. && u <= 1.
+
+     )
+
+let test_dual_core_contention () =
+  (* Two cores running the same workload on a shared memory system must
+     each be at least as slow as one core running alone, and the combined
+     DRAM traffic roughly doubles. *)
+  let solo_soc = Soc.create Soc_config.default in
+  let solo = Runtime.run solo_soc ~core:0 small_model ~mode in
+  let dual_soc = Soc.create Soc_config.dual_core in
+  let rs = Runtime.run_parallel dual_soc [| (small_model, mode); (small_model, mode) |] in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "contention slows cores" true
+        (r.Runtime.r_total_cycles >= solo.Runtime.r_total_cycles))
+    rs;
+  let solo_dram = Gem_mem.Dram.bytes_read (Soc.dram solo_soc) in
+  let dual_dram = Gem_mem.Dram.bytes_read (Soc.dram dual_soc) in
+  Alcotest.(check bool) "dual traffic > 1.5x solo" true
+    (float_of_int dual_dram > 1.5 *. float_of_int solo_dram)
+
+let test_parallel_single_equivalence () =
+  (* run_parallel with one program must agree with run_program. *)
+  let soc1 = Soc.create Soc_config.default in
+  let r1 = Runtime.run soc1 ~core:0 small_model ~mode in
+  let soc2 = Soc.create Soc_config.default in
+  let r2 = (Runtime.run_parallel soc2 [| (small_model, mode) |]).(0) in
+  Alcotest.(check int) "same cycles" r1.Runtime.r_total_cycles r2.Runtime.r_total_cycles
+
+let test_determinism () =
+  let run () =
+    let soc = Soc.create Soc_config.dual_core in
+    let rs = Runtime.run_parallel soc [| (small_model, mode); (small_model, mode) |] in
+    (rs.(0).Runtime.r_total_cycles, rs.(1).Runtime.r_total_cycles)
+  in
+  Alcotest.(check (pair int int)) "dual-core sim is deterministic" (run ()) (run ())
+
+let test_cpu_model_sanity () =
+  let open Gem_cpu.Cpu_model in
+  Alcotest.(check bool) "boom beats rocket" true
+    (conv_macs_cycles Boom ~macs:1000000 < conv_macs_cycles Rocket ~macs:1000000);
+  Alcotest.(check bool) "matmul cheaper than conv per mac" true
+    (matmul_macs_cycles Rocket ~macs:1000 < conv_macs_cycles Rocket ~macs:1000);
+  Alcotest.(check int) "im2col boom = rocket/2"
+    (im2col_cycles Rocket ~patch_elems:10000 / 2)
+    (im2col_cycles Boom ~patch_elems:10000);
+  Alcotest.(check bool) "baseline ordering matches MAC counts" true
+    (Runtime.cpu_only_cycles Rocket Gem_dnn.Model_zoo.resnet50
+     > Runtime.cpu_only_cycles Rocket Gem_dnn.Model_zoo.squeezenet)
+
+let suite =
+  [
+    Alcotest.test_case "allocation: distinct physical backing" `Quick test_alloc_distinct;
+    Alcotest.test_case "host access roundtrips" `Quick test_host_access_roundtrip;
+    Alcotest.test_case "fence drains pipelines" `Quick test_fence_drains;
+    Alcotest.test_case "controller statistics" `Quick test_controller_stats;
+    Alcotest.test_case "dual-core contention" `Quick test_dual_core_contention;
+    Alcotest.test_case "run_parallel == run for one core" `Quick test_parallel_single_equivalence;
+    Alcotest.test_case "multi-core determinism" `Quick test_determinism;
+    Alcotest.test_case "CPU cost model sanity" `Quick test_cpu_model_sanity;
+  ]

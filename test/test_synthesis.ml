@@ -1,0 +1,116 @@
+(* Synthesis model, parameter validation, header generation, floorplan:
+   the Fig. 3 ratio calibration and Fig. 6 breakdown are asserted here so
+   regressions in the tech model are caught immediately. *)
+
+module P = Gemmini.Params
+module S = Gemmini.Synthesis
+
+let within ~tolerance expected actual =
+  abs_float (actual -. expected) /. expected <= tolerance
+
+let test_fig3_ratios () =
+  let tpu = S.estimate ~host:S.No_host (P.tpu_like ~pes:256) in
+  let nvdla = S.estimate ~host:S.No_host (P.nvdla_like ~pes:256) in
+  let fr = tpu.S.fmax_ghz /. nvdla.S.fmax_ghz in
+  let ar = tpu.S.spatial_array_area_um2 /. nvdla.S.spatial_array_area_um2 in
+  let pr = tpu.S.power_mw /. nvdla.S.power_mw in
+  Alcotest.(check bool) (Printf.sprintf "fmax ratio %.2f ~ 2.7" fr) true (within ~tolerance:0.1 2.7 fr);
+  Alcotest.(check bool) (Printf.sprintf "area ratio %.2f ~ 1.8" ar) true (within ~tolerance:0.1 1.8 ar);
+  Alcotest.(check bool) (Printf.sprintf "power ratio %.2f ~ 3.0" pr) true (within ~tolerance:0.15 3.0 pr)
+
+let test_fig6_breakdown () =
+  let r = S.estimate ~host:S.Rocket P.default in
+  let share prefix = 100. *. S.component_area r prefix /. r.S.total_area_um2 in
+  Alcotest.(check bool) "array ~11.3%" true (within ~tolerance:0.15 11.3 (share "spatial array"));
+  Alcotest.(check bool) "scratchpad ~52.9%" true (within ~tolerance:0.1 52.9 (share "scratchpad"));
+  Alcotest.(check bool) "accumulator ~14.2%" true (within ~tolerance:0.1 14.2 (share "accumulator"));
+  Alcotest.(check bool) "cpu ~16.6%" true (within ~tolerance:0.1 16.6 (share "cpu"));
+  Alcotest.(check bool) "total ~1.03mm^2" true
+    (within ~tolerance:0.1 1.029e6 r.S.total_area_um2)
+
+let test_monotonicity () =
+  (* More PEs => more area; bigger tiles => lower fmax. *)
+  let a16 = (S.estimate ~host:S.No_host (P.tpu_like ~pes:256)).S.total_area_um2 in
+  let a32 = (S.estimate ~host:S.No_host (P.tpu_like ~pes:1024)).S.total_area_um2 in
+  Alcotest.(check bool) "area grows with PEs" true (a32 > a16);
+  let f t =
+    S.mesh_fmax_ghz
+      (P.validate_exn
+         { P.default with mesh_rows = 16 / t; mesh_cols = 16 / t; tile_rows = t; tile_cols = t })
+  in
+  Alcotest.(check bool) "fmax drops with tile size" true (f 1 > f 4 && f 4 > f 16)
+
+let test_node_scaling () =
+  let t = Gemmini.Tech.scale_to_node Gemmini.Tech.intel_22ffl ~factor:0.7 in
+  let small = S.estimate ~tech:t ~host:S.No_host P.default in
+  let base = S.estimate ~host:S.No_host P.default in
+  Alcotest.(check bool) "scaled node is smaller and faster" true
+    (small.S.total_area_um2 < base.S.total_area_um2 && small.S.fmax_ghz > base.S.fmax_ghz)
+
+let test_params_validation () =
+  let bad = { P.default with mesh_cols = 8 } in
+  (match P.validate bad with
+  | Error errs ->
+      Alcotest.(check bool) "square error" true
+        (List.exists (fun e -> String.length e > 0 && e.[0] = 's') errs)
+  | Ok () -> Alcotest.fail "non-square array accepted");
+  (match P.validate { P.default with sp_banks = 3 } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-pow2 banks accepted");
+  (match P.validate { P.default with input_type = Gemmini.Dtype.Fp32; acc_type = Gemmini.Dtype.Int32 } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "float inputs with int accumulator accepted")
+
+let test_derived_sizes () =
+  let p = P.default in
+  Alcotest.(check int) "dim" 16 (P.dim p);
+  Alcotest.(check int) "sp rows" 16384 (P.sp_rows p);
+  Alcotest.(check int) "acc rows" 1024 (P.acc_rows p);
+  Alcotest.(check int) "sp row bytes" 16 (P.sp_row_bytes p);
+  Alcotest.(check int) "acc row bytes" 64 (P.acc_row_bytes p)
+
+let test_header () =
+  let defines = Gemmini.Header_gen.defines P.default in
+  let get k = List.assoc k defines in
+  Alcotest.(check string) "DIM" "16" (get "DIM");
+  Alcotest.(check string) "BANK_NUM" "4" (get "BANK_NUM");
+  Alcotest.(check string) "BANK_ROWS" "4096" (get "BANK_ROWS");
+  Alcotest.(check string) "HAS_IM2COL" "1" (get "HAS_IM2COL");
+  Alcotest.(check string) "WS supported" "1" (get "DATAFLOW_WS");
+  let text = Gemmini.Header_gen.generate P.default in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("header contains " ^ needle) true (contains needle))
+    [ "#ifndef GEMMINI_PARAMS_H"; "typedef int8_t elem_t;"; "typedef int32_t acc_t;" ]
+
+let test_floorplan_render () =
+  let r = S.estimate P.default in
+  let s = Gemmini.Floorplan.render r in
+  Alcotest.(check bool) "non-empty" true (String.length s > 200)
+
+let test_dtype () =
+  let open Gemmini.Dtype in
+  Alcotest.(check int) "int8 bytes" 1 (bytes Int8);
+  Alcotest.(check int) "fp32 bits" 32 (bits Fp32);
+  Alcotest.(check bool) "fp32 float" true (is_float Fp32);
+  Alcotest.(check int) "saturate" 127 (saturate Int8 1000);
+  Alcotest.(check bool) "acc pairing" true (valid_acc_for ~input:Int8 ~acc:Int32);
+  Alcotest.(check bool) "bad pairing" false (valid_acc_for ~input:Int8 ~acc:Fp32)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 3 calibration ratios" `Quick test_fig3_ratios;
+    Alcotest.test_case "Fig. 6 area breakdown" `Quick test_fig6_breakdown;
+    Alcotest.test_case "area/fmax monotonicity" `Quick test_monotonicity;
+    Alcotest.test_case "node scaling" `Quick test_node_scaling;
+    Alcotest.test_case "parameter validation" `Quick test_params_validation;
+    Alcotest.test_case "derived sizes" `Quick test_derived_sizes;
+    Alcotest.test_case "header generation" `Quick test_header;
+    Alcotest.test_case "floorplan rendering" `Quick test_floorplan_render;
+    Alcotest.test_case "dtype" `Quick test_dtype;
+  ]
