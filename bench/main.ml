@@ -79,7 +79,7 @@ let micro () =
   let cache_access =
     Test.make ~name:"L2 cache access"
       (Staged.stage
-         (let c = Gem_mem.Cache.create ~size_bytes:(1 lsl 20) ~ways:16 ~line_bytes:64 in
+         (let c = Gem_mem.Cache.create ~size_bytes:(1 lsl 20) ~ways:16 ~line_bytes:64 () in
           let i = ref 0 in
           fun () ->
             i := !i + 64;
@@ -92,7 +92,41 @@ let micro () =
              (Gem_sw.Kernels.matmul_ops Gemmini.Params.default ~a:0x10000
                 ~b:0x20000 ~out:0x30000 ~m:128 ~k:128 ~n:128 ())))
   in
-  let tests = [ mesh_matmul; tlb_translate; cache_access; kernel_emit ] in
+  let engine_acquire =
+    (* The engine hot path every timed request goes through: resource
+       arbitration + clock high-water + the observing guard (quiet, the
+       common case). *)
+    Test.make ~name:"engine acquire (quiet hot path)"
+      (Staged.stage
+         (let open Gem_sim in
+          let e = Engine.create () in
+          let bus = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+          let i = ref 0 in
+          fun () ->
+            incr i;
+            ignore (Engine.acquire e bus ~now:!i ~occupancy:1)))
+  in
+  let engine_acquire_traced =
+    Test.make ~name:"engine acquire (tracing ring)"
+      (Staged.stage
+         (let open Gem_sim in
+          let e = Engine.create ~trace_capacity:1024 ~trace:true () in
+          let bus = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+          let i = ref 0 in
+          fun () ->
+            incr i;
+            ignore (Engine.acquire e bus ~now:!i ~occupancy:1)))
+  in
+  let tests =
+    [
+      mesh_matmul;
+      tlb_translate;
+      cache_access;
+      kernel_emit;
+      engine_acquire;
+      engine_acquire_traced;
+    ]
+  in
   let benchmark test =
     let instance = Toolkit.Instance.monotonic_clock in
     Benchmark.all

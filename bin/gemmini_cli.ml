@@ -91,7 +91,7 @@ let synth_cmd =
     Term.(const run $ params_term)
 
 let run_cmd =
-  let run p model scale im2col_on_accel =
+  let run p model scale im2col_on_accel profile =
     let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
     let soc =
       Soc.create
@@ -106,13 +106,27 @@ let run_cmd =
       (fun (k, c) ->
         Printf.printf "  %-12s %s cycles\n" (Gem_dnn.Layer.class_name k)
           (Gem_util.Table.fmt_int c))
-      (Runtime.cycles_by_class r)
+      (Runtime.cycles_by_class r);
+    if profile then begin
+      print_newline ();
+      Gem_util.Table.print
+        (Gem_sim.Engine.utilization_table (Soc.engine soc)
+           ~horizon:r.Runtime.r_total_cycles ())
+    end
   in
   let im2col =
     Arg.(value & opt bool true & info [ "accel-im2col" ] ~doc:"Use the hardware im2col block.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print the simulation engine's per-component utilization/wait \
+             table after the run.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a DNN inference on a single-core SoC.")
-    Term.(const run $ params_term $ model_term $ scale_term $ im2col)
+    Term.(const run $ params_term $ model_term $ scale_term $ im2col $ profile)
 
 let sweep_cmd =
   let run model scale =

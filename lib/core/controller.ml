@@ -38,13 +38,11 @@ type mutable_stats = {
   mutable macs : int;
   mutable host_cycles : int;
   mutable flushes : int;
-  mutable ld_busy : Time.cycles;
-  mutable ex_busy : Time.cycles;
-  mutable st_busy : Time.cycles;
 }
 
 type t = {
   p : Params.t;
+  engine : Engine.t;
   spad : Scratchpad.t;
   mesh : Mesh.t;
   dma : Dma.t;
@@ -60,13 +58,14 @@ type t = {
   mutable loop_outs : Isa.loop_outs option;
   mutable resident_b : Matrix.t option; (* WS: weights currently in PEs *)
   mutable os_acc : os_resident option; (* OS: results resident in PEs *)
-  (* pipeline clocks *)
+  (* The decoupled pipelines are engine-owned resources; their busy_until
+     is the old ld_free/ex_free/st_free. *)
+  ld_pipe : Resource.t;
+  ex_pipe : Resource.t;
+  st_pipe : Resource.t;
+  (* issue cursor and data-landing high-water marks *)
   mutable issue : Time.cycles;
-  mutable ld_free : Time.cycles;
-  mutable ex_free : Time.cycles;
-  mutable st_free : Time.cycles;
   mutable last_ld_finish : Time.cycles;
-  mutable last_ex_finish : Time.cycles;
   mutable last_st_finish : Time.cycles;
   rob : Time.cycles Queue.t;
   s : mutable_stats;
@@ -74,13 +73,45 @@ type t = {
 
 let flush_cost = 10
 
-let create ~params ~port ~tlb ~issue_cycles () =
+let create ?engine ?(name = "accel") ~params ~port ~tlb ~issue_cycles () =
   let p = Params.validate_exn params in
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let s =
+    {
+      insns = 0;
+      loop_micro_ops = 0;
+      loads = 0;
+      stores = 0;
+      computes = 0;
+      macs = 0;
+      host_cycles = 0;
+      flushes = 0;
+    }
+  in
+  Engine.register_probe engine ~kind:Engine.Host ~name:(name ^ "/host")
+    ~sample:(fun () ->
+      {
+        Engine.p_requests = s.insns;
+        p_busy = s.host_cycles;
+        p_wait = 0;
+        p_note =
+          Printf.sprintf "%s insns, %s loop micro-ops"
+            (Gem_util.Table.fmt_int s.insns)
+            (Gem_util.Table.fmt_int s.loop_micro_ops);
+      });
+  (* Explicit lets fix the registry order: pipes, then DMA, then the
+     scratchpad banks. *)
+  let ld_pipe = Engine.resource engine ~kind:Engine.Pipeline ~name:(name ^ "/ld") in
+  let ex_pipe = Engine.resource engine ~kind:Engine.Pipeline ~name:(name ^ "/mesh") in
+  let st_pipe = Engine.resource engine ~kind:Engine.Pipeline ~name:(name ^ "/st") in
+  let dma = Dma.create ~engine ~name:(name ^ "/dma") p ~port ~tlb in
+  let spad = Scratchpad.create ~engine ~name:(name ^ "/spad") p in
   {
     p;
-    spad = Scratchpad.create p;
+    engine;
+    spad;
     mesh = Mesh.create p;
-    dma = Dma.create p ~port ~tlb;
+    dma;
     functional = Option.is_some port.Dma.read_data;
     issue_cycles;
     ex_cfg =
@@ -100,31 +131,18 @@ let create ~params ~port ~tlb ~issue_cycles () =
     loop_outs = None;
     resident_b = None;
     os_acc = None;
+    ld_pipe;
+    ex_pipe;
+    st_pipe;
     issue = 0;
-    ld_free = 0;
-    ex_free = 0;
-    st_free = 0;
     last_ld_finish = 0;
-    last_ex_finish = 0;
     last_st_finish = 0;
     rob = Queue.create ();
-    s =
-      {
-        insns = 0;
-        loop_micro_ops = 0;
-        loads = 0;
-        stores = 0;
-        computes = 0;
-        macs = 0;
-        host_cycles = 0;
-        flushes = 0;
-        ld_busy = 0;
-        ex_busy = 0;
-        st_busy = 0;
-      };
+    s;
   }
 
 let params t = t.p
+let engine t = t.engine
 let scratchpad t = t.spad
 let dma t = t.dma
 let tlb t = Dma.tlb t.dma
@@ -132,8 +150,11 @@ let tlb t = Dma.tlb t.dma
 let now t = t.issue
 
 let finish_time t =
-  Mathx.imax3 t.last_ld_finish t.ex_free
-    (Mathx.imax3 t.last_st_finish t.st_free (max t.ld_free t.issue))
+  Mathx.imax3 t.last_ld_finish
+    (Resource.busy_until t.ex_pipe)
+    (Mathx.imax3 t.last_st_finish
+       (Resource.busy_until t.st_pipe)
+       (max (Resource.busy_until t.ld_pipe) t.issue))
 
 let set_issue_cycles t n = t.issue_cycles <- n
 
@@ -194,7 +215,7 @@ let do_mvin t (mv : Isa.mv) id =
   let eb = if cfg.shrunk then Dtype.bytes t.p.Params.input_type else elem_bytes t mv.Isa.local in
   let row_bytes = mv.Isa.cols * eb in
   let stride = cfg.stride in
-  let start = max t.issue t.ld_free in
+  let start = Resource.next_free t.ld_pipe ~now:t.issue in
   let tr =
     Dma.mvin t.dma ~now:start ~vaddr:mv.Isa.dram_addr ~stride_bytes:stride
       ~rows:mv.Isa.rows ~row_bytes
@@ -233,9 +254,8 @@ let do_mvin t (mv : Isa.mv) id =
         done)
       tr.Dma.rows_data
   end;
-  t.s.ld_busy <- t.s.ld_busy + (tr.Dma.engine_free - start);
   (* The engine streams on; only consumers of the data wait for it. *)
-  t.ld_free <- tr.Dma.engine_free;
+  Engine.occupy t.engine t.ld_pipe ~now:t.issue ~start ~until:tr.Dma.engine_free;
   t.last_ld_finish <- max t.last_ld_finish tr.Dma.finish;
   retire t tr.Dma.finish
 
@@ -259,9 +279,10 @@ let do_mvout t (mv : Isa.mv) =
   let stride = t.st_cfg.st_stride in
   (* Stores read data produced by computes (matmul C tiles) or by earlier
      loads (resadd accumulator contents), so they wait on both pipes. *)
-  let start =
-    Mathx.imax3 t.issue t.st_free (max t.last_ex_finish t.last_ld_finish)
+  let ready =
+    Mathx.imax3 t.issue (Resource.busy_until t.ex_pipe) t.last_ld_finish
   in
+  let start = Resource.next_free t.st_pipe ~now:ready in
   let engine_free, finish =
     if t.functional then begin
       let rows_data =
@@ -290,8 +311,7 @@ let do_mvout t (mv : Isa.mv) =
       Dma.mvout_timing_rows t.dma ~now:start ~vaddr:mv.Isa.dram_addr
         ~stride_bytes:stride ~rows:mv.Isa.rows ~row_bytes
   in
-  t.s.st_busy <- t.s.st_busy + (engine_free - start);
-  t.st_free <- engine_free;
+  Engine.occupy t.engine t.st_pipe ~now:ready ~start ~until:engine_free;
   t.last_st_finish <- max t.last_st_finish finish;
   retire t finish
 
@@ -345,10 +365,11 @@ let do_compute t (args : Isa.compute_args) ~preloaded =
         Mesh.pipelined_block_cycles t.p ~dataflow:`WS ~rows:a_rows ~k
           ~cols:out_cols ~preload:preloaded
       in
-      let start = Mathx.imax3 t.issue t.ex_free t.last_ld_finish in
-      t.ex_free <- start + cycles;
-      t.last_ex_finish <- t.ex_free;
-      t.s.ex_busy <- t.s.ex_busy + cycles;
+      let ex_done =
+        Engine.acquire t.engine t.ex_pipe
+          ~now:(max t.issue t.last_ld_finish)
+          ~occupancy:cycles
+      in
       t.s.macs <- t.s.macs + (a_rows * k * out_cols);
       if t.functional then begin
         let b =
@@ -386,7 +407,7 @@ let do_compute t (args : Isa.compute_args) ~preloaded =
           Scratchpad.write_block t.spad pl.pl_c result.Mesh.out
       end;
       if preloaded then t.preload <- Some { pl with pl_bd = Local_addr.garbage };
-      retire t t.ex_free
+      retire t ex_done
   | `OS ->
       let pl =
         match t.preload with
@@ -399,10 +420,11 @@ let do_compute t (args : Isa.compute_args) ~preloaded =
         Mesh.pipelined_block_cycles t.p ~dataflow:`OS ~rows:out_rows ~k
           ~cols:out_cols ~preload:false
       in
-      let start = Mathx.imax3 t.issue t.ex_free t.last_ld_finish in
-      t.ex_free <- start + cycles;
-      t.last_ex_finish <- t.ex_free;
-      t.s.ex_busy <- t.s.ex_busy + cycles;
+      let ex_done =
+        Engine.acquire t.engine t.ex_pipe
+          ~now:(max t.issue t.last_ld_finish)
+          ~occupancy:cycles
+      in
       t.s.macs <- t.s.macs + (out_rows * k * out_cols);
       if t.functional then begin
         let a = read_block_or_zeros t args.Isa.a ~rows:out_rows ~cols:k in
@@ -425,7 +447,7 @@ let do_compute t (args : Isa.compute_args) ~preloaded =
         let result = Mesh.run_matmul t.mesh ~dataflow:`OS ~a ~b ?d () in
         t.os_acc <- Some { os_data = result.Mesh.out; os_dest = pl.pl_c }
       end;
-      retire t t.ex_free
+      retire t ex_done
 
 let do_flush t =
   t.s.flushes <- t.s.flushes + 1;
@@ -730,9 +752,9 @@ let stats t =
     macs = t.s.macs;
     host_cycles = t.s.host_cycles;
     flushes = t.s.flushes;
-    ld_busy = t.s.ld_busy;
-    ex_busy = t.s.ex_busy;
-    st_busy = t.s.st_busy;
+    ld_busy = Resource.busy_cycles t.ld_pipe;
+    ex_busy = Resource.busy_cycles t.ex_pipe;
+    st_busy = Resource.busy_cycles t.st_pipe;
   }
 
 let utilization t =
@@ -744,11 +766,12 @@ let utilization t =
 
 let reset_time t =
   t.issue <- 0;
-  t.ld_free <- 0;
-  t.ex_free <- 0;
-  t.st_free <- 0;
+  (* Only this controller's own pipes rewind: the engine may be shared
+     with SoC-level resources whose history other cores still depend on. *)
+  Resource.reset t.ld_pipe;
+  Resource.reset t.ex_pipe;
+  Resource.reset t.st_pipe;
   t.last_ld_finish <- 0;
-  t.last_ex_finish <- 0;
   t.last_st_finish <- 0;
   Queue.clear t.rob;
   t.s.insns <- 0;
@@ -758,7 +781,4 @@ let reset_time t =
   t.s.computes <- 0;
   t.s.macs <- 0;
   t.s.host_cycles <- 0;
-  t.s.flushes <- 0;
-  t.s.ld_busy <- 0;
-  t.s.ex_busy <- 0;
-  t.s.st_busy <- 0
+  t.s.flushes <- 0

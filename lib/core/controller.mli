@@ -20,13 +20,25 @@
 type t
 
 val create :
+  ?engine:Gem_sim.Engine.t ->
+  ?name:string ->
   params:Params.t ->
   port:Dma.port ->
   tlb:Gem_vm.Hierarchy.t ->
   issue_cycles:int ->
   unit ->
   t
-(** [issue_cycles] is the host CPU's cost to dispatch one RoCC command. *)
+(** [issue_cycles] is the host CPU's cost to dispatch one RoCC command.
+
+    All pipeline timing lives in [engine] (a fresh private
+    {!Gem_sim.Engine} when none is supplied): the load / mesh / store
+    pipes register as resources [name ^ "/ld"], [name ^ "/mesh"] and
+    [name ^ "/st"], the scratchpad, DMA link and a host probe alongside
+    them. [name] defaults to ["accel"]. *)
+
+val engine : t -> Gem_sim.Engine.t
+(** The simulation context carrying this controller's clocks and
+    per-component statistics. *)
 
 val params : t -> Params.t
 val scratchpad : t -> Scratchpad.t
@@ -63,9 +75,9 @@ type stats = {
   macs : int;
   host_cycles : int;
   flushes : int;
-  ld_busy : Gem_sim.Time.cycles;
-  ex_busy : Gem_sim.Time.cycles;
-  st_busy : Gem_sim.Time.cycles;
+  ld_busy : Gem_sim.Time.cycles;  (** from the engine's ld-pipe resource *)
+  ex_busy : Gem_sim.Time.cycles;  (** from the engine's mesh-pipe resource *)
+  st_busy : Gem_sim.Time.cycles;  (** from the engine's st-pipe resource *)
 }
 
 val stats : t -> stats

@@ -20,20 +20,30 @@ type t = {
   p : Params.t;
   port : port;
   tlb : Gem_vm.Hierarchy.t;
+  engine : Engine.t;
   bus : Resource.t; (* the accelerator's private DMA link *)
-  mutable bytes_in : int;
-  mutable bytes_out : int;
+  bytes_in : int ref;
+  bytes_out : int ref;
   mutable row_requests : int;
 }
 
-let create p ~port ~tlb =
+let create ?engine ?(name = "dma") p ~port ~tlb =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let bytes_in = ref 0 and bytes_out = ref 0 in
+  let bus =
+    Engine.resource engine ~kind:Engine.Dma ~name ~note:(fun () ->
+        Printf.sprintf "%s B in, %s B out"
+          (Gem_util.Table.fmt_int !bytes_in)
+          (Gem_util.Table.fmt_int !bytes_out))
+  in
   {
     p = Params.validate_exn p;
     port;
     tlb;
-    bus = Resource.create ~name:"dma";
-    bytes_in = 0;
-    bytes_out = 0;
+    engine;
+    bus;
+    bytes_in;
+    bytes_out;
     row_requests = 0;
   }
 
@@ -65,7 +75,8 @@ let for_segments t ~now ~vaddr ~bytes ~write ~f =
     let outcome = Gem_vm.Hierarchy.translate t.tlb ~now:!cursor ~vaddr:!va ~write in
     let occupancy = Mathx.ceil_div seg t.p.Params.dma_bus_bytes in
     let bus_done =
-      Resource.acquire t.bus ~now:outcome.Gem_vm.Hierarchy.finish ~occupancy
+      Engine.acquire t.engine t.bus ~now:outcome.Gem_vm.Hierarchy.finish
+        ~occupancy
     in
     let seg_done = f ~now:bus_done ~vaddr:!va ~paddr:outcome.Gem_vm.Hierarchy.paddr ~bytes:seg in
     cursor := bus_done;
@@ -105,7 +116,16 @@ let mvin t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
     cursor := max !cursor row_cursor;
     finish := max !finish row_done
   done;
-  t.bytes_in <- t.bytes_in + (rows * row_bytes);
+  t.bytes_in := !(t.bytes_in) + (rows * row_bytes);
+  if Engine.observing t.engine then
+    Engine.emit t.engine
+      (Engine.Transfer
+         {
+           component = Resource.name t.bus;
+           time = now;
+           dir = `Read;
+           bytes = rows * row_bytes;
+         });
   { engine_free = !cursor; finish = !finish; rows_data }
 
 let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
@@ -129,7 +149,16 @@ let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
     cursor := max !cursor row_cursor;
     finish := max !finish row_done
   done;
-  t.bytes_out <- t.bytes_out + (rows * row_bytes);
+  t.bytes_out := !(t.bytes_out) + (rows * row_bytes);
+  if Engine.observing t.engine then
+    Engine.emit t.engine
+      (Engine.Transfer
+         {
+           component = Resource.name t.bus;
+           time = now;
+           dir = `Write;
+           bytes = rows * row_bytes;
+         });
   (!cursor, !finish)
 
 let mvout t ~now ~vaddr ~stride_bytes ~rows_data ~row_bytes =
@@ -139,12 +168,13 @@ let mvout t ~now ~vaddr ~stride_bytes ~rows_data ~row_bytes =
 let mvout_timing_rows t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
   mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data:None
 
-let bytes_in t = t.bytes_in
-let bytes_out t = t.bytes_out
+let bytes_in t = !(t.bytes_in)
+let bytes_out t = !(t.bytes_out)
 let row_requests t = t.row_requests
 let busy_cycles t = Resource.busy_cycles t.bus
+let bus t = t.bus
 
 let reset_stats t =
-  t.bytes_in <- 0;
-  t.bytes_out <- 0;
+  t.bytes_in := 0;
+  t.bytes_out := 0;
   t.row_requests <- 0

@@ -26,9 +26,21 @@ val null_port : port
 
 type t
 
-val create : Params.t -> port:port -> tlb:Gem_vm.Hierarchy.t -> t
+val create :
+  ?engine:Gem_sim.Engine.t ->
+  ?name:string ->
+  Params.t ->
+  port:port ->
+  tlb:Gem_vm.Hierarchy.t ->
+  t
+(** The DMA link registers itself in [engine]'s resource registry (fresh
+    private engine when none is supplied) and emits typed [Transfer]
+    events per burst when the engine is observing. *)
 
 val tlb : t -> Gem_vm.Hierarchy.t
+
+val bus : t -> Gem_sim.Resource.t
+(** The engine-registered DMA link resource. *)
 
 type transfer = {
   engine_free : Gem_sim.Time.cycles;

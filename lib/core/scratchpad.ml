@@ -1,20 +1,42 @@
 open Gem_mem
+open Gem_sim
 
 type t = { p : Params.t; sp : Sram.t; acc : Sram.t }
 
-let create p =
+let register_bank_probe engine ~name ~banks (sram : Sram.t) =
+  Engine.register_probe engine ~kind:Engine.Scratchpad ~name ~sample:(fun () ->
+      {
+        Engine.p_requests = Sram.reads sram + Sram.writes sram;
+        p_busy = 0;
+        p_wait = 0;
+        p_note =
+          Printf.sprintf "%d banks, %s reads, %s writes" banks
+            (Gem_util.Table.fmt_int (Sram.reads sram))
+            (Gem_util.Table.fmt_int (Sram.writes sram));
+      })
+
+let create ?engine ?(name = "spad") p =
   let p = Params.validate_exn p in
-  {
-    p;
-    sp =
-      Sram.create ~banks:p.Params.sp_banks
-        ~rows_per_bank:(Params.sp_rows_per_bank p)
-        ~elems_per_row:(Params.dim_cols p);
-    acc =
-      Sram.create ~banks:p.Params.acc_banks
-        ~rows_per_bank:(Params.acc_rows_per_bank p)
-        ~elems_per_row:(Params.dim_cols p);
-  }
+  let t =
+    {
+      p;
+      sp =
+        Sram.create ~banks:p.Params.sp_banks
+          ~rows_per_bank:(Params.sp_rows_per_bank p)
+          ~elems_per_row:(Params.dim_cols p);
+      acc =
+        Sram.create ~banks:p.Params.acc_banks
+          ~rows_per_bank:(Params.acc_rows_per_bank p)
+          ~elems_per_row:(Params.dim_cols p);
+    }
+  in
+  (match engine with
+  | None -> ()
+  | Some e ->
+      register_bank_probe e ~name ~banks:p.Params.sp_banks t.sp;
+      register_bank_probe e ~name:(name ^ "-acc") ~banks:p.Params.acc_banks
+        t.acc);
+  t
 
 let params t = t.p
 

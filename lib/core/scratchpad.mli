@@ -7,7 +7,9 @@
 
 type t
 
-val create : Params.t -> t
+val create : ?engine:Gem_sim.Engine.t -> ?name:string -> Params.t -> t
+(** When [engine] is given, the scratchpad and accumulator banks register
+    metrics probes ([name], [name ^ "-acc"]) in its registry. *)
 
 val params : t -> Params.t
 

@@ -2,25 +2,32 @@ open Gem_sim
 
 type t = {
   width_bytes : int;
+  engine : Engine.t;
   link : Resource.t;
-  mutable bytes_moved : int;
+  bytes_moved : int ref;
 }
 
-let create ?(name = "sysbus") ~width_bytes () =
+let create ?engine ?(name = "sysbus") ~width_bytes () =
   if width_bytes <= 0 then invalid_arg "Bus.create: width <= 0";
-  { width_bytes; link = Resource.create ~name; bytes_moved = 0 }
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let bytes_moved = ref 0 in
+  let link =
+    Engine.resource engine ~kind:Engine.Bus ~name ~note:(fun () ->
+        Printf.sprintf "%s bytes moved" (Gem_util.Table.fmt_int !bytes_moved))
+  in
+  { width_bytes; engine; link; bytes_moved }
 
 let width_bytes t = t.width_bytes
 
 let transfer t ~now ~bytes =
   if bytes < 0 then invalid_arg "Bus.transfer: negative size";
   let occupancy = Gem_util.Mathx.ceil_div (max bytes 1) t.width_bytes in
-  t.bytes_moved <- t.bytes_moved + bytes;
-  Resource.acquire t.link ~now ~occupancy
+  t.bytes_moved := !(t.bytes_moved) + bytes;
+  Engine.acquire t.engine t.link ~now ~occupancy
 
-let bytes_moved t = t.bytes_moved
+let bytes_moved t = !(t.bytes_moved)
 let busy_cycles t = Resource.busy_cycles t.link
 
 let reset t =
   Resource.reset t.link;
-  t.bytes_moved <- 0
+  t.bytes_moved := 0

@@ -5,7 +5,10 @@
 
 type t
 
-val create : ?name:string -> width_bytes:int -> unit -> t
+val create :
+  ?engine:Gem_sim.Engine.t -> ?name:string -> width_bytes:int -> unit -> t
+(** The link registers itself in [engine]'s resource registry (a fresh
+    private engine is created when none is supplied). *)
 
 val width_bytes : t -> int
 

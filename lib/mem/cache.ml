@@ -21,7 +21,9 @@ type t = {
 
 type result = Hit | Miss of { writeback : bool }
 
-let create ~size_bytes ~ways ~line_bytes =
+let hit_rate t = Stats.hit_rate ~hits:t.hits ~total:t.accesses
+
+let create ?engine ?(name = "cache") ~size_bytes ~ways ~line_bytes () =
   if size_bytes <= 0 || ways <= 0 || line_bytes <= 0 then
     invalid_arg "Cache.create: non-positive parameter";
   if not (Mathx.is_pow2 line_bytes) then
@@ -31,24 +33,43 @@ let create ~size_bytes ~ways ~line_bytes =
   let sets = size_bytes / (ways * line_bytes) in
   if not (Mathx.is_pow2 sets) then
     invalid_arg "Cache.create: set count must be a power of two";
-  {
-    size_bytes;
-    ways;
-    line_bytes;
-    sets;
-    set_shift = Mathx.log2_exact line_bytes;
-    set_mask = sets - 1;
-    tags = Array.make (sets * ways) (-1);
-    dirty = Array.make (sets * ways) false;
-    age = Array.make (sets * ways) 0;
-    clock = 0;
-    accesses = 0;
-    hits = 0;
-    misses = 0;
-    writebacks = 0;
-    read_misses = 0;
-    write_misses = 0;
-  }
+  let t =
+    {
+      size_bytes;
+      ways;
+      line_bytes;
+      sets;
+      set_shift = Mathx.log2_exact line_bytes;
+      set_mask = sets - 1;
+      tags = Array.make (sets * ways) (-1);
+      dirty = Array.make (sets * ways) false;
+      age = Array.make (sets * ways) 0;
+      clock = 0;
+      accesses = 0;
+      hits = 0;
+      misses = 0;
+      writebacks = 0;
+      read_misses = 0;
+      write_misses = 0;
+    }
+  in
+  (match engine with
+  | None -> ()
+  | Some e ->
+      (* The cache's timing is charged by whoever owns its port; it
+         registers as a metrics probe so hit behavior shows up in the
+         engine's profile next to the resources it drives. *)
+      Gem_sim.Engine.register_probe e ~kind:Gem_sim.Engine.Cache ~name
+        ~sample:(fun () ->
+          {
+            Gem_sim.Engine.p_requests = t.accesses;
+            p_busy = 0;
+            p_wait = 0;
+            p_note =
+              Printf.sprintf "%.1f%% hit, %d writebacks"
+                (100. *. hit_rate t) t.writebacks;
+          }));
+  t
 
 let size_bytes t = t.size_bytes
 let ways t = t.ways
@@ -145,7 +166,6 @@ let writebacks t = t.writebacks
 let read_misses t = t.read_misses
 let write_misses t = t.write_misses
 
-let hit_rate t = Stats.hit_rate ~hits:t.hits ~total:t.accesses
 let miss_rate t = Stats.hit_rate ~hits:t.misses ~total:t.accesses
 
 let reset_stats t =

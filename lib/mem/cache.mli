@@ -14,9 +14,18 @@ type result =
       (** [writeback] is true when the victim line was dirty and must be
           written back to DRAM. *)
 
-val create : size_bytes:int -> ways:int -> line_bytes:int -> t
+val create :
+  ?engine:Gem_sim.Engine.t ->
+  ?name:string ->
+  size_bytes:int ->
+  ways:int ->
+  line_bytes:int ->
+  unit ->
+  t
 (** [size_bytes] must be divisible by [ways * line_bytes] and the number of
-    sets must be a power of two. *)
+    sets must be a power of two. When [engine] is given, the cache
+    registers a metrics probe (accesses, hit rate, writebacks) in its
+    registry; timing stays with the owner of the cache's port resource. *)
 
 val size_bytes : t -> int
 val ways : t -> int

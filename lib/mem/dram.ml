@@ -3,21 +3,24 @@ open Gem_sim
 type t = {
   latency : Time.cycles;
   bytes_per_cycle : int;
+  engine : Engine.t;
   channel : Resource.t;
-  mutable bytes_read : int;
-  mutable bytes_written : int;
+  bytes_read : int ref;
+  bytes_written : int ref;
 }
 
-let create ?(name = "dram") ~latency ~bytes_per_cycle () =
+let create ?engine ?(name = "dram") ~latency ~bytes_per_cycle () =
   if latency < 0 then invalid_arg "Dram.create: negative latency";
   if bytes_per_cycle <= 0 then invalid_arg "Dram.create: bandwidth <= 0";
-  {
-    latency;
-    bytes_per_cycle;
-    channel = Resource.create ~name;
-    bytes_read = 0;
-    bytes_written = 0;
-  }
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let bytes_read = ref 0 and bytes_written = ref 0 in
+  let channel =
+    Engine.resource engine ~kind:Engine.Dram ~name ~note:(fun () ->
+        Printf.sprintf "%s B read, %s B written"
+          (Gem_util.Table.fmt_int !bytes_read)
+          (Gem_util.Table.fmt_int !bytes_written))
+  in
+  { latency; bytes_per_cycle; engine; channel; bytes_read; bytes_written }
 
 let latency t = t.latency
 let bytes_per_cycle t = t.bytes_per_cycle
@@ -25,17 +28,26 @@ let bytes_per_cycle t = t.bytes_per_cycle
 let access t ~now ~bytes ~write =
   if bytes < 0 then invalid_arg "Dram.access: negative size";
   let occupancy = Gem_util.Mathx.ceil_div (max bytes 1) t.bytes_per_cycle in
-  let service_done = Resource.acquire t.channel ~now ~occupancy in
-  if write then t.bytes_written <- t.bytes_written + bytes
-  else t.bytes_read <- t.bytes_read + bytes;
+  let service_done = Engine.acquire t.engine t.channel ~now ~occupancy in
+  if write then t.bytes_written := !(t.bytes_written) + bytes
+  else t.bytes_read := !(t.bytes_read) + bytes;
+  if Engine.observing t.engine then
+    Engine.emit t.engine
+      (Engine.Transfer
+         {
+           component = Resource.name t.channel;
+           time = now;
+           dir = (if write then `Write else `Read);
+           bytes;
+         });
   service_done + t.latency
 
-let bytes_read t = t.bytes_read
-let bytes_written t = t.bytes_written
+let bytes_read t = !(t.bytes_read)
+let bytes_written t = !(t.bytes_written)
 let requests t = Resource.requests t.channel
 let busy_cycles t = Resource.busy_cycles t.channel
 
 let reset t =
   Resource.reset t.channel;
-  t.bytes_read <- 0;
-  t.bytes_written <- 0
+  t.bytes_read := 0;
+  t.bytes_written := 0

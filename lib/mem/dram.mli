@@ -10,7 +10,15 @@
 
 type t
 
-val create : ?name:string -> latency:Gem_sim.Time.cycles -> bytes_per_cycle:int -> unit -> t
+val create :
+  ?engine:Gem_sim.Engine.t ->
+  ?name:string ->
+  latency:Gem_sim.Time.cycles ->
+  bytes_per_cycle:int ->
+  unit ->
+  t
+(** The channel registers itself in [engine]'s resource registry (a fresh
+    private engine is created when none is supplied). *)
 
 val latency : t -> Gem_sim.Time.cycles
 val bytes_per_cycle : t -> int

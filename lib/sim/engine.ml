@@ -1,0 +1,256 @@
+type kind =
+  | Bus
+  | Dram
+  | Cache
+  | Scratchpad
+  | Tlb
+  | Ptw
+  | Dma
+  | Pipeline
+  | Host
+
+let kind_label = function
+  | Bus -> "bus"
+  | Dram -> "dram"
+  | Cache -> "cache"
+  | Scratchpad -> "scratchpad"
+  | Tlb -> "tlb"
+  | Ptw -> "ptw"
+  | Dma -> "dma"
+  | Pipeline -> "pipeline"
+  | Host -> "host"
+
+type event =
+  | Acquire of {
+      component : string;
+      time : Time.cycles;
+      start : Time.cycles;
+      finish : Time.cycles;
+    }
+  | Transfer of {
+      component : string;
+      time : Time.cycles;
+      dir : [ `Read | `Write ];
+      bytes : int;
+    }
+  | Translate of { component : string; time : Time.cycles; level : string }
+  | Note of { component : string; time : Time.cycles; detail : string }
+
+let event_time = function
+  | Acquire { time; _ } | Transfer { time; _ } | Translate { time; _ }
+  | Note { time; _ } ->
+      time
+
+let event_component = function
+  | Acquire { component; _ } | Transfer { component; _ }
+  | Translate { component; _ } | Note { component; _ } ->
+      component
+
+let pp_event fmt = function
+  | Acquire { component; time; start; finish } ->
+      Format.fprintf fmt "[%a] %-16s acquire start=%a finish=%a" Time.pp time
+        component Time.pp start Time.pp finish
+  | Transfer { component; time; dir; bytes } ->
+      Format.fprintf fmt "[%a] %-16s %s %d bytes" Time.pp time component
+        (match dir with `Read -> "read" | `Write -> "write")
+        bytes
+  | Translate { component; time; level } ->
+      Format.fprintf fmt "[%a] %-16s translate via %s" Time.pp time component
+        level
+  | Note { component; time; detail } ->
+      Format.fprintf fmt "[%a] %-16s %s" Time.pp time component detail
+
+type sample = {
+  p_requests : int;
+  p_busy : Time.cycles;
+  p_wait : Time.cycles;
+  p_note : string;
+}
+
+type stat = {
+  stat_name : string;
+  stat_kind : kind;
+  stat_requests : int;
+  stat_busy : Time.cycles;
+  stat_wait : Time.cycles;
+  stat_note : string;
+}
+
+type impl =
+  | Owned of { res : Resource.t; note : unit -> string }
+  | Probe of (unit -> sample)
+
+type entry = { e_name : string; e_kind : kind; e_impl : impl }
+
+type t = {
+  mutable clock : Time.cycles;
+  mutable entries : entry list; (* reversed registration order *)
+  name_counts : (string, int) Hashtbl.t;
+  capacity : int;
+  ring : event option array;
+  mutable next : int;
+  mutable total : int;
+  mutable trace_on : bool;
+  mutable sinks : (event -> unit) list;
+}
+
+let create ?(trace_capacity = 4096) ?(trace = false) () =
+  if trace_capacity <= 0 then invalid_arg "Engine.create: capacity <= 0";
+  {
+    clock = Time.zero;
+    entries = [];
+    name_counts = Hashtbl.create 16;
+    capacity = trace_capacity;
+    ring = Array.make trace_capacity None;
+    next = 0;
+    total = 0;
+    trace_on = trace;
+    sinks = [];
+  }
+
+(* --- registry ------------------------------------------------------------ *)
+
+let unique_name t name =
+  match Hashtbl.find_opt t.name_counts name with
+  | None ->
+      Hashtbl.replace t.name_counts name 1;
+      name
+  | Some n ->
+      Hashtbl.replace t.name_counts name (n + 1);
+      Printf.sprintf "%s#%d" name (n + 1)
+
+let no_note () = ""
+
+let resource ?(note = no_note) t ~kind ~name =
+  let name = unique_name t name in
+  let res = Resource.create ~name in
+  t.entries <- { e_name = name; e_kind = kind; e_impl = Owned { res; note } } :: t.entries;
+  res
+
+let register_probe t ~kind ~name ~sample =
+  let name = unique_name t name in
+  t.entries <- { e_name = name; e_kind = kind; e_impl = Probe sample } :: t.entries
+
+let components t =
+  List.rev_map (fun e -> (e.e_name, e.e_kind)) t.entries
+
+(* --- clock and events ---------------------------------------------------- *)
+
+let now t = t.clock
+let observe t time = if time > t.clock then t.clock <- time
+
+let tracing t = t.trace_on
+let set_tracing t b = t.trace_on <- b
+let observing t = t.trace_on || t.sinks <> []
+let add_sink t f = t.sinks <- t.sinks @ [ f ]
+
+let emit t event =
+  observe t (event_time event);
+  if t.trace_on then begin
+    t.ring.(t.next) <- Some event;
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end;
+  List.iter (fun sink -> sink event) t.sinks
+
+let events t =
+  let out = ref [] in
+  for i = 0 to t.capacity - 1 do
+    let idx = (t.next + t.capacity - 1 - i) mod t.capacity in
+    match t.ring.(idx) with Some e -> out := e :: !out | None -> ()
+  done;
+  !out
+
+let event_count t = t.total
+
+(* --- timing -------------------------------------------------------------- *)
+
+let acquire t res ~now ~occupancy =
+  let finish = Resource.acquire res ~now ~occupancy in
+  observe t finish;
+  if observing t then
+    emit t
+      (Acquire
+         {
+           component = Resource.name res;
+           time = now;
+           start = finish - occupancy;
+           finish;
+         });
+  finish
+
+let next_free _t res ~now = Resource.next_free res ~now
+
+let occupy t res ~now ~start ~until =
+  Resource.occupy_until res ~now ~start ~until;
+  observe t until;
+  if observing t then
+    emit t
+      (Acquire { component = Resource.name res; time = now; start; finish = until })
+
+(* --- metrics ------------------------------------------------------------- *)
+
+let stat_of_entry e =
+  match e.e_impl with
+  | Owned { res; note } ->
+      {
+        stat_name = e.e_name;
+        stat_kind = e.e_kind;
+        stat_requests = Resource.requests res;
+        stat_busy = Resource.busy_cycles res;
+        stat_wait = Resource.wait_cycles res;
+        stat_note = note ();
+      }
+  | Probe sample ->
+      let s = sample () in
+      {
+        stat_name = e.e_name;
+        stat_kind = e.e_kind;
+        stat_requests = s.p_requests;
+        stat_busy = s.p_busy;
+        stat_wait = s.p_wait;
+        stat_note = s.p_note;
+      }
+
+let stats t = List.rev_map stat_of_entry t.entries
+
+let horizon t = t.clock
+
+let utilization_table t ?horizon:h () =
+  let module Table = Gem_util.Table in
+  let horizon = match h with Some h -> h | None -> t.clock in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "Engine profile (horizon = %s cycles)"
+           (Table.fmt_int horizon))
+      [ "Component"; "Kind"; "Requests"; "Busy"; "Wait"; "Util"; "Detail" ]
+  in
+  List.iter (fun i -> Table.set_align tbl i Table.Right) [ 2; 3; 4; 5 ];
+  List.iter
+    (fun s ->
+      let util =
+        if horizon <= 0 then 0.
+        else 100. *. float_of_int s.stat_busy /. float_of_int horizon
+      in
+      Table.add_row tbl
+        [
+          s.stat_name;
+          kind_label s.stat_kind;
+          Table.fmt_int s.stat_requests;
+          Table.fmt_int s.stat_busy;
+          Table.fmt_int s.stat_wait;
+          Table.fmt_pct util;
+          s.stat_note;
+        ])
+    (stats t);
+  tbl
+
+let reset t =
+  t.clock <- Time.zero;
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0;
+  List.iter
+    (fun e -> match e.e_impl with Owned { res; _ } -> Resource.reset res | Probe _ -> ())
+    t.entries

@@ -1,0 +1,161 @@
+(** The simulation engine: one shared substrate for timing and
+    observability.
+
+    An [Engine.t] is the simulation context every layer of the stack hangs
+    off. It owns
+    - the {e clock}: a high-water mark of simulated time observed across
+      all components;
+    - a named {e resource registry}: every bus, DRAM channel, cache port,
+      scratchpad bank, page-table walker and mesh pipeline registers
+      itself at construction, either as an engine-{e owned}
+      {!Resource.t} (serially-occupied, timing-bearing) or as a {e probe}
+      (a pure statistics sampler for components whose timing is charged
+      elsewhere);
+    - a {e typed event stream}: components emit structured {!event}s at
+      their boundaries instead of ad-hoc string traces, kept in a bounded
+      ring and fanned out to pluggable sinks;
+    - {e metric sinks}: per-component busy/wait/utilization counters
+      aggregated on demand into {!stat} rows or a rendered table (the
+      "where did the cycles go" view behind [gemmini_cli --profile]).
+
+    Components that are constructed without an engine get a fresh private
+    one, so unit tests of a single layer need no ceremony; an SoC creates
+    one engine and threads it through every core, memory and TLB so that
+    contention and attribution are consistent across the whole stack. *)
+
+type t
+
+(** What a registered component is, for grouping and display. *)
+type kind =
+  | Bus
+  | Dram
+  | Cache
+  | Scratchpad
+  | Tlb
+  | Ptw
+  | Dma
+  | Pipeline
+  | Host
+
+val kind_label : kind -> string
+
+(** Typed events emitted at component boundaries. *)
+type event =
+  | Acquire of {
+      component : string;
+      time : Time.cycles;  (** when the request was made *)
+      start : Time.cycles;  (** when service began (>= time if queued) *)
+      finish : Time.cycles;  (** when service completed *)
+    }
+  | Transfer of {
+      component : string;
+      time : Time.cycles;
+      dir : [ `Read | `Write ];
+      bytes : int;
+    }
+  | Translate of { component : string; time : Time.cycles; level : string }
+  | Note of { component : string; time : Time.cycles; detail : string }
+
+val event_time : event -> Time.cycles
+val event_component : event -> string
+val pp_event : Format.formatter -> event -> unit
+
+(** A probe's answer when sampled. *)
+type sample = {
+  p_requests : int;
+  p_busy : Time.cycles;
+  p_wait : Time.cycles;
+  p_note : string;
+}
+
+(** One aggregated metric row. *)
+type stat = {
+  stat_name : string;
+  stat_kind : kind;
+  stat_requests : int;
+  stat_busy : Time.cycles;
+  stat_wait : Time.cycles;
+  stat_note : string;
+}
+
+val create : ?trace_capacity:int -> ?trace:bool -> unit -> t
+(** A fresh context. Event tracing is off by default; the ring keeps the
+    most recent [trace_capacity] (default 4096) events when on. *)
+
+(* --- registry ---------------------------------------------------------- *)
+
+val resource : ?note:(unit -> string) -> t -> kind:kind -> name:string -> Resource.t
+(** Registers and returns an engine-owned resource. Registered names are
+    unique: a colliding [name] is deterministically suffixed ([name#2],
+    [name#3], ...). [note] supplies free-form detail for reports. *)
+
+val register_probe : t -> kind:kind -> name:string -> sample:(unit -> sample) -> unit
+(** Registers a statistics-only component. Probes appear in {!stats} and
+    the utilization table but own no timing state; {!reset} does not touch
+    the external state they sample. *)
+
+val components : t -> (string * kind) list
+(** Registered components in registration order. *)
+
+(* --- timing ------------------------------------------------------------ *)
+
+val acquire :
+  t -> Resource.t -> now:Time.cycles -> occupancy:Time.cycles -> Time.cycles
+(** {!Resource.acquire} plus clock advance and an [Acquire] event. This is
+    the one-call path for requests whose occupancy is known up front. *)
+
+val next_free : t -> Resource.t -> now:Time.cycles -> Time.cycles
+(** When a request arriving at [now] could start service. Pure query: no
+    counters move. Pair with {!occupy} for requests whose duration is only
+    known after downstream simulation (e.g. a DMA burst). *)
+
+val occupy :
+  t -> Resource.t -> now:Time.cycles -> start:Time.cycles -> until:Time.cycles -> unit
+(** Commits a reservation computed via {!next_free}: charges
+    [start - now] wait and [until - start] busy cycles, advances the
+    resource and the clock, and emits an [Acquire] event. *)
+
+(* --- clock ------------------------------------------------------------- *)
+
+val now : t -> Time.cycles
+(** High-water mark of simulated time observed by the engine. *)
+
+val observe : t -> Time.cycles -> unit
+(** Advances the clock to [max (now t) time]. *)
+
+(* --- events ------------------------------------------------------------ *)
+
+val tracing : t -> bool
+val set_tracing : t -> bool -> unit
+
+val observing : t -> bool
+(** True when emitted events go anywhere (tracing on or sinks attached);
+    components use this to skip event construction on the hot path. *)
+
+val emit : t -> event -> unit
+(** Feeds the sinks, and the ring when tracing. Advances the clock. *)
+
+val add_sink : t -> (event -> unit) -> unit
+(** Sinks see every event from registration on, regardless of tracing. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val event_count : t -> int
+(** Total events recorded while tracing (including overwritten ones). *)
+
+(* --- metrics ----------------------------------------------------------- *)
+
+val stats : t -> stat list
+(** One row per registered component, in registration order. *)
+
+val horizon : t -> Time.cycles
+(** Alias of {!now}: the denominator for utilization. *)
+
+val utilization_table : t -> ?horizon:Time.cycles -> unit -> Gem_util.Table.t
+(** Per-component utilization/wait table ready for printing. [horizon]
+    defaults to the engine clock. *)
+
+val reset : t -> unit
+(** Rewind the clock, clear the ring and reset every owned resource.
+    Registrations, sinks and probe targets survive. *)

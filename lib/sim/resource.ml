@@ -15,10 +15,27 @@ let acquire t ~now ~occupancy =
   if occupancy < 0 then invalid_arg "Resource.acquire: negative occupancy";
   let start = max now t.busy_until in
   t.wait_cycles <- t.wait_cycles + (start - now);
-  t.busy_until <- start + occupancy;
-  t.busy_cycles <- t.busy_cycles + occupancy;
   t.requests <- t.requests + 1;
-  t.busy_until
+  (* A zero-occupancy request is a probe of the service slot: it must not
+     advance [busy_until], or a later probe would make earlier-in-time
+     requesters queue behind simulated time that was never occupied. *)
+  if occupancy > 0 then begin
+    t.busy_until <- start + occupancy;
+    t.busy_cycles <- t.busy_cycles + occupancy
+  end;
+  start + occupancy
+
+let next_free t ~now = max now t.busy_until
+
+let occupy_until t ~now ~start ~until =
+  if start < now then invalid_arg "Resource.occupy_until: start before now";
+  if until < start then invalid_arg "Resource.occupy_until: until before start";
+  t.wait_cycles <- t.wait_cycles + (start - now);
+  t.requests <- t.requests + 1;
+  if until > start then begin
+    t.busy_cycles <- t.busy_cycles + (until - start);
+    if until > t.busy_until then t.busy_until <- until
+  end
 
 let busy_until t = t.busy_until
 let busy_cycles t = t.busy_cycles

@@ -15,7 +15,19 @@ val name : t -> string
 
 val acquire : t -> now:Time.cycles -> occupancy:Time.cycles -> Time.cycles
 (** [acquire t ~now ~occupancy] reserves the resource and returns the
-    completion time. Requires [occupancy >= 0]. *)
+    completion time. Requires [occupancy >= 0]. A zero-occupancy request
+    returns its service-slot time ([max now busy_until]) and counts as a
+    request, but never advances [busy_until] or [busy_cycles]. *)
+
+val next_free : t -> now:Time.cycles -> Time.cycles
+(** When a request arriving at [now] could start service:
+    [max now busy_until]. Pure query, no statistics side effects. *)
+
+val occupy_until : t -> now:Time.cycles -> start:Time.cycles -> until:Time.cycles -> unit
+(** Commits a reservation whose duration was computed externally (after a
+    {!next_free} query): charges [start - now] wait and [until - start]
+    busy cycles and advances [busy_until] to at least [until]. Requires
+    [now <= start <= until]. *)
 
 val busy_until : t -> Time.cycles
 

@@ -23,7 +23,10 @@ let record t ~time ~tag detail =
   end
 
 let recordf t ~time ~tag fmt =
-  Printf.ksprintf (fun s -> record t ~time ~tag s) fmt
+  (* Only format when enabled: ksprintf would eagerly build the string and
+     then drop it inside [record]. *)
+  if t.enabled then Printf.ksprintf (fun s -> record t ~time ~tag s) fmt
+  else Printf.ikfprintf ignore () fmt
 
 let events t =
   let out = ref [] in

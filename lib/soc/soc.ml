@@ -13,6 +13,7 @@ type core = {
 
 type t = {
   cfg : Soc_config.t;
+  engine : Engine.t; (* one simulation context for the whole chip *)
   l2 : Cache.t;
   l2_port : Resource.t;
   dram : Dram.t;
@@ -39,7 +40,7 @@ let mem_access soc ~now ~paddr ~bytes ~write =
   for ln = first to last do
     let addr = ln * line in
     let port_done =
-      Resource.acquire soc.l2_port ~now
+      Engine.acquire soc.engine soc.l2_port ~now
         ~occupancy:(Mathx.ceil_div line cfg.Soc_config.l2_port_bytes)
     in
     let line_done =
@@ -81,16 +82,25 @@ let create cfg =
   | Ok () -> ()
   | Error errs -> invalid_arg ("Soc: " ^ String.concat "; " errs));
   let n = List.length cfg.Soc_config.cores in
+  let engine = Engine.create () in
+  (* Explicit lets fix the registry (and hence profile) order: shared
+     memory system first, then each core's components. *)
+  let l2 =
+    Cache.create ~engine ~name:"l2" ~size_bytes:cfg.Soc_config.l2_size_bytes
+      ~ways:cfg.Soc_config.l2_ways ~line_bytes:cfg.Soc_config.l2_line_bytes ()
+  in
+  let l2_port = Engine.resource engine ~kind:Engine.Cache ~name:"l2-port" in
+  let dram =
+    Dram.create ~engine ~latency:cfg.Soc_config.dram_latency
+      ~bytes_per_cycle:cfg.Soc_config.dram_bytes_per_cycle ()
+  in
   let soc =
     {
       cfg;
-      l2 =
-        Cache.create ~size_bytes:cfg.Soc_config.l2_size_bytes
-          ~ways:cfg.Soc_config.l2_ways ~line_bytes:cfg.Soc_config.l2_line_bytes;
-      l2_port = Resource.create ~name:"l2-port";
-      dram =
-        Dram.create ~latency:cfg.Soc_config.dram_latency
-          ~bytes_per_cycle:cfg.Soc_config.dram_bytes_per_cycle ();
+      engine;
+      l2;
+      l2_port;
+      dram;
       mainmem = (if cfg.Soc_config.functional then Some (Mainmem.create ()) else None);
       cores_arr = [||];
       next_paddr = data_base n;
@@ -104,17 +114,22 @@ let create cfg =
           Gem_vm.Page_table.create ~node_region_base:(pt_region_base i) ()
         in
         let ptw =
-          Gem_vm.Ptw.create
-            ~name:(Printf.sprintf "ptw%d" i)
+          Gem_vm.Ptw.create ~engine:soc.engine
+            ~name:(Printf.sprintf "core%d/ptw" i)
             ~page_table
             ~mem_read:(fun ~now ~paddr ~bytes ->
               mem_access soc ~now ~paddr ~bytes ~write:false)
             ()
         in
-        let hierarchy = Gem_vm.Hierarchy.create cc.Soc_config.tlb ~ptw in
+        let hierarchy =
+          Gem_vm.Hierarchy.create ~engine:soc.engine
+            ~name:(Printf.sprintf "core%d/tlb" i)
+            cc.Soc_config.tlb ~ptw
+        in
         let controller =
-          Gemmini.Controller.create ~params:cc.Soc_config.accel ~port
-            ~tlb:hierarchy
+          Gemmini.Controller.create ~engine:soc.engine
+            ~name:(Printf.sprintf "core%d" i)
+            ~params:cc.Soc_config.accel ~port ~tlb:hierarchy
             ~issue_cycles:(Gem_cpu.Cpu_model.issue_cycles cc.Soc_config.cpu)
             ()
         in
@@ -132,6 +147,7 @@ let create cfg =
   soc
 
 let config t = t.cfg
+let engine t = t.engine
 let cores t = t.cores_arr
 let core t i = t.cores_arr.(i)
 let l2 t = t.l2

@@ -12,6 +12,14 @@ type t
 type core
 
 val create : Soc_config.t -> t
+(** Elaborates the SoC around a single {!Gem_sim.Engine}: every timed
+    component (L2 port, DRAM channel, per-core pipelines, DMA links,
+    PTWs) registers in its resource registry, so one registry describes
+    the whole chip. *)
+
+val engine : t -> Gem_sim.Engine.t
+(** The chip-wide simulation context; [Gem_sim.Engine.stats] /
+    [utilization_table] give the per-component profile. *)
 
 val config : t -> Soc_config.t
 val cores : t -> core array

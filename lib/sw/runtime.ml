@@ -23,6 +23,7 @@ type result = {
   r_core : int;
   r_total_cycles : Gem_sim.Time.cycles;
   r_layers : layer_record list;
+  r_profile : Gem_sim.Engine.stat list;
 }
 
 let cycles_by_class r =
@@ -321,13 +322,14 @@ let plan_ops soc core model ~mode ~records =
     (fun idx -> List.to_seq (emit_layer idx))
     (Seq.init n (fun i -> i))
 
-let make_result core_id model mode records total =
+let make_result soc core_id model mode records total =
   {
     r_model = model.Layer.model_name;
     r_mode = mode_desc mode;
     r_core = core_id;
     r_total_cycles = total;
     r_layers = List.rev records;
+    r_profile = Gem_sim.Engine.stats (Soc.engine soc);
   }
 
 let run soc ~core:core_idx model ~mode =
@@ -335,7 +337,7 @@ let run soc ~core:core_idx model ~mode =
   let records = ref [] in
   let ops = plan_ops soc core model ~mode ~records in
   let total = Soc.run_program soc core ops in
-  make_result core_idx model mode !records total
+  make_result soc core_idx model mode !records total
 
 let run_parallel soc jobs =
   let programs =
@@ -351,7 +353,7 @@ let run_parallel soc jobs =
   Array.mapi
     (fun i (model, mode) ->
       let records, _ = programs.(i) in
-      make_result i model mode !records finishes.(i))
+      make_result soc i model mode !records finishes.(i))
     jobs
 
 (* --- functional execution and the golden model ------------------------------- *)

@@ -34,6 +34,9 @@ type result = {
   r_core : int;
   r_total_cycles : Gem_sim.Time.cycles;
   r_layers : layer_record list;
+  r_profile : Gem_sim.Engine.stat list;
+      (** per-component engine statistics at the end of the run, in SoC
+          registration order (L2 port, DRAM, then per-core components) *)
 }
 
 val cycles_by_class :

@@ -21,6 +21,8 @@ type filter = { mutable vpn : int; mutable ppn : int }
 
 type t = {
   cfg : config;
+  name : string;
+  engine : Engine.t;
   private_tlb : Tlb.t;
   shared_tlb : Tlb.t;
   ptw : Ptw.t;
@@ -47,38 +49,67 @@ and level = Filter | Private | Shared | Walk
 
 type outcome = { paddr : int; finish : Time.cycles; level : level }
 
-let create cfg ~ptw =
+let level_label = function
+  | Filter -> "filter"
+  | Private -> "private"
+  | Shared -> "shared"
+  | Walk -> "walk"
+
+let create ?engine ?(name = "tlb") cfg ~ptw =
   if cfg.private_entries <= 0 then
     invalid_arg "Hierarchy.create: private TLB needs at least one entry";
   if cfg.shared_entries < 0 then
     invalid_arg "Hierarchy.create: negative shared TLB size";
-  {
-    cfg;
-    private_tlb = Tlb.create ~entries:cfg.private_entries;
-    shared_tlb = Tlb.create ~entries:cfg.shared_entries;
-    ptw;
-    filter_read = { vpn = -1; ppn = -1 };
-    filter_write = { vpn = -1; ppn = -1 };
-    last_read_vpn = -1;
-    last_write_vpn = -1;
-    reads = 0;
-    writes = 0;
-    same_page_reads = 0;
-    same_page_writes = 0;
-    requests = 0;
-    filter_hits = 0;
-    private_hits = 0;
-    shared_hits = 0;
-    walks = 0;
-    stall_cycles = 0;
-    observer = None;
-  }
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let t =
+    {
+      cfg;
+      name;
+      engine;
+      private_tlb = Tlb.create ~entries:cfg.private_entries;
+      shared_tlb = Tlb.create ~entries:cfg.shared_entries;
+      ptw;
+      filter_read = { vpn = -1; ppn = -1 };
+      filter_write = { vpn = -1; ppn = -1 };
+      last_read_vpn = -1;
+      last_write_vpn = -1;
+      reads = 0;
+      writes = 0;
+      same_page_reads = 0;
+      same_page_writes = 0;
+      requests = 0;
+      filter_hits = 0;
+      private_hits = 0;
+      shared_hits = 0;
+      walks = 0;
+      stall_cycles = 0;
+      observer = None;
+    }
+  in
+  Engine.register_probe engine ~kind:Engine.Tlb ~name ~sample:(fun () ->
+      {
+        Engine.p_requests = t.requests;
+        p_busy = 0;
+        p_wait = t.stall_cycles;
+        p_note =
+          Printf.sprintf "%.1f%% effective hit, %d walks"
+            (100.
+            *. Gem_util.Stats.hit_rate
+                 ~hits:(t.filter_hits + t.private_hits)
+                 ~total:t.requests)
+            t.walks;
+      });
+  t
 
 let config t = t.cfg
 let set_observer t obs = t.observer <- obs
 
 let observe t now level =
-  match t.observer with None -> () | Some f -> f now level
+  (match t.observer with None -> () | Some f -> f now level);
+  if Engine.observing t.engine then
+    Engine.emit t.engine
+      (Engine.Translate
+         { component = t.name; time = now; level = level_label level })
 
 let note_locality t ~vpn ~write =
   if write then begin

@@ -28,7 +28,11 @@ val default_config : config
 
 type t
 
-val create : config -> ptw:Ptw.t -> t
+val create :
+  ?engine:Gem_sim.Engine.t -> ?name:string -> config -> ptw:Ptw.t -> t
+(** Registers a TLB metrics probe in [engine] (fresh private engine when
+    none is supplied) and, when the engine is observing, emits a typed
+    [Translate] event per request. *)
 
 val config : t -> config
 

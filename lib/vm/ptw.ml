@@ -3,6 +3,7 @@ open Gem_sim
 type t = {
   page_table : Page_table.t;
   mem_read : now:Time.cycles -> paddr:int -> bytes:int -> Time.cycles;
+  engine : Engine.t;
   walker : Resource.t;
   pte_cache_entries : int;
   pte_cache : (int, unit) Hashtbl.t; (* non-leaf PTE paddrs *)
@@ -15,11 +16,14 @@ type t = {
 
 exception Page_fault of int
 
-let create ?(name = "ptw") ?(pte_cache_entries = 64) ~page_table ~mem_read () =
+let create ?engine ?(name = "ptw") ?(pte_cache_entries = 64) ~page_table
+    ~mem_read () =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
   {
     page_table;
     mem_read;
-    walker = Resource.create ~name;
+    engine;
+    walker = Engine.resource engine ~kind:Engine.Ptw ~name;
     pte_cache_entries;
     pte_cache = Hashtbl.create (max 16 pte_cache_entries);
     pte_cache_fifo = Queue.create ();
@@ -40,7 +44,7 @@ let cache_insert t paddr =
 let walk t ~now ~vpn =
   t.walks <- t.walks + 1;
   (* Wait for the (single) walker to become free. *)
-  let start = Resource.acquire t.walker ~now ~occupancy:0 in
+  let start = Resource.next_free t.walker ~now in
   let pte_addrs, result = Page_table.walk t.page_table ~vpn in
   let n_levels = List.length pte_addrs in
   (* Each level's PTE read depends on the previous one completing; cached
@@ -66,7 +70,7 @@ let walk t ~now ~vpn =
   in
   (* Occupy the walker for the walk's duration so concurrent requesters
      queue behind it. *)
-  ignore (Resource.acquire t.walker ~now:start ~occupancy:(finish - start));
+  Engine.occupy t.engine t.walker ~now ~start ~until:finish;
   t.total_walk_cycles <- t.total_walk_cycles + (finish - now);
   match result with
   | None -> raise (Page_fault vpn)

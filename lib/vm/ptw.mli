@@ -10,6 +10,7 @@
 type t
 
 val create :
+  ?engine:Gem_sim.Engine.t ->
   ?name:string ->
   ?pte_cache_entries:int ->
   page_table:Page_table.t ->

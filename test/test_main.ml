@@ -2,6 +2,7 @@ let () =
   Alcotest.run "gemmini"
     [
       ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
       ("mem", Test_mem.suite);
       ("vm", Test_vm.suite);
       ("mesh", Test_mesh.suite);

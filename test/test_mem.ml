@@ -27,7 +27,7 @@ let test_sram_accumulate () =
   Alcotest.(check int) "saturates" Gem_util.Fixed.int32_max (Sram.read_row s ~row:1).(0)
 
 let test_cache_basics () =
-  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 () in
   Alcotest.(check int) "sets" 16 (Cache.sets c);
   (match Cache.access c ~addr:0 ~write:false with
   | Cache.Miss { writeback = false } -> ()
@@ -44,7 +44,7 @@ let test_cache_basics () =
   | Cache.Hit -> Alcotest.fail "LRU line should have been evicted")
 
 let test_cache_lru_order () =
-  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 () in
   (* Touch lines A B C D, re-touch A, add E: victim must be B. *)
   let line i = i * 1024 in
   List.iter (fun i -> ignore (Cache.access c ~addr:(line i) ~write:false)) [ 0; 1; 2; 3 ];
@@ -54,7 +54,7 @@ let test_cache_lru_order () =
   Alcotest.(check bool) "B evicted" false (Cache.probe c ~addr:(line 1))
 
 let test_cache_writeback () =
-  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 () in
   ignore (Cache.access c ~addr:0 ~write:true);
   for i = 1 to 4 do
     ignore (Cache.access c ~addr:(i * 1024) ~write:false)
@@ -66,7 +66,7 @@ let qcheck_cache_occupancy =
     ~count:50
     QCheck2.Gen.(pair (int_range 0 100000) (int_range 50 300))
     (fun (seed, n) ->
-      let c = Cache.create ~size_bytes:2048 ~ways:2 ~line_bytes:64 in
+      let c = Cache.create ~size_bytes:2048 ~ways:2 ~line_bytes:64 () in
       let rng = Gem_util.Rng.create ~seed in
       let ok = ref true in
       for _ = 1 to n do
@@ -79,7 +79,7 @@ let qcheck_cache_occupancy =
       !ok)
 
 let test_cache_range () =
-  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 () in
   let hits, misses, _ = Cache.access_range c ~addr:0 ~bytes:256 ~write:false in
   Alcotest.(check (pair int int)) "4 cold lines" (0, 4) (hits, misses);
   let hits, misses, _ = Cache.access_range c ~addr:32 ~bytes:64 ~write:false in

@@ -1,0 +1,231 @@
+(* gem_sim: resource arbitration edge cases, trace ring-buffer semantics,
+   the engine's registry/clock/event stream, and end-to-end determinism of
+   a dual-core run. *)
+
+open Gem_sim
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+
+(* --- Resource ------------------------------------------------------------- *)
+
+let test_resource_zero_occupancy () =
+  let r = Resource.create ~name:"r" in
+  Alcotest.(check int) "first acquire" 15 (Resource.acquire r ~now:10 ~occupancy:5);
+  Alcotest.(check int) "busy_until" 15 (Resource.busy_until r);
+  (* A zero-occupancy request (a probe, a zero-byte burst) must observe its
+     slot time without reserving anything: it is not allowed to push
+     busy_until forward to its own arrival time. *)
+  Alcotest.(check int) "zero-occupancy returns slot" 20
+    (Resource.acquire r ~now:20 ~occupancy:0);
+  Alcotest.(check int) "busy_until unchanged" 15 (Resource.busy_until r);
+  Alcotest.(check int) "busy_cycles unchanged" 5 (Resource.busy_cycles r);
+  Alcotest.(check int) "but it counted as a request" 2 (Resource.requests r);
+  (* An earlier-in-time requester must still queue behind the first
+     reservation only, not behind the probe. *)
+  Alcotest.(check int) "queues at 15" 18 (Resource.acquire r ~now:12 ~occupancy:3);
+  Alcotest.(check int) "waited 3" 3 (Resource.wait_cycles r)
+
+let test_resource_next_free_occupy () =
+  let r = Resource.create ~name:"r" in
+  Alcotest.(check int) "idle: start at now" 7 (Resource.next_free r ~now:7);
+  Alcotest.(check int) "query had no side effects" 0 (Resource.requests r);
+  (* Commit a reservation whose duration was computed downstream. *)
+  Resource.occupy_until r ~now:7 ~start:7 ~until:19;
+  Alcotest.(check int) "busy_until" 19 (Resource.busy_until r);
+  Alcotest.(check int) "busy_cycles" 12 (Resource.busy_cycles r);
+  Alcotest.(check int) "requests" 1 (Resource.requests r);
+  (* next_free + occupy_until must agree with what acquire would do. *)
+  let start = Resource.next_free r ~now:10 in
+  Alcotest.(check int) "queued start" 19 start;
+  Resource.occupy_until r ~now:10 ~start ~until:(start + 4);
+  Alcotest.(check int) "wait charged" 9 (Resource.wait_cycles r);
+  Alcotest.(check int) "busy extended" 23 (Resource.busy_until r);
+  (* A commit that ends inside an existing reservation never rewinds. *)
+  Resource.occupy_until r ~now:23 ~start:23 ~until:23;
+  Alcotest.(check int) "zero-length commit keeps busy_until" 23
+    (Resource.busy_until r);
+  Alcotest.check_raises "start before now"
+    (Invalid_argument "Resource.occupy_until: start before now") (fun () ->
+      Resource.occupy_until r ~now:5 ~start:4 ~until:6);
+  Alcotest.check_raises "until before start"
+    (Invalid_argument "Resource.occupy_until: until before start") (fun () ->
+      Resource.occupy_until r ~now:30 ~start:31 ~until:30)
+
+let test_resource_reset () =
+  let r = Resource.create ~name:"r" in
+  ignore (Resource.acquire r ~now:0 ~occupancy:10);
+  ignore (Resource.acquire r ~now:0 ~occupancy:10);
+  Resource.reset r;
+  Alcotest.(check int) "busy_until" 0 (Resource.busy_until r);
+  Alcotest.(check int) "busy_cycles" 0 (Resource.busy_cycles r);
+  Alcotest.(check int) "wait_cycles" 0 (Resource.wait_cycles r);
+  Alcotest.(check int) "requests" 0 (Resource.requests r);
+  Alcotest.(check string) "name survives" "r" (Resource.name r)
+
+(* --- Trace ---------------------------------------------------------------- *)
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 6 do
+    Trace.record tr ~time:(10 * i) ~tag:"t" (string_of_int i)
+  done;
+  Alcotest.(check int) "count is total recorded" 6 (Trace.count tr);
+  let evs = Trace.events tr in
+  Alcotest.(check int) "capacity retained" 4 (List.length evs);
+  Alcotest.(check (list string)) "oldest first, newest last"
+    [ "3"; "4"; "5"; "6" ]
+    (List.map (fun e -> e.Trace.detail) evs);
+  Alcotest.(check (list int)) "times follow"
+    [ 30; 40; 50; 60 ]
+    (List.map (fun e -> e.Trace.time) evs)
+
+let test_trace_disabled_and_recordf () =
+  let tr = Trace.create ~capacity:4 ~enabled:false () in
+  Trace.record tr ~time:0 ~tag:"t" "dropped";
+  Alcotest.(check int) "disabled drops" 0 (Trace.count tr);
+  (* recordf must not even evaluate its format arguments when disabled. *)
+  let calls = ref 0 in
+  let expensive () v =
+    incr calls;
+    string_of_int v
+  in
+  Trace.recordf tr ~time:0 ~tag:"t" "val=%a" expensive 42;
+  Alcotest.(check int) "no formatting when disabled" 0 !calls;
+  Trace.set_enabled tr true;
+  Trace.recordf tr ~time:5 ~tag:"t" "val=%a" expensive 42;
+  Alcotest.(check int) "formats when enabled" 1 !calls;
+  match Trace.events tr with
+  | [ e ] -> Alcotest.(check string) "formatted detail" "val=42" e.Trace.detail
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+(* --- Engine --------------------------------------------------------------- *)
+
+let test_engine_registry () =
+  let e = Engine.create () in
+  let a = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+  let b = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+  Engine.register_probe e ~kind:Engine.Tlb ~name:"tlb" ~sample:(fun () ->
+      { Engine.p_requests = 3; p_busy = 1; p_wait = 2; p_note = "probed" });
+  Alcotest.(check string) "first keeps its name" "bus" (Resource.name a);
+  Alcotest.(check string) "duplicate is uniquified" "bus#2" (Resource.name b);
+  Alcotest.(check (list string)) "registration order"
+    [ "bus"; "bus#2"; "tlb" ]
+    (List.map fst (Engine.components e));
+  match Engine.stats e with
+  | [ _; _; p ] ->
+      Alcotest.(check string) "probe name" "tlb" p.Engine.stat_name;
+      Alcotest.(check int) "probe requests" 3 p.Engine.stat_requests;
+      Alcotest.(check int) "probe busy" 1 p.Engine.stat_busy;
+      Alcotest.(check int) "probe wait" 2 p.Engine.stat_wait;
+      Alcotest.(check string) "probe note" "probed" p.Engine.stat_note
+  | l -> Alcotest.failf "expected 3 stats, got %d" (List.length l)
+
+let test_engine_clock_and_stats () =
+  let e = Engine.create () in
+  let bus = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+  Alcotest.(check int) "clock starts at zero" 0 (Engine.now e);
+  Alcotest.(check int) "acquire times like the resource" 12
+    (Engine.acquire e bus ~now:2 ~occupancy:10);
+  Alcotest.(check int) "clock is the high-water mark" 12 (Engine.now e);
+  let start = Engine.next_free e bus ~now:5 in
+  Engine.occupy e bus ~now:5 ~start ~until:(start + 3);
+  Alcotest.(check int) "occupy advances the clock" 15 (Engine.now e);
+  (match Engine.stats e with
+  | [ s ] ->
+      Alcotest.(check int) "requests" 2 s.Engine.stat_requests;
+      Alcotest.(check int) "busy" 13 s.Engine.stat_busy;
+      Alcotest.(check int) "wait" 7 s.Engine.stat_wait
+  | l -> Alcotest.failf "expected 1 stat, got %d" (List.length l));
+  Engine.observe e 100;
+  Alcotest.(check int) "observe moves forward" 100 (Engine.now e);
+  Engine.observe e 50;
+  Alcotest.(check int) "observe never rewinds" 100 (Engine.now e)
+
+let test_engine_events_and_sinks () =
+  let e = Engine.create ~trace_capacity:8 () in
+  let bus = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+  Alcotest.(check bool) "quiet by default" false (Engine.observing e);
+  ignore (Engine.acquire e bus ~now:0 ~occupancy:4);
+  Alcotest.(check int) "no events while quiet" 0 (Engine.event_count e);
+  Engine.set_tracing e true;
+  let seen = ref [] in
+  Engine.add_sink e (fun ev -> seen := ev :: !seen);
+  ignore (Engine.acquire e bus ~now:10 ~occupancy:2);
+  Engine.emit e
+    (Engine.Transfer { component = "bus"; time = 12; dir = `Read; bytes = 64 });
+  Alcotest.(check int) "ring recorded both" 2 (Engine.event_count e);
+  Alcotest.(check int) "sink saw both" 2 (List.length !seen);
+  (match Engine.events e with
+  | [
+   Engine.Acquire { component; start; finish; _ };
+   Engine.Transfer { bytes; _ };
+  ] ->
+      Alcotest.(check string) "acquire component" "bus" component;
+      Alcotest.(check int) "acquire start follows first burst" 10 start;
+      Alcotest.(check int) "acquire finish" 12 finish;
+      Alcotest.(check int) "transfer bytes" 64 bytes
+  | _ -> Alcotest.fail "expected [Acquire; Transfer]");
+  Engine.reset e;
+  Alcotest.(check int) "reset clears the ring" 0 (Engine.event_count e);
+  Alcotest.(check int) "reset clears the clock" 0 (Engine.now e);
+  match Engine.stats e with
+  | [ s ] -> Alcotest.(check int) "reset clears resources" 0 s.Engine.stat_requests
+  | _ -> Alcotest.fail "registry survives reset"
+
+(* --- determinism guard ----------------------------------------------------
+
+   The fig7/fig9-style experiments rely on simulated-time interleaving of
+   two cores over shared L2/DRAM resources. Run the same dual-core job mix
+   on two freshly elaborated SoCs: finish times, and the entire rendered
+   engine profile (every component's requests/busy/wait), must be
+   byte-identical. *)
+
+let test_dual_core_determinism () =
+  let model = Gem_dnn.Model_zoo.(scale_model ~factor:8 squeezenet) in
+  let jobs =
+    [|
+      (model, Runtime.Accel { im2col_on_accel = true });
+      (model, Runtime.Accel { im2col_on_accel = false });
+    |]
+  in
+  let run_once () =
+    let soc = Soc.create Soc_config.dual_core in
+    let rs = Runtime.run_parallel soc jobs in
+    let totals = Array.map (fun r -> r.Runtime.r_total_cycles) rs in
+    let profile =
+      Gem_util.Table.render (Engine.utilization_table (Soc.engine soc) ())
+    in
+    (totals, profile)
+  in
+  let t1, p1 = run_once () in
+  let t2, p2 = run_once () in
+  Alcotest.(check (array int)) "finish times identical" t1 t2;
+  Alcotest.(check string) "rendered engine profile identical" p1 p2;
+  Alcotest.(check bool) "profile mentions both cores" true
+    (let has s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     has p1 "core0/mesh" && has p1 "core1/mesh")
+
+let suite =
+  [
+    Alcotest.test_case "resource: zero-occupancy probe" `Quick
+      test_resource_zero_occupancy;
+    Alcotest.test_case "resource: next_free/occupy_until" `Quick
+      test_resource_next_free_occupy;
+    Alcotest.test_case "resource: reset" `Quick test_resource_reset;
+    Alcotest.test_case "trace: ring overwrite order" `Quick test_trace_ring;
+    Alcotest.test_case "trace: disabled recordf is free" `Quick
+      test_trace_disabled_and_recordf;
+    Alcotest.test_case "engine: registry and probes" `Quick
+      test_engine_registry;
+    Alcotest.test_case "engine: clock and stats" `Quick
+      test_engine_clock_and_stats;
+    Alcotest.test_case "engine: events and sinks" `Quick
+      test_engine_events_and_sinks;
+    Alcotest.test_case "engine: dual-core determinism" `Quick
+      test_dual_core_determinism;
+  ]
