@@ -90,14 +90,32 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Analytical synthesis: area, fmax, power, floorplan.")
     Term.(const run $ params_term)
 
+let policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "abort" -> Ok Runtime.Abort
+    | "retry" | "retry-map" -> Ok Runtime.Retry_map
+    | "degrade" -> Ok Runtime.Degrade
+    | other -> Error (`Msg (Printf.sprintf "unknown fault policy %S" other))
+  in
+  let print fmt p = Format.fprintf fmt "%s" (Runtime.policy_desc p) in
+  Arg.conv (parse, print)
+
 let run_cmd =
-  let run p model scale im2col_on_accel profile =
+  let run p model scale im2col_on_accel profile inject_seed inject_rate policy
+      watchdog =
     let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
     let soc =
       Soc.create
         { Soc_config.default with cores = [ { Soc_config.default_core with accel = p } ] }
     in
-    let r = Runtime.run soc ~core:0 model ~mode:(Runtime.Accel { im2col_on_accel }) in
+    (match inject_seed with
+    | Some seed -> Soc.arm_injection soc ~seed ~rate:inject_rate
+    | None -> ());
+    let r =
+      Runtime.run ~policy ?watchdog soc ~core:0 model
+        ~mode:(Runtime.Accel { im2col_on_accel })
+    in
     Printf.printf "%s on %s\n" model.Gem_dnn.Layer.model_name (Gemmini.Params.describe p);
     Printf.printf "total %s cycles = %.2f FPS at 1 GHz\n"
       (Gem_util.Table.fmt_int r.Runtime.r_total_cycles)
@@ -107,6 +125,17 @@ let run_cmd =
         Printf.printf "  %-12s %s cycles\n" (Gem_dnn.Layer.class_name k)
           (Gem_util.Table.fmt_int c))
       (Runtime.cycles_by_class r);
+    if r.Runtime.r_faults <> [] then begin
+      Printf.printf "faults handled (%s policy): %d\n"
+        (Runtime.policy_desc policy)
+        (List.length r.Runtime.r_faults);
+      List.iter
+        (fun fr ->
+          Printf.printf "  %-8s %-24s %s\n" fr.Runtime.fr_action
+            fr.Runtime.fr_layer
+            (Gem_sim.Fault.to_string fr.Runtime.fr_fault))
+        r.Runtime.r_faults
+    end;
     if profile then begin
       print_newline ();
       Gem_util.Table.print
@@ -125,8 +154,34 @@ let run_cmd =
             "Print the simulation engine's per-component utilization/wait \
              table after the run.")
   in
+  let inject_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-seed" ]
+          ~doc:
+            "Arm deterministic fault injection with this seed (same seed, \
+             same fault trace).")
+  in
+  let inject_rate =
+    Arg.(
+      value & opt float 0.01
+      & info [ "inject-rate" ]
+          ~doc:"Per-event fault probability when injection is armed.")
+  in
+  let policy =
+    Arg.(
+      value & opt policy_conv Runtime.Abort
+      & info [ "fault-policy" ] ~doc:"Trap recovery: abort, retry or degrade.")
+  in
+  let watchdog =
+    Arg.(
+      value & opt (some int) None
+      & info [ "watchdog" ] ~doc:"Max cycles any single layer may spend.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a DNN inference on a single-core SoC.")
-    Term.(const run $ params_term $ model_term $ scale_term $ im2col $ profile)
+    Term.(
+      const run $ params_term $ model_term $ scale_term $ im2col $ profile
+      $ inject_seed $ inject_rate $ policy $ watchdog)
 
 let sweep_cmd =
   let run model scale =

@@ -42,6 +42,8 @@ type mutable_stats = {
 
 type t = {
   p : Params.t;
+  name : string;
+  core : int;
   engine : Engine.t;
   spad : Scratchpad.t;
   mesh : Mesh.t;
@@ -73,7 +75,8 @@ type t = {
 
 let flush_cost = 10
 
-let create ?engine ?(name = "accel") ~params ~port ~tlb ~issue_cycles () =
+let create ?engine ?(name = "accel") ?(core = 0) ~params ~port ~tlb
+    ~issue_cycles () =
   let p = Params.validate_exn params in
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let s =
@@ -104,13 +107,17 @@ let create ?engine ?(name = "accel") ~params ~port ~tlb ~issue_cycles () =
   let ld_pipe = Engine.resource engine ~kind:Engine.Pipeline ~name:(name ^ "/ld") in
   let ex_pipe = Engine.resource engine ~kind:Engine.Pipeline ~name:(name ^ "/mesh") in
   let st_pipe = Engine.resource engine ~kind:Engine.Pipeline ~name:(name ^ "/st") in
-  let dma = Dma.create ~engine ~name:(name ^ "/dma") p ~port ~tlb in
-  let spad = Scratchpad.create ~engine ~name:(name ^ "/spad") p in
+  let dma = Dma.create ~engine ~name:(name ^ "/dma") ~core p ~port ~tlb in
+  let spad = Scratchpad.create ~engine ~name:(name ^ "/spad") ~core p in
   {
     p;
+    name;
+    core;
     engine;
     spad;
-    mesh = Mesh.create p;
+    (* The mesh shares the ex-pipe's registry name so its faults land in
+       that profile row (it registers no resource of its own). *)
+    mesh = Mesh.create ~engine ~name:(name ^ "/mesh") ~core p;
     dma;
     functional = Option.is_some port.Dma.read_data;
     issue_cycles;
@@ -148,6 +155,12 @@ let dma t = t.dma
 let tlb t = Dma.tlb t.dma
 
 let now t = t.issue
+
+(* Dispatch-stage faults are attributed to the host-interface component:
+   the RoCC queue is where a malformed command is caught. *)
+let trap t cause =
+  Engine.trap t.engine
+    (Fault.make ~core:t.core ~component:(t.name ^ "/host") ~cycle:t.issue cause)
 
 let finish_time t =
   Mathx.imax3 t.last_ld_finish
@@ -358,7 +371,7 @@ let do_compute t (args : Isa.compute_args) ~preloaded =
       let pl =
         match t.preload with
         | Some pl -> pl
-        | None -> invalid_arg "Controller: WS compute without preload"
+        | None -> trap t (Fault.Illegal_inst "WS compute without preload")
       in
       let k = a_cols and out_cols = pl.pl_c_cols in
       let cycles =
@@ -385,7 +398,10 @@ let do_compute t (args : Isa.compute_args) ~preloaded =
           else
             match t.resident_b with
             | Some b -> b
-            | None -> invalid_arg "Controller: accumulate-compute without resident weights"
+            | None ->
+                trap t
+                  (Fault.Illegal_inst
+                     "accumulate-compute without resident weights")
         in
         let a =
           read_block_or_zeros t args.Isa.a ~rows:a_rows ~cols:a_cols
@@ -412,7 +428,7 @@ let do_compute t (args : Isa.compute_args) ~preloaded =
       let pl =
         match t.preload with
         | Some pl -> pl
-        | None -> invalid_arg "Controller: OS compute without preload"
+        | None -> trap t (Fault.Illegal_inst "OS compute without preload")
       in
       let k = a_cols in
       let out_rows = a_rows and out_cols = min args.Isa.bd_cols dim in
@@ -511,17 +527,17 @@ let do_loop_ws t (strides : Isa.loop_strides) ~execute_sub =
   let bounds =
     match t.loop_bounds with
     | Some b -> b
-    | None -> invalid_arg "Controller: LOOP_WS without LOOP_WS_CONFIG_BOUNDS"
+    | None -> trap t (Fault.Illegal_inst "LOOP_WS without LOOP_WS_CONFIG_BOUNDS")
   in
   let addrs =
     match t.loop_addrs with
     | Some a -> a
-    | None -> invalid_arg "Controller: LOOP_WS without LOOP_WS_CONFIG_ADDRS"
+    | None -> trap t (Fault.Illegal_inst "LOOP_WS without LOOP_WS_CONFIG_ADDRS")
   in
   let outs =
     match t.loop_outs with
     | Some o -> o
-    | None -> invalid_arg "Controller: LOOP_WS without LOOP_WS_CONFIG_OUTS"
+    | None -> trap t (Fault.Illegal_inst "LOOP_WS without LOOP_WS_CONFIG_OUTS")
   in
   let dim = Params.dim t.p in
   let m = bounds.Isa.lw_m and k = bounds.Isa.lw_k and n = bounds.Isa.lw_n in
@@ -677,13 +693,17 @@ let do_loop_ws t (strides : Isa.loop_strides) ~execute_sub =
   done
 
 let rec execute_with t ~issue_cost ~count_insn (cmd : Isa.t) =
+  (* Validation runs before any state moves (insn counters, issue cursor):
+     a trapped command has no side effects, so a recovery policy can
+     repair the cause and re-issue it cleanly. *)
+  (match Isa.validate t.p cmd with
+  | Ok () -> ()
+  | Error cause -> trap t cause);
   if count_insn then t.s.insns <- t.s.insns + 1
   else t.s.loop_micro_ops <- t.s.loop_micro_ops + 1;
   t.issue <- t.issue + issue_cost;
   (match cmd with
   | Isa.Config_ex c ->
-      if not (Dataflow.supports t.p.Params.dataflow c.Isa.dataflow) then
-        invalid_arg "Controller: dataflow not supported by this instance";
       t.ex_cfg <-
         {
           dataflow = c.Isa.dataflow;

@@ -22,6 +22,7 @@ type t
 val create :
   ?engine:Gem_sim.Engine.t ->
   ?name:string ->
+  ?core:int ->
   params:Params.t ->
   port:Dma.port ->
   tlb:Gem_vm.Hierarchy.t ->
@@ -34,7 +35,8 @@ val create :
     {!Gem_sim.Engine} when none is supplied): the load / mesh / store
     pipes register as resources [name ^ "/ld"], [name ^ "/mesh"] and
     [name ^ "/st"], the scratchpad, DMA link and a host probe alongside
-    them. [name] defaults to ["accel"]. *)
+    them. [name] defaults to ["accel"]. [core] (default 0) tags every
+    fault this controller or its sub-components raise. *)
 
 val engine : t -> Gem_sim.Engine.t
 (** The simulation context carrying this controller's clocks and
@@ -46,9 +48,12 @@ val dma : t -> Dma.t
 val tlb : t -> Gem_vm.Hierarchy.t
 
 val execute : t -> Isa.t -> unit
-(** Executes one command (decode + dispatch + simulate). Raises
-    [Invalid_argument] on semantically invalid commands (e.g. compute
-    without preload). *)
+(** Executes one command (decode + dispatch + simulate). Every command is
+    first checked with {!Isa.validate}; an invalid one raises a
+    structured {!Gem_sim.Fault.Trap} before any state moves, as do
+    sequencing errors caught later (compute without preload, LOOP_WS
+    without its configuration commands) and faults from the memory
+    system underneath. *)
 
 val execute_all : t -> Isa.t list -> unit
 

@@ -25,9 +25,11 @@ type t = {
   bytes_in : int ref;
   bytes_out : int ref;
   mutable row_requests : int;
+  core : int;
+  mutable inject : Inject.t option;
 }
 
-let create ?engine ?(name = "dma") p ~port ~tlb =
+let create ?engine ?(name = "dma") ?(core = -1) p ~port ~tlb =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let bytes_in = ref 0 and bytes_out = ref 0 in
   let bus =
@@ -45,9 +47,12 @@ let create ?engine ?(name = "dma") p ~port ~tlb =
     bytes_in;
     bytes_out;
     row_requests = 0;
+    core;
+    inject = None;
   }
 
 let tlb t = t.tlb
+let set_inject t plan = t.inject <- Some plan
 
 type transfer = {
   engine_free : Time.cycles;
@@ -78,6 +83,15 @@ let for_segments t ~now ~vaddr ~bytes ~write ~f =
       Engine.acquire t.engine t.bus ~now:outcome.Gem_vm.Hierarchy.finish
         ~occupancy
     in
+    (* A segment's bus slot is the injection decision point: a fired
+       Dma_error means this burst was dropped by the interconnect. *)
+    (match t.inject with
+    | Some plan when Inject.fire plan Inject.Dma_error ->
+        Engine.trap t.engine
+          (Fault.make ~core:t.core ~component:(Resource.name t.bus)
+             ~cycle:bus_done
+             (Fault.Dma_bus_error { vaddr = !va; bytes = seg }))
+    | _ -> ());
     let seg_done = f ~now:bus_done ~vaddr:!va ~paddr:outcome.Gem_vm.Hierarchy.paddr ~bytes:seg in
     cursor := bus_done;
     finish := max !finish seg_done;

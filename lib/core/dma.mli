@@ -29,15 +29,23 @@ type t
 val create :
   ?engine:Gem_sim.Engine.t ->
   ?name:string ->
+  ?core:int ->
   Params.t ->
   port:port ->
   tlb:Gem_vm.Hierarchy.t ->
   t
 (** The DMA link registers itself in [engine]'s resource registry (fresh
     private engine when none is supplied) and emits typed [Transfer]
-    events per burst when the engine is observing. *)
+    events per burst when the engine is observing. [core] (default -1)
+    attributes bus-error faults. *)
 
 val tlb : t -> Gem_vm.Hierarchy.t
+
+val set_inject : t -> Gem_sim.Inject.t -> unit
+(** Arms deterministic injection: every burst segment rolls the plan's
+    [Dma_error] stream after securing its bus slot; a fired roll raises a
+    {!Gem_sim.Fault.Trap} (cause [Dma_bus_error]) instead of completing
+    the segment. *)
 
 val bus : t -> Gem_sim.Resource.t
 (** The engine-registered DMA link resource. *)

@@ -111,6 +111,15 @@ val encode : t -> insn
 val decode : insn -> (t, string) result
 (** Exact inverse of {!encode} on its image. *)
 
+val validate : Params.t -> t -> (unit, Gem_sim.Fault.cause) result
+(** Architectural validity of a command against one accelerator instance:
+    field ranges, dataflow support, finite scale factors, and
+    scratchpad/accumulator bounds for every local access. [Ok ()] means
+    the controller may dispatch it; [Error cause] is the structured fault
+    the controller raises as a trap instead of executing. Commands
+    accepted by {!encode} can still be rejected here — encoding checks
+    bit-widths, validation checks meaning. *)
+
 val funct_name : int -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

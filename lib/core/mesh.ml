@@ -1,7 +1,12 @@
 open Gem_util
+module Fault = Gem_sim.Fault
+module Engine = Gem_sim.Engine
 
 type t = {
   p : Params.t;
+  engine : Engine.t option;
+  name : string;
+  core : int;
   tiles : Tile.t array array; (* mesh_rows x mesh_cols *)
   (* h_regs.(tr).(tc): pipeline register bank feeding tile (tr,tc) from the
      left (only tc >= 1 is used). Each bank carries [tile_rows] `a` values. *)
@@ -22,7 +27,7 @@ let fresh_regs p =
   in
   (h, v)
 
-let create p =
+let create ?engine ?(name = "mesh") ?(core = -1) p =
   let p = Params.validate_exn p in
   let tiles =
     Array.init p.Params.mesh_rows (fun _ ->
@@ -31,7 +36,17 @@ let create p =
               ~acc_type:p.Params.acc_type))
   in
   let h_regs, v_regs = fresh_regs p in
-  { p; tiles; h_regs; v_regs }
+  { p; engine; name; core; tiles; h_regs; v_regs }
+
+(* Architecturally reachable errors (malformed operands fed to the array)
+   trap; with an engine attached the trap is also counted and streamed. *)
+let trap t cause =
+  let cycle = match t.engine with Some e -> Engine.now e | None -> 0 in
+  let fault = Fault.make ~core:t.core ~component:t.name ~cycle cause in
+  match t.engine with Some e -> Engine.trap e fault | None -> Fault.trap fault
+
+let illegal t fmt =
+  Printf.ksprintf (fun msg -> trap t (Fault.Illegal_inst msg)) fmt
 
 let params t = t.p
 let dim_rows t = Params.dim_rows t.p
@@ -46,7 +61,10 @@ let clear t =
 let preload_weights t w =
   let r = dim_rows t and c = dim_cols t in
   if Matrix.rows w > r || Matrix.cols w > c then
-    invalid_arg "Mesh.preload_weights: weight matrix larger than array";
+    invalid_arg
+      (Printf.sprintf
+         "Mesh.preload_weights: %dx%d weight matrix larger than %dx%d array"
+         (Matrix.rows w) (Matrix.cols w) r c);
   for pr = 0 to r - 1 do
     for pc = 0 to c - 1 do
       let v =
@@ -102,20 +120,24 @@ type result = { out : Matrix.t; cycles : int }
 
 let check_dataflow t which =
   if not (Dataflow.supports t.p.Params.dataflow which) then
-    invalid_arg
-      (Printf.sprintf "Mesh: dataflow %s not supported by this instance"
-         (match which with `WS -> "WS" | `OS -> "OS"))
+    illegal t "dataflow %s not supported by this instance"
+      (match which with `WS -> "WS" | `OS -> "OS")
 
 let run_ws t ~a ~b ~d =
   let i_n = Matrix.rows a and k_n = Matrix.cols a in
   let j_n = Matrix.cols b in
-  if Matrix.rows b <> k_n then invalid_arg "Mesh.run_matmul: A/B mismatch";
-  if k_n > dim_rows t then invalid_arg "Mesh.run_matmul: K exceeds array rows";
-  if j_n > dim_cols t then invalid_arg "Mesh.run_matmul: J exceeds array cols";
+  if Matrix.rows b <> k_n then
+    illegal t "run_matmul: A is %dx%d but B is %dx%d" i_n k_n (Matrix.rows b)
+      j_n;
+  if k_n > dim_rows t then
+    illegal t "run_matmul: K=%d exceeds %d array rows" k_n (dim_rows t);
+  if j_n > dim_cols t then
+    illegal t "run_matmul: J=%d exceeds %d array cols" j_n (dim_cols t);
   (match d with
   | Some d ->
       if Matrix.rows d <> i_n || Matrix.cols d <> j_n then
-        invalid_arg "Mesh.run_matmul: D dimension mismatch"
+        illegal t "run_matmul: D is %dx%d, want %dx%d" (Matrix.rows d)
+          (Matrix.cols d) i_n j_n
   | None -> ());
   let preload_cycles = preload_weights t b in
   let out = Matrix.create ~rows:i_n ~cols:j_n in
@@ -152,16 +174,21 @@ let run_ws t ~a ~b ~d =
 let run_os t ~a ~b ~d =
   let i_n = Matrix.rows a and k_n = Matrix.cols a in
   let j_n = Matrix.cols b in
-  if Matrix.rows b <> k_n then invalid_arg "Mesh.run_matmul: A/B mismatch";
-  if i_n > dim_rows t then invalid_arg "Mesh.run_matmul: I exceeds array rows";
-  if j_n > dim_cols t then invalid_arg "Mesh.run_matmul: J exceeds array cols";
+  if Matrix.rows b <> k_n then
+    illegal t "run_matmul: A is %dx%d but B is %dx%d" i_n k_n (Matrix.rows b)
+      j_n;
+  if i_n > dim_rows t then
+    illegal t "run_matmul: I=%d exceeds %d array rows" i_n (dim_rows t);
+  if j_n > dim_cols t then
+    illegal t "run_matmul: J=%d exceeds %d array cols" j_n (dim_cols t);
   clear t;
   (* Optional bias: pre-bias the stationary accumulators. *)
   (match d with
   | None -> ()
   | Some d ->
       if Matrix.rows d <> i_n || Matrix.cols d <> j_n then
-        invalid_arg "Mesh.run_matmul: D dimension mismatch";
+        illegal t "run_matmul: D is %dx%d, want %dx%d" (Matrix.rows d)
+          (Matrix.cols d) i_n j_n;
       for r = 0 to i_n - 1 do
         for c = 0 to j_n - 1 do
           let tile = t.tiles.(r / t.p.Params.tile_rows).(c / t.p.Params.tile_cols) in
@@ -202,7 +229,9 @@ let run_matmul t ~dataflow ~a ~b ?d () =
 let block_cycles p ~dataflow ~rows ~k ~cols ~preload =
   let p = Params.validate_exn p in
   if rows <= 0 || k <= 0 || cols <= 0 then
-    invalid_arg "Mesh.block_cycles: non-positive block";
+    invalid_arg
+      (Printf.sprintf "Mesh.block_cycles: non-positive block %dx%dx%d" rows k
+         cols);
   let hdelay c = c / p.Params.tile_cols in
   let vdelay r = r / p.Params.tile_rows in
   match dataflow with
@@ -220,7 +249,9 @@ let inter_block_bubble = 4
 let pipelined_block_cycles p ~dataflow ~rows ~k ~cols ~preload =
   let p = Params.validate_exn p in
   if rows <= 0 || k <= 0 || cols <= 0 then
-    invalid_arg "Mesh.pipelined_block_cycles: non-positive block";
+    invalid_arg
+      (Printf.sprintf "Mesh.pipelined_block_cycles: non-positive block %dx%dx%d"
+         rows k cols);
   match dataflow with
   | `WS ->
       let occupancy = if preload then max rows (Params.dim p) else rows in

@@ -14,7 +14,14 @@
 
 type t
 
-val create : Params.t -> t
+val create :
+  ?engine:Gem_sim.Engine.t -> ?name:string -> ?core:int -> Params.t -> t
+(** [engine]/[name]/[core] attribute faults: malformed operands
+    (dimension mismatches, unsupported dataflow) raise a structured
+    {!Gem_sim.Fault.Trap} tagged with [name] — counted and streamed
+    through [engine] when one is attached. Oversized weight preloads and
+    non-positive cost-model blocks remain [Invalid_argument]: those are
+    caller bugs, not architectural events. *)
 
 val params : t -> Params.t
 val dim_rows : t -> int
@@ -42,8 +49,8 @@ val run_matmul :
     chosen dataflow. [A] is [I x K], [B] is [K x J], [D] (optional bias)
     is [I x J]; requires [K <= dim_rows] (WS) or [I <= dim_rows] (OS) and
     [J <= dim_cols]. [cycles] includes weight preload (WS) or result
-    drain (OS). Raises if the elaborated dataflow does not support the
-    requested one. *)
+    drain (OS). Dimension violations and an unsupported dataflow trap
+    ({!Gem_sim.Fault.Trap}, cause [Illegal_inst]). *)
 
 val block_cycles :
   Params.t ->

@@ -1,7 +1,21 @@
 open Gem_mem
 open Gem_sim
 
-type t = { p : Params.t; sp : Sram.t; acc : Sram.t }
+type t = {
+  p : Params.t;
+  engine : Engine.t option;
+  name : string;
+  core : int;
+  sp : Sram.t;
+  acc : Sram.t;
+}
+
+(* Bad local addresses are architecturally reachable from mvin/mvout and
+   compute operands, so they trap rather than invalid_arg. *)
+let trap t cause =
+  let cycle = match t.engine with Some e -> Engine.now e | None -> 0 in
+  let fault = Fault.make ~core:t.core ~component:t.name ~cycle cause in
+  match t.engine with Some e -> Engine.trap e fault | None -> Fault.trap fault
 
 let register_bank_probe engine ~name ~banks (sram : Sram.t) =
   Engine.register_probe engine ~kind:Engine.Scratchpad ~name ~sample:(fun () ->
@@ -15,11 +29,14 @@ let register_bank_probe engine ~name ~banks (sram : Sram.t) =
             (Gem_util.Table.fmt_int (Sram.writes sram));
       })
 
-let create ?engine ?(name = "spad") p =
+let create ?engine ?(name = "spad") ?(core = -1) p =
   let p = Params.validate_exn p in
   let t =
     {
       p;
+      engine;
+      name;
+      core;
       sp =
         Sram.create ~banks:p.Params.sp_banks
           ~rows_per_bank:(Params.sp_rows_per_bank p)
@@ -41,18 +58,30 @@ let create ?engine ?(name = "spad") p =
 let params t = t.p
 
 let target t la =
-  if Local_addr.is_garbage la then invalid_arg "Scratchpad: garbage address";
+  if Local_addr.is_garbage la then
+    trap t (Fault.Illegal_inst "dereference of the garbage local address");
   if Local_addr.is_accumulator la then t.acc else t.sp
 
+let oob_target t la = if Local_addr.is_accumulator la then t.name ^ "-acc" else t.name
+
+let check_row t la mem row =
+  let limit = Sram.total_rows mem in
+  if row < 0 || row >= limit then
+    trap t (Fault.Local_oob { target = oob_target t la; row; rows = 1; limit })
+
 let read_row t la ~offset =
-  Sram.read_row (target t la) ~row:(Local_addr.row la + offset)
+  let mem = target t la in
+  let row = Local_addr.row la + offset in
+  check_row t la mem row;
+  Sram.read_row mem ~row
 
 let write_row t la ~offset elems =
   let mem = target t la in
   let row = Local_addr.row la + offset in
+  check_row t la mem row;
   if Local_addr.accumulate_flag la then begin
     if not (Local_addr.is_accumulator la) then
-      invalid_arg "Scratchpad: accumulate flag on scratchpad address";
+      trap t (Fault.Illegal_inst "accumulate flag on a scratchpad address");
     Sram.accumulate_row mem ~row elems
   end
   else Sram.write_row mem ~row elems

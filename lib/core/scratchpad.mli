@@ -7,9 +7,12 @@
 
 type t
 
-val create : ?engine:Gem_sim.Engine.t -> ?name:string -> Params.t -> t
+val create :
+  ?engine:Gem_sim.Engine.t -> ?name:string -> ?core:int -> Params.t -> t
 (** When [engine] is given, the scratchpad and accumulator banks register
-    metrics probes ([name], [name ^ "-acc"]) in its registry. *)
+    metrics probes ([name], [name ^ "-acc"]) in its registry. Garbage
+    dereferences, misplaced accumulate flags and out-of-bounds rows raise
+    {!Gem_sim.Fault.Trap} attributed to [core] (default -1). *)
 
 val params : t -> Params.t
 

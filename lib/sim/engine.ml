@@ -35,15 +35,22 @@ type event =
     }
   | Translate of { component : string; time : Time.cycles; level : string }
   | Note of { component : string; time : Time.cycles; detail : string }
+  | Fault of {
+      component : string;
+      time : Time.cycles;
+      kind : string;
+      detail : string;
+    }
 
 let event_time = function
   | Acquire { time; _ } | Transfer { time; _ } | Translate { time; _ }
-  | Note { time; _ } ->
+  | Note { time; _ } | Fault { time; _ } ->
       time
 
 let event_component = function
   | Acquire { component; _ } | Transfer { component; _ }
-  | Translate { component; _ } | Note { component; _ } ->
+  | Translate { component; _ } | Note { component; _ } | Fault { component; _ }
+    ->
       component
 
 let pp_event fmt = function
@@ -59,6 +66,9 @@ let pp_event fmt = function
         level
   | Note { component; time; detail } ->
       Format.fprintf fmt "[%a] %-16s %s" Time.pp time component detail
+  | Fault { component; time; kind; detail } ->
+      Format.fprintf fmt "[%a] %-16s FAULT %s: %s" Time.pp time component kind
+        detail
 
 type sample = {
   p_requests : int;
@@ -73,6 +83,7 @@ type stat = {
   stat_requests : int;
   stat_busy : Time.cycles;
   stat_wait : Time.cycles;
+  stat_faults : int;
   stat_note : string;
 }
 
@@ -92,6 +103,8 @@ type t = {
   mutable total : int;
   mutable trace_on : bool;
   mutable sinks : (event -> unit) list;
+  fault_counts : (string, int) Hashtbl.t; (* component name -> traps *)
+  mutable total_faults : int;
 }
 
 let create ?(trace_capacity = 4096) ?(trace = false) () =
@@ -106,6 +119,8 @@ let create ?(trace_capacity = 4096) ?(trace = false) () =
     total = 0;
     trace_on = trace;
     sinks = [];
+    fault_counts = Hashtbl.create 16;
+    total_faults = 0;
   }
 
 (* --- registry ------------------------------------------------------------ *)
@@ -188,9 +203,32 @@ let occupy t res ~now ~start ~until =
     emit t
       (Acquire { component = Resource.name res; time = now; start; finish = until })
 
+(* --- faults --------------------------------------------------------------- *)
+
+let faults t ~component =
+  Option.value ~default:0 (Hashtbl.find_opt t.fault_counts component)
+
+let total_faults t = t.total_faults
+
+let trap t (fault : Fault.t) =
+  Hashtbl.replace t.fault_counts fault.Fault.component
+    (faults t ~component:fault.Fault.component + 1);
+  t.total_faults <- t.total_faults + 1;
+  observe t fault.Fault.cycle;
+  if observing t then
+    emit t
+      (Fault
+         {
+           component = fault.Fault.component;
+           time = fault.Fault.cycle;
+           kind = Fault.cause_label fault.Fault.cause;
+           detail = Fault.cause_detail fault.Fault.cause;
+         });
+  Fault.trap fault
+
 (* --- metrics ------------------------------------------------------------- *)
 
-let stat_of_entry e =
+let stat_of_entry t e =
   match e.e_impl with
   | Owned { res; note } ->
       {
@@ -199,6 +237,7 @@ let stat_of_entry e =
         stat_requests = Resource.requests res;
         stat_busy = Resource.busy_cycles res;
         stat_wait = Resource.wait_cycles res;
+        stat_faults = faults t ~component:e.e_name;
         stat_note = note ();
       }
   | Probe sample ->
@@ -209,10 +248,11 @@ let stat_of_entry e =
         stat_requests = s.p_requests;
         stat_busy = s.p_busy;
         stat_wait = s.p_wait;
+        stat_faults = faults t ~component:e.e_name;
         stat_note = s.p_note;
       }
 
-let stats t = List.rev_map stat_of_entry t.entries
+let stats t = List.rev_map (stat_of_entry t) t.entries
 
 let horizon t = t.clock
 
@@ -224,9 +264,12 @@ let utilization_table t ?horizon:h () =
       ~title:
         (Printf.sprintf "Engine profile (horizon = %s cycles)"
            (Table.fmt_int horizon))
-      [ "Component"; "Kind"; "Requests"; "Busy"; "Wait"; "Util"; "Detail" ]
+      [
+        "Component"; "Kind"; "Requests"; "Busy"; "Wait"; "Util"; "Faults";
+        "Detail";
+      ]
   in
-  List.iter (fun i -> Table.set_align tbl i Table.Right) [ 2; 3; 4; 5 ];
+  List.iter (fun i -> Table.set_align tbl i Table.Right) [ 2; 3; 4; 5; 6 ];
   List.iter
     (fun s ->
       let util =
@@ -241,6 +284,7 @@ let utilization_table t ?horizon:h () =
           Table.fmt_int s.stat_busy;
           Table.fmt_int s.stat_wait;
           Table.fmt_pct util;
+          Table.fmt_int s.stat_faults;
           s.stat_note;
         ])
     (stats t);
@@ -251,6 +295,8 @@ let reset t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;
   t.total <- 0;
+  Hashtbl.reset t.fault_counts;
+  t.total_faults <- 0;
   List.iter
     (fun e -> match e.e_impl with Owned { res; _ } -> Resource.reset res | Probe _ -> ())
     t.entries

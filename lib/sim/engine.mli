@@ -55,6 +55,12 @@ type event =
     }
   | Translate of { component : string; time : Time.cycles; level : string }
   | Note of { component : string; time : Time.cycles; detail : string }
+  | Fault of {
+      component : string;
+      time : Time.cycles;
+      kind : string;  (** {!Fault.cause_label} of the cause *)
+      detail : string;  (** {!Fault.cause_detail} of the cause *)
+    }
 
 val event_time : event -> Time.cycles
 val event_component : event -> string
@@ -75,6 +81,7 @@ type stat = {
   stat_requests : int;
   stat_busy : Time.cycles;
   stat_wait : Time.cycles;
+  stat_faults : int;  (** traps attributed to this component *)
   stat_note : string;
 }
 
@@ -144,6 +151,19 @@ val events : t -> event list
 val event_count : t -> int
 (** Total events recorded while tracing (including overwritten ones). *)
 
+(* --- faults ------------------------------------------------------------ *)
+
+val trap : t -> Fault.t -> 'a
+(** Records the fault against its component, advances the clock to the
+    fault cycle, emits a [Fault] event when anyone is observing, and
+    raises {!Fault.Trap}. The single reporting path for engine-attached
+    components. *)
+
+val faults : t -> component:string -> int
+(** Traps recorded against [component] (0 for unknown names). *)
+
+val total_faults : t -> int
+
 (* --- metrics ----------------------------------------------------------- *)
 
 val stats : t -> stat list
@@ -157,5 +177,6 @@ val utilization_table : t -> ?horizon:Time.cycles -> unit -> Gem_util.Table.t
     defaults to the engine clock. *)
 
 val reset : t -> unit
-(** Rewind the clock, clear the ring and reset every owned resource.
-    Registrations, sinks and probe targets survive. *)
+(** Rewind the clock, clear the ring, zero the fault counters and reset
+    every owned resource. Registrations, sinks and probe targets
+    survive. *)

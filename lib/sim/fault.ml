@@ -1,0 +1,53 @@
+type cause =
+  | Illegal_inst of string
+  | Local_oob of { target : string; row : int; rows : int; limit : int }
+  | Page_fault of { vpn : int; write : bool }
+  | Dma_bus_error of { vaddr : int; bytes : int }
+  | Acc_overflow of { scale : float }
+  | Watchdog_timeout of { limit : Time.cycles; spent : Time.cycles }
+
+type t = {
+  core : int;
+  component : string;
+  cycle : Time.cycles;
+  cause : cause;
+}
+
+exception Trap of t
+
+let make ~core ~component ~cycle cause = { core; component; cycle; cause }
+let trap t = raise (Trap t)
+
+let cause_label = function
+  | Illegal_inst _ -> "illegal-inst"
+  | Local_oob _ -> "local-oob"
+  | Page_fault _ -> "page-fault"
+  | Dma_bus_error _ -> "dma-bus-error"
+  | Acc_overflow _ -> "acc-overflow"
+  | Watchdog_timeout _ -> "watchdog-timeout"
+
+let cause_detail = function
+  | Illegal_inst msg -> msg
+  | Local_oob { target; row; rows; limit } ->
+      Printf.sprintf "%s rows [%d, %d) exceed %d rows" target row (row + rows)
+        limit
+  | Page_fault { vpn; write } ->
+      Printf.sprintf "%s of unmapped vpn 0x%x"
+        (if write then "write" else "read")
+        vpn
+  | Dma_bus_error { vaddr; bytes } ->
+      Printf.sprintf "burst of %d bytes at 0x%x failed" bytes vaddr
+  | Acc_overflow { scale } -> Printf.sprintf "non-finite scale %g" scale
+  | Watchdog_timeout { limit; spent } ->
+      Printf.sprintf "layer spent %d cycles, budget %d" spent limit
+
+let to_string t =
+  Printf.sprintf "fault[%s] core=%d %s @%d: %s" (cause_label t.cause) t.core
+    t.component t.cycle (cause_detail t.cause)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let () =
+  Printexc.register_printer (function
+    | Trap t -> Some (to_string t)
+    | _ -> None)

@@ -1,0 +1,54 @@
+(** The architectural fault taxonomy and the one trap exception.
+
+    Every layer of the stack (ISA validation, scratchpad, mesh, DMA,
+    virtual memory, runtime watchdog) reports error conditions through the
+    same typed channel: a {!cause} wrapped in a {!t} carrying the faulting
+    core, the registry name of the component that detected it, and the
+    simulated cycle, raised as {!Trap}. Recovery layers (the runtime's
+    fault policies) match on the cause; reporting layers only need the
+    pretty-printers. *)
+
+(** What went wrong, with the architecturally relevant payload. *)
+type cause =
+  | Illegal_inst of string
+      (** malformed or semantically invalid command (bad field range,
+          compute without preload, unsupported dataflow, ...) *)
+  | Local_oob of { target : string; row : int; rows : int; limit : int }
+      (** scratchpad/accumulator access past the end of [target]:
+          rows [row, row+rows) against a memory of [limit] rows *)
+  | Page_fault of { vpn : int; write : bool }
+      (** translation of an unmapped virtual page *)
+  | Dma_bus_error of { vaddr : int; bytes : int }
+      (** a DMA burst segment failed on the bus (injected or modeled) *)
+  | Acc_overflow of { scale : float }
+      (** non-finite scale factor configured for the accumulator
+          read-out / load path (NaN or infinity would poison every MAC) *)
+  | Watchdog_timeout of { limit : Time.cycles; spent : Time.cycles }
+      (** a layer exceeded the runtime's per-layer cycle budget *)
+
+type t = {
+  core : int;  (** faulting core index; -1 when not core-attributed *)
+  component : string;  (** engine-registry name of the detecting component *)
+  cycle : Time.cycles;  (** simulated time when the fault was detected *)
+  cause : cause;
+}
+
+exception Trap of t
+(** The uniform structured trap. Raised by {!trap} / [Engine.trap]; caught
+    by the runtime's fault policies. *)
+
+val make : core:int -> component:string -> cycle:Time.cycles -> cause -> t
+
+val trap : t -> 'a
+(** Raises {!Trap}. Components without an engine use this directly;
+    engine-attached components should prefer [Engine.trap] so the fault is
+    also counted and streamed as an event. *)
+
+val cause_label : cause -> string
+(** Short kebab-case tag of the cause constructor ("page-fault", ...). *)
+
+val cause_detail : cause -> string
+(** Human-readable payload of the cause. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

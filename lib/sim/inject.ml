@@ -1,0 +1,50 @@
+type target = Dma_error | Tlb_drop | Unmap
+
+type t = {
+  seed : int;
+  rate : float;
+  dma : Gem_util.Rng.t;
+  tlb : Gem_util.Rng.t;
+  unmap : Gem_util.Rng.t;
+  mutable dma_fired : int;
+  mutable tlb_fired : int;
+  mutable unmap_fired : int;
+}
+
+let create ~seed ~rate () =
+  let rate = Float.max 0.0 (Float.min 1.0 rate) in
+  (* One independent stream per target: the per-target roll sequences are
+     stable even when components roll at different relative frequencies. *)
+  let root = Gem_util.Rng.create ~seed in
+  let dma = Gem_util.Rng.split root in
+  let tlb = Gem_util.Rng.split root in
+  let unmap = Gem_util.Rng.split root in
+  { seed; rate; dma; tlb; unmap; dma_fired = 0; tlb_fired = 0; unmap_fired = 0 }
+
+let seed t = t.seed
+let rate t = t.rate
+
+let fire t target =
+  let rng =
+    match target with Dma_error -> t.dma | Tlb_drop -> t.tlb | Unmap -> t.unmap
+  in
+  let hit = Gem_util.Rng.float rng 1.0 < t.rate in
+  if hit then begin
+    match target with
+    | Dma_error -> t.dma_fired <- t.dma_fired + 1
+    | Tlb_drop -> t.tlb_fired <- t.tlb_fired + 1
+    | Unmap -> t.unmap_fired <- t.unmap_fired + 1
+  end;
+  hit
+
+let count t = function
+  | Dma_error -> t.dma_fired
+  | Tlb_drop -> t.tlb_fired
+  | Unmap -> t.unmap_fired
+
+let total t = t.dma_fired + t.tlb_fired + t.unmap_fired
+
+let describe t =
+  Printf.sprintf
+    "inject seed=%d rate=%g: %d dma errors, %d tlb drops, %d unmaps" t.seed
+    t.rate t.dma_fired t.tlb_fired t.unmap_fired

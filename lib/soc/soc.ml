@@ -9,6 +9,9 @@ type core = {
   hierarchy : Gem_vm.Hierarchy.t;
   page_table : Gem_vm.Page_table.t;
   mutable next_vaddr : int;
+  (* swap space: ppn of every page injection has unmapped, so a remap
+     restores the same physical page (and its contents) *)
+  swapped : (int, int) Hashtbl.t;
 }
 
 type t = {
@@ -124,12 +127,12 @@ let create cfg =
         let hierarchy =
           Gem_vm.Hierarchy.create ~engine:soc.engine
             ~name:(Printf.sprintf "core%d/tlb" i)
-            cc.Soc_config.tlb ~ptw
+            ~core:i cc.Soc_config.tlb ~ptw
         in
         let controller =
           Gemmini.Controller.create ~engine:soc.engine
             ~name:(Printf.sprintf "core%d" i)
-            ~params:cc.Soc_config.accel ~port ~tlb:hierarchy
+            ~core:i ~params:cc.Soc_config.accel ~port ~tlb:hierarchy
             ~issue_cycles:(Gem_cpu.Cpu_model.issue_cycles cc.Soc_config.cpu)
             ()
         in
@@ -140,6 +143,7 @@ let create cfg =
           hierarchy;
           page_table;
           next_vaddr = va_base;
+          swapped = Hashtbl.create 64;
         })
       cfg.Soc_config.cores
   in
@@ -173,6 +177,43 @@ let alloc t c ~bytes =
   let paddr = alloc_paddr t ~pages in
   Gem_vm.Page_table.map_range c.page_table ~vaddr ~bytes:(pages * page_size) ~paddr;
   vaddr
+
+let va_extent c = (va_base, c.next_vaddr)
+
+(* --- paging (fault injection / recovery) --------------------------------- *)
+
+let unmap_page _t c ~vaddr =
+  let vpn = Gem_vm.Page_table.vpn_of_vaddr vaddr in
+  match Gem_vm.Page_table.unmap c.page_table ~vpn with
+  | None -> false
+  | Some ppn ->
+      Hashtbl.replace c.swapped vpn ppn;
+      Gem_vm.Hierarchy.invalidate c.hierarchy ~vpn;
+      true
+
+let map_page t c ~vaddr =
+  let vpn = Gem_vm.Page_table.vpn_of_vaddr vaddr in
+  let ppn =
+    match Hashtbl.find_opt c.swapped vpn with
+    | Some ppn ->
+        (* Swap the original physical page back in: contents survive. *)
+        Hashtbl.remove c.swapped vpn;
+        ppn
+    | None -> Gem_vm.Page_table.vpn_of_vaddr (alloc_paddr t ~pages:1)
+  in
+  Gem_vm.Page_table.map c.page_table ~vpn ~ppn
+
+let arm_injection t ~seed ~rate =
+  Array.iteri
+    (fun i c ->
+      (* Distinct per-core seeds: each core's plan is an independent but
+         reproducible stream. *)
+      let plan = Inject.create ~seed:(seed + (i * 0x9E3779B9)) ~rate () in
+      Gemmini.Dma.set_inject (Gemmini.Controller.dma c.controller) plan;
+      Gem_vm.Hierarchy.set_inject c.hierarchy ~plan
+        ~unmap:(fun ~vaddr -> ignore (unmap_page t c ~vaddr))
+        ())
+    t.cores_arr
 
 
 (* --- host-side data access (functional mode) ----------------------------- *)

@@ -41,6 +41,26 @@ val alloc : t -> core -> bytes:int -> int
     space, backed by fresh physical pages (mapped in the page table).
     Returns the virtual address. *)
 
+val va_extent : core -> int * int
+(** [(lo, hi)]: the core's allocated virtual address range so far. *)
+
+val unmap_page : t -> core -> vaddr:int -> bool
+(** Unmaps the page containing [vaddr] (leaf PTE cleared, TLB shootdown),
+    stashing its physical page so a later {!map_page} restores the same
+    contents — a swap-out. False when the page was not mapped. *)
+
+val map_page : t -> core -> vaddr:int -> unit
+(** (Re)maps the page containing [vaddr]: swapped-out pages get their
+    original frame back, never-mapped ones a fresh zero frame. This is
+    the host's page-fault handler, used by the runtime's [Retry_map]
+    policy. *)
+
+val arm_injection : t -> seed:int -> rate:float -> unit
+(** Arms deterministic fault injection on every core: per-core
+    {!Gem_sim.Inject} plans (seeds derived from [seed]) are hooked into
+    each DMA (bus errors) and TLB hierarchy (drops and page unmaps).
+    Equal seeds replay identical fault traces. *)
+
 (* Host-side (zero-simulated-cost) data access, functional mode only. *)
 
 val host_write_i8 : t -> core -> vaddr:int -> int array -> unit
@@ -55,6 +75,11 @@ type op =
   | Host_work of { cycles : int; tag : string }
   | Marker of (core -> unit)
       (** executed (zero cost) when the core reaches this point *)
+
+val exec_op : core -> op -> unit
+(** Executes one op on the core. Exposed so recovery layers (the
+    runtime's fault policies) can wrap each op in their own
+    trap-handling before delegating here. *)
 
 val run_program : t -> core -> op Seq.t -> Gem_sim.Time.cycles
 (** Runs a single core's program to completion; returns its finish time. *)

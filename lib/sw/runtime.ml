@@ -2,6 +2,7 @@ open Gem_util
 open Gem_dnn
 module Soc = Gem_soc.Soc
 module Cpu = Gem_cpu.Cpu_model
+module Fault = Gem_sim.Fault
 
 type mode = Accel of { im2col_on_accel : bool } | Cpu_only
 
@@ -9,6 +10,19 @@ let mode_desc = function
   | Accel { im2col_on_accel = true } -> "accel+im2col"
   | Accel { im2col_on_accel = false } -> "accel(cpu-im2col)"
   | Cpu_only -> "cpu-only"
+
+type policy = Abort | Retry_map | Degrade
+
+let policy_desc = function
+  | Abort -> "abort"
+  | Retry_map -> "retry-map"
+  | Degrade -> "degrade"
+
+type fault_record = {
+  fr_fault : Fault.t;
+  fr_layer : string;
+  fr_action : string;
+}
 
 type layer_record = {
   lr_name : string;
@@ -24,6 +38,7 @@ type result = {
   r_total_cycles : Gem_sim.Time.cycles;
   r_layers : layer_record list;
   r_profile : Gem_sim.Engine.stat list;
+  r_faults : fault_record list;
 }
 
 let cycles_by_class r =
@@ -67,6 +82,96 @@ let cpu_layer_cycles cpu layer =
 
 let cpu_only_cycles cpu model =
   Mathx.sum_list (List.map (fun (_, l) -> cpu_layer_cycles cpu l) model.Layer.layers)
+
+(* --- fault policies ---------------------------------------------------------- *)
+
+(* Per-core recovery state threaded through the guarded op stream. The
+   fields describing the current layer are set by a zero-cost begin
+   marker, so recovery actions (CPU fallback cost, fault attribution)
+   know which layer trapped without any timing impact on clean runs. *)
+type guard = {
+  g_policy : policy;
+  g_watchdog : int option;  (** max cycles a single layer may spend *)
+  mutable g_layer : string;
+  mutable g_layer_cpu : int;  (** CPU-kernel cost of the layer (Degrade) *)
+  mutable g_layer_start : Gem_sim.Time.cycles;
+  mutable g_skip : bool;  (** degraded: drain this layer's remaining ops *)
+  mutable g_faults : fault_record list;
+}
+
+let make_guard ~policy ~watchdog =
+  {
+    g_policy = policy;
+    g_watchdog = watchdog;
+    g_layer = "";
+    g_layer_cpu = 0;
+    g_layer_start = 0;
+    g_skip = false;
+    g_faults = [];
+  }
+
+let watchdog_check guard core =
+  match guard.g_watchdog with
+  | None -> ()
+  | Some limit ->
+      let ctrl = Soc.controller core in
+      let spent = Gemmini.Controller.finish_time ctrl - guard.g_layer_start in
+      if spent > limit then
+        Gem_sim.Engine.trap
+          (Gemmini.Controller.engine ctrl)
+          (Fault.make ~core:(Soc.core_id core)
+             ~component:(Printf.sprintf "core%d/host" (Soc.core_id core))
+             ~cycle:(Gemmini.Controller.now ctrl)
+             (Fault.Watchdog_timeout { limit; spent }))
+
+let rec guarded_exec soc guard core op =
+  try
+    if guard.g_skip then
+      (* Degraded layer: its remaining accelerator ops are dropped; the
+         layer-boundary fence still executes so downstream layers stay
+         ordered behind whatever was in flight when the layer trapped. *)
+      match op with
+      | Soc.Insn Gemmini.Isa.Fence -> Soc.exec_op core op
+      | _ -> ()
+    else begin
+      watchdog_check guard core;
+      Soc.exec_op core op
+    end
+  with Fault.Trap f -> handle_trap soc guard core op f
+
+and handle_trap soc guard core op (f : Fault.t) =
+  let record action =
+    guard.g_faults <-
+      { fr_fault = f; fr_layer = guard.g_layer; fr_action = action }
+      :: guard.g_faults
+  in
+  match (guard.g_policy, f.Fault.cause) with
+  | Abort, _ ->
+      record "abort";
+      raise (Fault.Trap f)
+  | Retry_map, Fault.Page_fault { vpn; _ } ->
+      (* The host's page-fault handler: map (or swap back in) the
+         faulting page, then re-issue the whole command. *)
+      record "remap";
+      Soc.map_page soc core ~vaddr:(vpn * Gem_vm.Page_table.page_size);
+      guarded_exec soc guard core op
+  | Retry_map, Fault.Dma_bus_error _ ->
+      (* Transient bus error: re-issue. Injection re-rolls on the retry,
+         so with rate < 1 this converges. *)
+      record "retry";
+      guarded_exec soc guard core op
+  | Retry_map, _ ->
+      (* Not a recoverable-by-retry condition (illegal instruction,
+         out-of-bounds, watchdog): give up as Abort would. *)
+      record "abort";
+      raise (Fault.Trap f)
+  | Degrade, _ ->
+      (* CPU-kernel fallback: charge the host the software cost of the
+         whole layer and drop its remaining accelerator ops. *)
+      record "degrade";
+      guard.g_skip <- true;
+      Gemmini.Controller.host_work (Soc.controller core)
+        ~cycles:guard.g_layer_cpu
 
 (* --- planning --------------------------------------------------------------- *)
 
@@ -292,10 +397,11 @@ let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
       in
       List.concat (List.init mm.Layer.count instance)
 
-let plan_ops soc core model ~mode ~records =
+let plan_ops_with soc core model ~mode ~records ~guard =
   let functional = Option.is_some (Soc.mainmem soc) in
   let tensors = allocate_tensors soc core model ~functional in
   let layers = Array.of_list model.Layer.layers in
+  let cpu = Soc.cpu core in
   let last_finish = ref 0 in
   let emit_layer idx =
     let name, layer = layers.(idx) in
@@ -315,14 +421,41 @@ let plan_ops soc core model ~mode ~records =
             :: !records;
           last_finish := f)
     in
-    ops @ [ Kernels.fence; finish_marker ]
+    let ops = ops @ [ Kernels.fence ] in
+    match guard with
+    | None -> ops @ [ finish_marker ]
+    | Some g ->
+        (* Guarded stream: a begin marker arms the per-layer recovery
+           state, and every op routes through [guarded_exec]. Plan-level
+           markers (functional-mode data staging) run unguarded — they
+           are host code, not accelerator commands. All wrapping is
+           zero-cost, so clean runs are cycle-identical to unguarded
+           ones. *)
+        let begin_marker =
+          Soc.Marker
+            (fun core ->
+              g.g_layer <- name;
+              g.g_layer_cpu <- cpu_layer_cycles cpu layer;
+              g.g_layer_start <-
+                Gemmini.Controller.finish_time (Soc.controller core);
+              g.g_skip <- false)
+        in
+        let wrap op =
+          match op with
+          | Soc.Marker _ -> op
+          | _ -> Soc.Marker (fun core -> guarded_exec soc g core op)
+        in
+        (begin_marker :: List.map wrap ops) @ [ finish_marker ]
   in
   let n = Array.length layers in
   Seq.concat_map
     (fun idx -> List.to_seq (emit_layer idx))
     (Seq.init n (fun i -> i))
 
-let make_result soc core_id model mode records total =
+let plan_ops soc core model ~mode ~records =
+  plan_ops_with soc core model ~mode ~records ~guard:None
+
+let make_result soc core_id model mode records total ~faults =
   {
     r_model = model.Layer.model_name;
     r_mode = mode_desc mode;
@@ -330,30 +463,41 @@ let make_result soc core_id model mode records total =
     r_total_cycles = total;
     r_layers = List.rev records;
     r_profile = Gem_sim.Engine.stats (Soc.engine soc);
+    r_faults = List.rev faults;
   }
 
-let run soc ~core:core_idx model ~mode =
+let run ?(policy = Abort) ?watchdog ?prepare soc ~core:core_idx model ~mode =
   let core = Soc.core soc core_idx in
   let records = ref [] in
-  let ops = plan_ops soc core model ~mode ~records in
+  let guard = make_guard ~policy ~watchdog in
+  let ops = plan_ops_with soc core model ~mode ~records ~guard:(Some guard) in
+  (* Tensors are allocated by now; [prepare] can perturb the address
+     space (e.g. unmap pages) before the first command issues. *)
+  (match prepare with Some f -> f core | None -> ());
   let total = Soc.run_program soc core ops in
-  make_result soc core_idx model mode !records total
+  make_result soc core_idx model mode !records total ~faults:guard.g_faults
 
-let run_parallel soc jobs =
+let run_parallel ?(policy = Abort) ?watchdog soc jobs =
   let programs =
     Array.mapi
       (fun i (model, mode) ->
         let core = Soc.core soc i in
         let records = ref [] in
-        let ops = plan_ops soc core model ~mode ~records in
-        (records, ops))
+        let guard = make_guard ~policy ~watchdog in
+        let ops =
+          plan_ops_with soc core model ~mode ~records ~guard:(Some guard)
+        in
+        (records, guard, ops))
       jobs
   in
-  let finishes = Soc.run_parallel soc (Array.map snd programs) in
+  let finishes =
+    Soc.run_parallel soc (Array.map (fun (_, _, ops) -> ops) programs)
+  in
   Array.mapi
     (fun i (model, mode) ->
-      let records, _ = programs.(i) in
-      make_result soc i model mode !records finishes.(i))
+      let records, guard, _ = programs.(i) in
+      make_result soc i model mode !records finishes.(i)
+        ~faults:guard.g_faults)
     jobs
 
 (* --- functional execution and the golden model ------------------------------- *)

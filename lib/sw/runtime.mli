@@ -21,6 +21,26 @@ type mode =
 
 val mode_desc : mode -> string
 
+(** What the runtime does when an accelerator command raises a
+    {!Gem_sim.Fault.Trap}. *)
+type policy =
+  | Abort  (** record the fault and re-raise (default) *)
+  | Retry_map
+      (** page faults: map the page (host fault handler) and re-issue the
+          command; DMA bus errors: re-issue; anything else aborts *)
+  | Degrade
+      (** fall back to the CPU kernel for the offending layer: charge the
+          host the layer's software cost and drop its remaining
+          accelerator ops *)
+
+val policy_desc : policy -> string
+
+type fault_record = {
+  fr_fault : Gem_sim.Fault.t;
+  fr_layer : string;  (** the layer executing when the trap fired *)
+  fr_action : string;  (** ["abort"], ["remap"], ["retry"] or ["degrade"] *)
+}
+
 type layer_record = {
   lr_name : string;
   lr_class : Gem_dnn.Layer.klass;
@@ -37,6 +57,9 @@ type result = {
   r_profile : Gem_sim.Engine.stat list;
       (** per-component engine statistics at the end of the run, in SoC
           registration order (L2 port, DRAM, then per-core components) *)
+  r_faults : fault_record list;
+      (** every trap the run's policy handled, in program order; empty on
+          a clean run *)
 }
 
 val cycles_by_class :
@@ -54,13 +77,32 @@ val plan_ops :
     happens immediately; per-layer ops materialize as the stream is
     consumed. *)
 
-val run : Gem_soc.Soc.t -> core:int -> Gem_dnn.Layer.model -> mode:mode -> result
-(** Single-core inference (timing). *)
+val run :
+  ?policy:policy ->
+  ?watchdog:int ->
+  ?prepare:(Gem_soc.Soc.core -> unit) ->
+  Gem_soc.Soc.t ->
+  core:int ->
+  Gem_dnn.Layer.model ->
+  mode:mode ->
+  result
+(** Single-core inference (timing). [policy] (default {!Abort}) selects
+    the trap-recovery behavior; [watchdog] bounds the cycles any single
+    layer may spend before a [Watchdog_timeout] trap fires; [prepare]
+    runs after tensor allocation but before the first command issues
+    (e.g. to unmap pages for recovery tests). The guarding is zero-cost:
+    with the default policy a clean run is cycle-identical to older,
+    unguarded runtimes. *)
 
 val run_parallel :
-  Gem_soc.Soc.t -> (Gem_dnn.Layer.model * mode) array -> result array
+  ?policy:policy ->
+  ?watchdog:int ->
+  Gem_soc.Soc.t ->
+  (Gem_dnn.Layer.model * mode) array ->
+  result array
 (** One inference per core, interleaved in simulated time (the Fig. 9
-    dual-core experiments). *)
+    dual-core experiments). Each core gets its own recovery state under
+    the shared [policy]. *)
 
 val cpu_only_cycles :
   Gem_cpu.Cpu_model.kind -> Gem_dnn.Layer.model -> Gem_sim.Time.cycles

@@ -19,10 +19,17 @@ let default_config =
 
 type filter = { mutable vpn : int; mutable ppn : int }
 
+type inject_hooks = {
+  plan : Inject.t;
+  unmap_cb : (vaddr:int -> unit) option;
+}
+
 type t = {
   cfg : config;
   name : string;
+  core : int;
   engine : Engine.t;
+  mutable inject : inject_hooks option;
   private_tlb : Tlb.t;
   shared_tlb : Tlb.t;
   ptw : Ptw.t;
@@ -55,7 +62,7 @@ let level_label = function
   | Shared -> "shared"
   | Walk -> "walk"
 
-let create ?engine ?(name = "tlb") cfg ~ptw =
+let create ?engine ?(name = "tlb") ?(core = -1) cfg ~ptw =
   if cfg.private_entries <= 0 then
     invalid_arg "Hierarchy.create: private TLB needs at least one entry";
   if cfg.shared_entries < 0 then
@@ -65,7 +72,9 @@ let create ?engine ?(name = "tlb") cfg ~ptw =
     {
       cfg;
       name;
+      core;
       engine;
+      inject = None;
       private_tlb = Tlb.create ~entries:cfg.private_entries;
       shared_tlb = Tlb.create ~entries:cfg.shared_entries;
       ptw;
@@ -103,6 +112,19 @@ let create ?engine ?(name = "tlb") cfg ~ptw =
 
 let config t = t.cfg
 let set_observer t obs = t.observer <- obs
+let set_inject t ~plan ?unmap () = t.inject <- Some { plan; unmap_cb = unmap }
+
+let invalidate t ~vpn =
+  Tlb.invalidate t.private_tlb ~vpn;
+  Tlb.invalidate t.shared_tlb ~vpn;
+  if t.filter_read.vpn = vpn then begin
+    t.filter_read.vpn <- -1;
+    t.filter_read.ppn <- -1
+  end;
+  if t.filter_write.vpn = vpn then begin
+    t.filter_write.vpn <- -1;
+    t.filter_write.ppn <- -1
+  end
 
 let observe t now level =
   (match t.observer with None -> () | Some f -> f now level);
@@ -126,6 +148,16 @@ let note_locality t ~vpn ~write =
 let translate t ~now ~vaddr ~write =
   let vpn = Page_table.vpn_of_vaddr vaddr in
   let offset = Page_table.page_offset vaddr in
+  (* Injection rolls happen before the lookup so a fired unmap or drop is
+     seen by this very request. Roll order is fixed (unmap, then drop) so
+     a given seed replays the same trace. *)
+  (match t.inject with
+  | None -> ()
+  | Some { plan; unmap_cb } ->
+      if Inject.fire plan Inject.Unmap then (
+        (match unmap_cb with None -> () | Some f -> f ~vaddr);
+        invalidate t ~vpn);
+      if Inject.fire plan Inject.Tlb_drop then invalidate t ~vpn);
   t.requests <- t.requests + 1;
   note_locality t ~vpn ~write;
   let filter = if write then t.filter_write else t.filter_read in
@@ -169,7 +201,13 @@ let translate t ~now ~vaddr ~write =
             let miss_time =
               now + t.cfg.private_hit_latency + t.cfg.shared_hit_latency
             in
-            let ppn, finish = Ptw.walk t.ptw ~now:miss_time ~vpn in
+            let ppn, finish =
+              try Ptw.walk t.ptw ~now:miss_time ~vpn
+              with Ptw.Page_fault vpn ->
+                Engine.trap t.engine
+                  (Fault.make ~core:t.core ~component:t.name ~cycle:miss_time
+                     (Fault.Page_fault { vpn; write }))
+            in
             Tlb.fill t.private_tlb ~vpn ~ppn;
             Tlb.fill t.shared_tlb ~vpn ~ppn;
             fill_filter ppn;

@@ -29,10 +29,11 @@ val default_config : config
 type t
 
 val create :
-  ?engine:Gem_sim.Engine.t -> ?name:string -> config -> ptw:Ptw.t -> t
+  ?engine:Gem_sim.Engine.t -> ?name:string -> ?core:int -> config -> ptw:Ptw.t -> t
 (** Registers a TLB metrics probe in [engine] (fresh private engine when
     none is supplied) and, when the engine is observing, emits a typed
-    [Translate] event per request. *)
+    [Translate] event per request. [core] (default -1) attributes faults
+    raised by this hierarchy. *)
 
 val config : t -> config
 
@@ -46,7 +47,20 @@ type outcome = {
 
 val translate :
   t -> now:Gem_sim.Time.cycles -> vaddr:int -> write:bool -> outcome
-(** Translates one request. Raises {!Ptw.Page_fault} on unmapped pages. *)
+(** Translates one request. An unmapped page raises a structured
+    {!Gem_sim.Fault.Trap} (cause [Page_fault]) through the engine, which
+    records it against this hierarchy's component name. *)
+
+val invalidate : t -> vpn:int -> unit
+(** Drops one translation from the filter registers and both TLBs (the
+    page-unmap shootdown path). The next access re-walks. *)
+
+val set_inject :
+  t -> plan:Gem_sim.Inject.t -> ?unmap:(vaddr:int -> unit) -> unit -> unit
+(** Arms deterministic fault injection: every translation rolls the
+    plan's [Unmap] stream (fires [unmap] and a shootdown — the host must
+    remap) and its [Tlb_drop] stream (fires a shootdown only — the next
+    access re-walks but succeeds). *)
 
 val set_observer : t -> (Gem_sim.Time.cycles -> level -> unit) option -> unit
 (** Installs a per-request probe (used to record miss-rate time series,

@@ -80,6 +80,23 @@ let map_range t ~vaddr ~bytes ~paddr =
     map t ~vpn:(vpn_of_vaddr vaddr + i) ~ppn:(vpn_of_vaddr paddr + i)
   done
 
+let unmap t ~vpn =
+  if vpn < 0 then invalid_arg "Page_table.unmap: negative page number";
+  let rec go node level =
+    let idx = index_at ~level vpn in
+    if level = levels - 1 then begin
+      let ppn = node.leaves.(idx) in
+      if ppn = -1 then None
+      else begin
+        node.leaves.(idx) <- -1;
+        t.mapped_pages <- t.mapped_pages - 1;
+        Some ppn
+      end
+    end
+    else match node.children.(idx) with None -> None | Some c -> go c (level + 1)
+  in
+  go t.root 0
+
 let pte_paddr node idx = node.paddr + (idx * 8)
 
 let walk t ~vpn =

@@ -33,6 +33,11 @@ val map_range : t -> vaddr:int -> bytes:int -> paddr:int -> unit
     physical range starting at [paddr]. Both addresses must be
     page-aligned. *)
 
+val unmap : t -> vpn:int -> int option
+(** Removes a translation, returning the PPN it pointed at ([None] when
+    the page was not mapped). Interior nodes are left in place — like a
+    real OS swap-out, only the leaf PTE is cleared. *)
+
 val translate : t -> vaddr:int -> int option
 (** Full software translation of a virtual address, [None] if unmapped. *)
 

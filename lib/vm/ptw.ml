@@ -68,13 +68,19 @@ let walk t ~now ~vpn =
       (start, 0) pte_addrs
     |> fst
   in
-  (* Occupy the walker for the walk's duration so concurrent requesters
-     queue behind it. *)
-  Engine.occupy t.engine t.walker ~now ~start ~until:finish;
-  t.total_walk_cycles <- t.total_walk_cycles + (finish - now);
   match result with
-  | None -> raise (Page_fault vpn)
-  | Some ppn -> (ppn, finish)
+  | None ->
+      (* A faulting walk must not commit the walker reservation: the trap
+         unwinds past the requester, and an occupied walker would stall
+         every later walk (including the re-walk after the fault is
+         repaired) behind a request that never completed. *)
+      raise (Page_fault vpn)
+  | Some ppn ->
+      (* Occupy the walker for the walk's duration so concurrent
+         requesters queue behind it. *)
+      Engine.occupy t.engine t.walker ~now ~start ~until:finish;
+      t.total_walk_cycles <- t.total_walk_cycles + (finish - now);
+      (ppn, finish)
 
 let walks t = t.walks
 let pte_reads t = t.pte_reads

@@ -67,6 +67,17 @@ let fill t ~vpn ~ppn =
         Hashtbl.replace t.index vpn e
   end
 
+let invalidate t ~vpn =
+  match Hashtbl.find_opt t.index vpn with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.index vpn;
+      (* The slot stays allocated but becomes the LRU victim; evicting a
+         vpn of -1 later is a harmless Hashtbl.remove of a missing key. *)
+      e.vpn <- -1;
+      e.ppn <- -1;
+      e.age <- 0
+
 let flush t =
   Array.iter
     (fun e ->

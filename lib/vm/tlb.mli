@@ -24,6 +24,10 @@ val fill : t -> vpn:int -> ppn:int -> unit
 (** Installs a translation, evicting the LRU entry if full. No-op on a
     0-entry TLB. Refilling an existing vpn updates its PPN and recency. *)
 
+val invalidate : t -> vpn:int -> unit
+(** Invalidates one translation if present (targeted sfence.vma / page
+    unmap). No-op when [vpn] is not resident. *)
+
 val flush : t -> unit
 (** Invalidates everything (context switch / sfence.vma). *)
 

@@ -1,0 +1,408 @@
+(* The fault subsystem: structured traps, the PTW occupancy regression,
+   ISA validation edges, fuzzed command streams, the runtime's recovery
+   policies (Retry_map / Degrade / watchdog), and deterministic fault
+   injection. *)
+
+open Gem_util
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+module Isa = Gemmini.Isa
+module Local_addr = Gemmini.Local_addr
+module Fault = Gem_sim.Fault
+module Engine = Gem_sim.Engine
+
+let single_core_soc () = Soc.create Soc_config.default
+
+let squeezenet8 =
+  Gem_dnn.Model_zoo.scale_model ~factor:8 Gem_dnn.Model_zoo.squeezenet
+
+let accel_mode = Runtime.Accel { im2col_on_accel = true }
+
+(* --- satellite: a faulting PTW walk must not occupy the walker ------------- *)
+
+let test_ptw_fault_no_occupancy () =
+  let engine = Engine.create () in
+  let pt = Gem_vm.Page_table.create ~node_region_base:0x1000_0000 () in
+  Gem_vm.Page_table.map pt ~vpn:1 ~ppn:50;
+  let ptw =
+    Gem_vm.Ptw.create ~engine ~name:"ptw" ~page_table:pt
+      ~mem_read:(fun ~now ~paddr:_ ~bytes:_ -> now + 20)
+      ()
+  in
+  (match Gem_vm.Ptw.walk ptw ~now:0 ~vpn:0x777 with
+  | _ -> Alcotest.fail "walk of unmapped vpn must fault"
+  | exception Gem_vm.Ptw.Page_fault 0x777 -> ());
+  let ptw_stat () =
+    List.find (fun s -> s.Engine.stat_name = "ptw") (Engine.stats engine)
+  in
+  Alcotest.(check int) "faulting walk left the walker free" 0
+    (ptw_stat ()).Engine.stat_busy;
+  (* A subsequent walk starts immediately: the faulting walk must not
+     have committed a reservation on the shared walker. *)
+  let _, finish = Gem_vm.Ptw.walk ptw ~now:0 ~vpn:1 in
+  let s = ptw_stat () in
+  Alcotest.(check int) "no queueing behind the faulted walk" 0 s.Engine.stat_wait;
+  Alcotest.(check int) "only the successful walk is charged" finish
+    s.Engine.stat_busy
+
+(* --- Isa.validate edges ---------------------------------------------------- *)
+
+let p = Gemmini.Params.default (* dim 16 *)
+
+let check_cause name cmd expect =
+  match Isa.validate p cmd with
+  | Ok () -> Alcotest.failf "%s: expected %s, got Ok" name expect
+  | Error cause ->
+      Alcotest.(check string) name expect (Fault.cause_label cause)
+
+let check_ok name cmd =
+  match Isa.validate p cmd with
+  | Ok () -> ()
+  | Error cause -> Alcotest.failf "%s: rejected: %s" name (Fault.cause_detail cause)
+
+let mvin ?(row = 0) ?(cols = 16) ?(rows = 16) ?(dram = 0x10000) () =
+  Isa.Mvin
+    ({ Isa.dram_addr = dram; local = Local_addr.scratchpad ~row; cols; rows }, 0)
+
+let test_validate_edges () =
+  check_ok "plain mvin" (mvin ());
+  check_ok "wide mvin (4 blocks)" (mvin ~cols:(4 * 16) ());
+  check_cause "mvin 0 cols" (mvin ~cols:0 ()) "illegal-inst";
+  check_cause "mvin too many cols" (mvin ~cols:65 ()) "illegal-inst";
+  check_cause "mvin rows > dim" (mvin ~rows:17 ()) "illegal-inst";
+  check_cause "mvin negative dram addr" (mvin ~dram:(-1) ()) "illegal-inst";
+  check_cause "mvin dram addr > 2^48" (mvin ~dram:(1 lsl 48) ()) "illegal-inst";
+  check_cause "mvin to garbage"
+    (Isa.Mvin
+       ( { Isa.dram_addr = 0; local = Local_addr.garbage; cols = 1; rows = 1 },
+         0 ))
+    "illegal-inst";
+  (* Last block row must stay inside the scratchpad. *)
+  let sp_rows = Gemmini.Params.sp_rows p in
+  check_ok "mvin at top of scratchpad" (mvin ~row:(sp_rows - 16) ());
+  check_cause "mvin over scratchpad end" (mvin ~row:(sp_rows - 15) ()) "local-oob";
+  check_cause "mvin channel 3"
+    (Isa.Mvin
+       ({ Isa.dram_addr = 0; local = Local_addr.scratchpad ~row:0; cols = 1; rows = 1 }, 3))
+    "illegal-inst";
+  check_cause "config_ld bad channel"
+    (Isa.Config_ld { ld_stride_bytes = 0; ld_scale = 1.0; ld_shrunk = false; ld_id = 3 })
+    "illegal-inst";
+  check_cause "config_ld NaN scale"
+    (Isa.Config_ld { ld_stride_bytes = 0; ld_scale = Float.nan; ld_shrunk = false; ld_id = 0 })
+    "acc-overflow";
+  check_cause "config_ex shift 64"
+    (Isa.Config_ex
+       { dataflow = `WS; activation = Gemmini.Peripheral.No_activation;
+         sys_shift = 64; a_transpose = false; b_transpose = false })
+    "illegal-inst";
+  check_cause "preload c_rows > dim"
+    (Isa.Preload
+       { b = Local_addr.scratchpad ~row:0; c = Local_addr.accumulator ~row:0 ();
+         b_cols = 16; b_rows = 16; c_cols = 16; c_rows = 17 })
+    "illegal-inst";
+  check_cause "loop bounds zero"
+    (Isa.Loop_ws_bounds
+       { lw_m = 0; lw_k = 1; lw_n = 1; lw_has_bias = false;
+         lw_activation = Gemmini.Peripheral.No_activation })
+    "illegal-inst";
+  check_ok "fence" Isa.Fence;
+  check_ok "flush" Isa.Flush
+
+(* --- fuzz: malformed streams only ever trap -------------------------------- *)
+
+let random_local rng =
+  match Rng.int rng 6 with
+  | 0 -> Local_addr.garbage
+  | 1 -> Local_addr.scratchpad ~row:(Rng.int rng 32768)
+  | 2 ->
+      Local_addr.accumulator ~accumulate:(Rng.bool rng)
+        ~row:(Rng.int rng 8192) ()
+  | 3 -> Local_addr.scratchpad ~row:(Rng.int rng 64)
+  | 4 -> Local_addr.accumulator ~row:(Rng.int rng 64) ()
+  | _ -> Local_addr.of_bits (Rng.int rng 0x4000_0000)
+
+let random_dram rng ~base =
+  match Rng.int rng 4 with
+  | 0 -> base + Rng.int rng 4096
+  | 1 -> Rng.int rng 0x100_0000
+  | 2 -> (1 lsl 48) + Rng.int rng 1024 (* beyond the 48-bit VA space *)
+  | _ -> Rng.int rng (1 lsl 30)
+
+(* Mostly-plausible dims with deliberate poison values. *)
+let random_dim rng =
+  match Rng.int rng 8 with
+  | 0 -> 0
+  | 1 -> Rng.int_in rng ~lo:65 ~hi:300
+  | _ -> Rng.int_in rng ~lo:1 ~hi:16
+
+let random_scale rng =
+  Rng.pick rng [| 1.0; 0.0625; -2.0; Float.nan; Float.infinity |]
+
+let random_cmd rng ~base =
+  match Rng.int rng 14 with
+  | 0 ->
+      Isa.Config_ex
+        { dataflow = (if Rng.bool rng then `WS else `OS);
+          activation = Gemmini.Peripheral.No_activation;
+          sys_shift = Rng.int rng 80;
+          a_transpose = false; b_transpose = false }
+  | 1 ->
+      Isa.Config_ld
+        { ld_stride_bytes = Rng.int rng 0x2_0000; ld_scale = random_scale rng;
+          ld_shrunk = Rng.bool rng; ld_id = Rng.int rng 4 }
+  | 2 ->
+      Isa.Config_st
+        { st_stride_bytes = Rng.int rng 0x2_0000;
+          st_activation = Gemmini.Peripheral.No_activation;
+          st_scale = random_scale rng; st_pool = None }
+  | 3 | 4 ->
+      Isa.Mvin
+        ( { Isa.dram_addr = random_dram rng ~base; local = random_local rng;
+            cols = random_dim rng; rows = random_dim rng },
+          Rng.int rng 4 )
+  | 5 | 6 ->
+      Isa.Mvout
+        { Isa.dram_addr = random_dram rng ~base; local = random_local rng;
+          cols = random_dim rng; rows = random_dim rng }
+  | 7 ->
+      Isa.Preload
+        { b = random_local rng; c = random_local rng;
+          b_cols = random_dim rng; b_rows = random_dim rng;
+          c_cols = random_dim rng; c_rows = random_dim rng }
+  | 8 | 9 ->
+      let args =
+        { Isa.a = random_local rng; bd = random_local rng;
+          a_cols = random_dim rng; a_rows = random_dim rng;
+          bd_cols = random_dim rng; bd_rows = random_dim rng }
+      in
+      if Rng.bool rng then Isa.Compute_preloaded args
+      else Isa.Compute_accumulated args
+  | 10 ->
+      (* Bounds capped well below 2^16: an accepted LOOP_WS expands into
+         real micro-ops, so keep the tile count small. *)
+      Isa.Loop_ws_bounds
+        { lw_m = Rng.int_in rng ~lo:0 ~hi:100; lw_k = Rng.int_in rng ~lo:0 ~hi:100;
+          lw_n = Rng.int_in rng ~lo:0 ~hi:100; lw_has_bias = Rng.bool rng;
+          lw_activation = Gemmini.Peripheral.No_activation }
+  | 11 ->
+      Isa.Loop_ws_addrs { lw_a = random_dram rng ~base; lw_b = random_dram rng ~base }
+  | 12 ->
+      Isa.Loop_ws
+        { lw_a_stride = Rng.int rng 200; lw_b_stride = Rng.int rng 200;
+          lw_c_stride = Rng.int rng 200; lw_scale = random_scale rng }
+  | _ -> if Rng.bool rng then Isa.Fence else Isa.Flush
+
+let test_fuzz_streams () =
+  let soc = single_core_soc () in
+  let core = Soc.core soc 0 in
+  let base = Soc.alloc soc core ~bytes:(1 lsl 20) in
+  let ctrl = Soc.controller core in
+  let rng = Rng.create ~seed:0xF0F0 in
+  let traps = ref 0 and oks = ref 0 in
+  for _stream = 1 to 1000 do
+    for _i = 1 to 8 do
+      let cmd = random_cmd rng ~base in
+      match Gemmini.Controller.execute ctrl cmd with
+      | () -> incr oks
+      | exception Fault.Trap f ->
+          incr traps;
+          (* Every trap names its core, component and cycle. *)
+          Alcotest.(check int) "trap core" 0 f.Fault.core;
+          if String.length f.Fault.component = 0 then
+            Alcotest.fail "trap without component";
+          if f.Fault.cycle < 0 then Alcotest.fail "trap with negative cycle"
+      | exception e ->
+          Alcotest.failf "unstructured escape from %s: %s" (Isa.to_string cmd)
+            (Printexc.to_string e)
+    done
+  done;
+  Alcotest.(check bool) "fuzz saw traps" true (!traps > 1000);
+  Alcotest.(check bool) "fuzz saw successes" true (!oks > 100)
+
+(* --- recovery policies ------------------------------------------------------ *)
+
+let unmap_every soc core ~nth =
+  let lo, hi = Soc.va_extent core in
+  let page = Gem_vm.Page_table.page_size in
+  let n = ref 0 in
+  let va = ref lo in
+  while !va < hi do
+    if !n mod nth = 0 then ignore (Soc.unmap_page soc core ~vaddr:!va);
+    incr n;
+    va := !va + page
+  done
+
+let test_retry_map_resnet () =
+  (* Full ResNet timing run starting with a hole-ridden address space:
+     Retry_map's page-fault handler must carry it to completion. *)
+  let model = Gem_dnn.Model_zoo.scale_model ~factor:8 Gem_dnn.Model_zoo.resnet50 in
+  let soc = single_core_soc () in
+  let r =
+    Runtime.run ~policy:Runtime.Retry_map
+      ~prepare:(fun core -> unmap_every soc core ~nth:5)
+      soc ~core:0 model ~mode:accel_mode
+  in
+  Alcotest.(check bool) "run completed" true (r.Runtime.r_total_cycles > 0);
+  Alcotest.(check bool) "page faults recovered" true
+    (List.length r.Runtime.r_faults > 10);
+  List.iter
+    (fun fr ->
+      Alcotest.(check string) "every action is a remap" "remap" fr.Runtime.fr_action;
+      Alcotest.(check string) "every cause is a page fault" "page-fault"
+        (Fault.cause_label fr.Runtime.fr_fault.Fault.cause))
+    r.Runtime.r_faults;
+  (* Recovery costs cycles but converges to the same layer structure. *)
+  let clean =
+    Runtime.run (single_core_soc ()) ~core:0 model ~mode:accel_mode
+  in
+  Alcotest.(check int) "same layer count"
+    (List.length clean.Runtime.r_layers)
+    (List.length r.Runtime.r_layers);
+  (* No cycle-count ordering is asserted between the two runs: an aborted
+     DMA burst's L2 line fills survive the trap (speculative fills, as on
+     real hardware), so the retried rows can hit where the clean run
+     missed — recovery overhead and cache warming pull in opposite
+     directions. *)
+  ignore clean.Runtime.r_total_cycles
+
+let test_degrade_completes () =
+  (* Unmap the network input: the first layer's first mvin traps, the
+     layer degrades to the CPU kernel, and the run still completes. *)
+  let soc = single_core_soc () in
+  let r =
+    Runtime.run ~policy:Runtime.Degrade
+      ~prepare:(fun core ->
+        let lo, _ = Soc.va_extent core in
+        ignore (Soc.unmap_page soc core ~vaddr:lo))
+      soc ~core:0 squeezenet8 ~mode:accel_mode
+  in
+  Alcotest.(check bool) "run completed" true (r.Runtime.r_total_cycles > 0);
+  (match r.Runtime.r_faults with
+  | [] -> Alcotest.fail "expected a degrade record"
+  | fr :: _ ->
+      Alcotest.(check string) "action" "degrade" fr.Runtime.fr_action;
+      Alcotest.(check string) "cause" "page-fault"
+        (Fault.cause_label fr.Runtime.fr_fault.Fault.cause));
+  Alcotest.(check int) "all layers accounted"
+    (List.length squeezenet8.Gem_dnn.Layer.layers)
+    (List.length r.Runtime.r_layers)
+
+let test_watchdog () =
+  (* An absurdly tight per-layer budget fires the watchdog. Abort
+     propagates the trap; Degrade absorbs it and finishes the run. *)
+  (match
+     Runtime.run ~watchdog:50 (single_core_soc ()) ~core:0 squeezenet8
+       ~mode:accel_mode
+   with
+  | _ -> Alcotest.fail "watchdog under Abort must raise"
+  | exception Fault.Trap f ->
+      Alcotest.(check string) "cause" "watchdog-timeout"
+        (Fault.cause_label f.Fault.cause));
+  let r =
+    Runtime.run ~policy:Runtime.Degrade ~watchdog:50 (single_core_soc ())
+      ~core:0 squeezenet8 ~mode:accel_mode
+  in
+  Alcotest.(check bool) "degrade absorbs the watchdog" true
+    (r.Runtime.r_total_cycles > 0);
+  Alcotest.(check bool) "timeouts recorded" true
+    (List.exists
+       (fun fr ->
+         Fault.cause_label fr.Runtime.fr_fault.Fault.cause = "watchdog-timeout")
+       r.Runtime.r_faults)
+
+(* --- deterministic injection ------------------------------------------------ *)
+
+let fault_trace r =
+  List.map
+    (fun fr -> fr.Runtime.fr_action ^ " " ^ Fault.to_string fr.Runtime.fr_fault)
+    r.Runtime.r_faults
+
+let injected_run ~seed =
+  let soc = single_core_soc () in
+  Soc.arm_injection soc ~seed ~rate:0.0005;
+  let r =
+    Runtime.run ~policy:Runtime.Retry_map soc ~core:0 squeezenet8
+      ~mode:accel_mode
+  in
+  (r.Runtime.r_total_cycles, fault_trace r)
+
+let test_injection_determinism () =
+  let c1, t1 = injected_run ~seed:42 in
+  let c2, t2 = injected_run ~seed:42 in
+  Alcotest.(check bool) "injection fired" true (List.length t1 > 0);
+  Alcotest.(check (list string)) "same seed, same fault trace" t1 t2;
+  Alcotest.(check int) "same seed, same final cycle count" c1 c2
+
+let injected_dual_run ~seed =
+  let soc = Soc.create Soc_config.dual_core in
+  Soc.arm_injection soc ~seed ~rate:0.0005;
+  let rs =
+    Runtime.run_parallel ~policy:Runtime.Retry_map soc
+      [| (squeezenet8, accel_mode); (squeezenet8, accel_mode) |]
+  in
+  ( Array.to_list (Array.map (fun r -> r.Runtime.r_total_cycles) rs),
+    List.concat_map fault_trace (Array.to_list rs) )
+
+let test_dual_core_injection_determinism () =
+  let c1, t1 = injected_dual_run ~seed:7 in
+  let c2, t2 = injected_dual_run ~seed:7 in
+  Alcotest.(check bool) "injection fired on both cores" true
+    (List.length t1 > 0);
+  Alcotest.(check (list string)) "dual-core fault traces match" t1 t2;
+  Alcotest.(check (list int)) "dual-core finish times match" c1 c2
+
+(* --- profile integration ---------------------------------------------------- *)
+
+let test_profile_faults_column () =
+  (* Clean run: the Faults column exists and is all zero. *)
+  let soc = single_core_soc () in
+  let r = Runtime.run soc ~core:0 squeezenet8 ~mode:accel_mode in
+  Alcotest.(check bool) "clean run has no faults" true
+    (r.Runtime.r_faults = []);
+  List.iter
+    (fun s -> Alcotest.(check int) ("clean " ^ s.Engine.stat_name) 0 s.Engine.stat_faults)
+    r.Runtime.r_profile;
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let table = Gem_util.Table.render (Engine.utilization_table (Soc.engine soc) ()) in
+  Alcotest.(check bool) "profile has a Faults column" true
+    (contains ~needle:"Faults" table);
+  (* Injected run: counted traps appear against their components. *)
+  let soc = single_core_soc () in
+  Soc.arm_injection soc ~seed:42 ~rate:0.0005;
+  let r =
+    Runtime.run ~policy:Runtime.Retry_map soc ~core:0 squeezenet8
+      ~mode:accel_mode
+  in
+  let counted =
+    List.fold_left (fun acc s -> acc + s.Engine.stat_faults) 0 r.Runtime.r_profile
+  in
+  Alcotest.(check int) "profile fault counts cover every handled trap"
+    (List.length r.Runtime.r_faults) counted;
+  Alcotest.(check int) "engine total agrees"
+    counted
+    (Engine.total_faults (Soc.engine soc))
+
+let suite =
+  [
+    Alcotest.test_case "PTW: faulting walk leaves walker free" `Quick
+      test_ptw_fault_no_occupancy;
+    Alcotest.test_case "Isa.validate edges" `Quick test_validate_edges;
+    Alcotest.test_case "fuzz: 1000 malformed streams only trap" `Quick
+      test_fuzz_streams;
+    Alcotest.test_case "Retry_map completes ResNet with unmapped pages" `Quick
+      test_retry_map_resnet;
+    Alcotest.test_case "Degrade completes after a forced trap" `Quick
+      test_degrade_completes;
+    Alcotest.test_case "watchdog timeout" `Quick test_watchdog;
+    Alcotest.test_case "injection determinism (single core)" `Quick
+      test_injection_determinism;
+    Alcotest.test_case "injection determinism (dual core)" `Quick
+      test_dual_core_injection_determinism;
+    Alcotest.test_case "profile faults column" `Quick test_profile_faults_column;
+  ]

@@ -110,11 +110,15 @@ let test_loop_ws_issue_savings () =
 let test_loop_ws_requires_config () =
   let soc = Soc.create Soc_config.default in
   let core = Soc.core soc 0 in
-  Alcotest.check_raises "unconfigured loop rejected"
-    (Invalid_argument "Controller: LOOP_WS without LOOP_WS_CONFIG_BOUNDS")
-    (fun () ->
-      Gemmini.Controller.execute (Soc.controller core)
-        (Isa.Loop_ws { Isa.lw_a_stride = 1; lw_b_stride = 1; lw_c_stride = 1; lw_scale = 1.0 }))
+  match
+    Gemmini.Controller.execute (Soc.controller core)
+      (Isa.Loop_ws { Isa.lw_a_stride = 1; lw_b_stride = 1; lw_c_stride = 1; lw_scale = 1.0 })
+  with
+  | () -> Alcotest.fail "unconfigured loop accepted"
+  | exception Gem_sim.Fault.Trap f ->
+      Alcotest.(check string)
+        "trap cause" "LOOP_WS without LOOP_WS_CONFIG_BOUNDS"
+        (Gem_sim.Fault.cause_detail f.Gem_sim.Fault.cause)
 
 let test_loop_ws_encoding () =
   List.iter

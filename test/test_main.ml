@@ -13,5 +13,6 @@ let () =
       ("runtime", Test_runtime.suite);
       ("soc", Test_soc.suite);
       ("loop_ws", Test_loop_ws.suite);
+      ("fault", Test_fault.suite);
       ("experiments", Test_experiments.suite);
     ]
