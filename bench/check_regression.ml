@@ -1,0 +1,117 @@
+(* The bench-regression gate: diffs the cycle counts in a fresh
+   BENCH_results.json (written by `bench/main.exe -- quick`) against the
+   committed BENCH_baseline.json and fails on ANY drift — a changed count,
+   a metric that disappeared, or a new metric not yet in the baseline.
+
+     dune exec bench/check_regression.exe
+     dune exec bench/check_regression.exe -- baseline.json results.json
+
+   Cycle counts in this repository are deterministic, so an exact match is
+   the correct bar. Wall times are reported for context but never gate.
+   When a simulator change legitimately moves the numbers, regenerate the
+   baseline (`dune exec bench/main.exe -- quick && cp BENCH_results.json
+   BENCH_baseline.json`) and commit it alongside the change. *)
+
+let fail_count = ref 0
+
+let problem fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr fail_count;
+      Printf.printf "FAIL %s\n" s)
+    fmt
+
+let malformed path fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "error: %s: %s\n" path s;
+      exit 2)
+    fmt
+
+let load path =
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      Printf.eprintf "error: cannot open %s: %s\n" path e;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Gem_util.Jsonx.of_string s with
+  | Ok v -> v
+  | Error e -> malformed path "invalid JSON: %s" e
+
+let obj_field path json name =
+  match Gem_util.Jsonx.member name json with
+  | Some v -> v
+  | None -> malformed path "no %S field" name
+
+let metrics path json =
+  match Gem_util.Jsonx.to_obj (obj_field path json "metrics") with
+  | Some kvs ->
+      List.map
+        (fun (k, v) ->
+          match Gem_util.Jsonx.to_int v with
+          | Some n -> (k, n)
+          | None -> malformed path "metric %S is not an integer" k)
+        kvs
+  | None -> malformed path "\"metrics\" is not an object"
+
+let quick_flag path json =
+  match Gem_util.Jsonx.to_bool (obj_field path json "quick") with
+  | Some b -> b
+  | None -> malformed path "\"quick\" is not a boolean"
+
+let () =
+  let baseline_path, results_path =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> ("BENCH_baseline.json", "BENCH_results.json")
+    | [ _; b ] -> (b, "BENCH_results.json")
+    | [ _; b; r ] -> (b, r)
+    | _ ->
+        Printf.eprintf "usage: check_regression [baseline.json [results.json]]\n";
+        exit 2
+  in
+  let baseline = load baseline_path in
+  let results = load results_path in
+  let bq = quick_flag baseline_path baseline in
+  let rq = quick_flag results_path results in
+  if bq <> rq then
+    problem "quick flags differ: baseline quick=%b, results quick=%b" bq rq;
+  let base_m = metrics baseline_path baseline in
+  let res_m = metrics results_path results in
+  List.iter
+    (fun (k, bv) ->
+      match List.assoc_opt k res_m with
+      | None -> problem "%s: in baseline but missing from results" k
+      | Some rv when rv <> bv ->
+          problem "%s: baseline %d, got %d (%+d)" k bv rv (rv - bv)
+      | Some _ -> ())
+    base_m;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k base_m) then
+        problem "%s: new metric not in baseline (regenerate BENCH_baseline.json)" k)
+    res_m;
+  (match
+     ( Gem_util.Jsonx.to_obj (obj_field baseline_path baseline "wall_s"),
+       Gem_util.Jsonx.to_obj (obj_field results_path results "wall_s") )
+   with
+  | Some bw, Some rw ->
+      List.iter
+        (fun (k, v) ->
+          match Gem_util.Jsonx.to_float v with
+          | None -> ()
+          | Some r -> (
+              match Option.bind (List.assoc_opt k bw) Gem_util.Jsonx.to_float with
+              | Some b -> Printf.printf "info %s: %.2fs (baseline %.2fs)\n" k r b
+              | None -> Printf.printf "info %s: %.2fs (no baseline)\n" k r))
+        rw
+  | _ -> ());
+  if !fail_count = 0 then (
+    Printf.printf "OK: %d metrics match %s\n" (List.length base_m) baseline_path;
+    exit 0)
+  else (
+    Printf.printf "%d regression(s) against %s\n" !fail_count baseline_path;
+    exit 1)

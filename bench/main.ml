@@ -12,12 +12,52 @@
 let banner name =
   Printf.printf "\n%s\n%s\n" name (String.make (String.length name) '=')
 
+(* Machine-readable results: every experiment contributes its deterministic
+   cycle counts (and similar integer measurements) plus its wall time; the
+   whole collection is written to BENCH_results.json at the end, and the CI
+   regression gate (bench/check_regression.exe) diffs the cycle counts
+   against the committed BENCH_baseline.json. *)
+
+let metrics : (string * int) list ref = ref []
+let walls : (string * float) list ref = ref []
+let metric name v = metrics := (name, v) :: !metrics
+
+let slug s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+    s
+
 let timed name f =
   banner name;
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  walls := (name, dt) :: !walls;
+  Printf.printf "[%s: %.1fs]\n%!" name dt;
   r
+
+let write_results ~quick path =
+  let open Gem_util.Jsonx in
+  let json =
+    Obj
+      [
+        ("schema", Int 1);
+        ("quick", Bool quick);
+        ( "metrics",
+          Obj
+            (List.sort
+               (fun (a, _) (b, _) -> compare a b)
+               (List.rev_map (fun (k, v) -> (k, Int v)) !metrics)) );
+        ( "wall_s",
+          Obj (List.rev_map (fun (k, v) -> (k, Float v)) !walls) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d metrics)\n" path (List.length !metrics)
 
 let run_table1 () = timed "Table I: generator feature comparison" Gem_experiments.Table1.run
 
@@ -25,22 +65,57 @@ let run_fig3 () =
   ignore (timed "Fig. 3: pipelined vs combinational spatial arrays" Gem_experiments.Fig3.run)
 
 let run_fig4 ?quick () =
-  ignore (timed "Fig. 4: TLB miss rate over ResNet50" (Gem_experiments.Fig4.run ?quick))
+  let r = timed "Fig. 4: TLB miss rate over ResNet50" (Gem_experiments.Fig4.run ?quick) in
+  metric "fig4.tlb_requests" r.Gem_experiments.Fig4.total_requests
 
 let run_fig6 () =
   ignore (timed "Fig. 6: area breakdown" Gem_experiments.Fig6.run)
 
 let run_fig7 ?quick () =
-  ignore (timed "Fig. 7: speedup over CPU baselines" (Gem_experiments.Fig7.run ?quick))
+  let r = timed "Fig. 7: speedup over CPU baselines" (Gem_experiments.Fig7.run ?quick) in
+  List.iter
+    (fun (row : Gem_experiments.Fig7.row) ->
+      let m = slug row.Gem_experiments.Fig7.model in
+      metric (Printf.sprintf "fig7.%s.baseline_rocket" m) row.Gem_experiments.Fig7.baseline_rocket;
+      metric (Printf.sprintf "fig7.%s.rocket_cpu_im2col" m) row.Gem_experiments.Fig7.rocket_cpu_im2col;
+      metric (Printf.sprintf "fig7.%s.boom_cpu_im2col" m) row.Gem_experiments.Fig7.boom_cpu_im2col;
+      metric (Printf.sprintf "fig7.%s.rocket_accel_im2col" m) row.Gem_experiments.Fig7.rocket_accel_im2col;
+      metric (Printf.sprintf "fig7.%s.boom_accel_im2col" m) row.Gem_experiments.Fig7.boom_accel_im2col)
+    r.Gem_experiments.Fig7.rows
 
 let run_fig8 ?quick () =
-  ignore (timed "Fig. 8: virtual-address translation co-design" (Gem_experiments.Fig8.run ?quick))
+  let r =
+    timed "Fig. 8: virtual-address translation co-design"
+      (Gem_experiments.Fig8.run ?quick)
+  in
+  List.iter
+    (fun (p : Gem_experiments.Fig8.point) ->
+      metric
+        (Printf.sprintf "fig8.%s.p%d.s%d"
+           (if p.Gem_experiments.Fig8.filters then "filters" else "nofilters")
+           p.Gem_experiments.Fig8.private_entries
+           p.Gem_experiments.Fig8.shared_entries)
+        p.Gem_experiments.Fig8.cycles)
+    r.Gem_experiments.Fig8.points
 
 let run_fig9 ?quick () =
-  ignore (timed "Fig. 9: memory partitioning" (Gem_experiments.Fig9.run ?quick))
+  let r = timed "Fig. 9: memory partitioning" (Gem_experiments.Fig9.run ?quick) in
+  List.iter
+    (fun (x : Gem_experiments.Fig9.run) ->
+      metric
+        (Printf.sprintf "fig9.c%d.%s" x.Gem_experiments.Fig9.cores
+           (Gem_experiments.Fig9.config_label x.Gem_experiments.Fig9.name))
+        x.Gem_experiments.Fig9.total_cycles)
+    r.Gem_experiments.Fig9.runs
 
 let run_ablations ?quick () =
-  ignore (timed "Ablations (design-choice studies)" (Gem_experiments.Ablations.run ?quick))
+  let r = timed "Ablations (design-choice studies)" (Gem_experiments.Ablations.run ?quick) in
+  List.iter
+    (fun (row : Gem_experiments.Ablations.row) ->
+      let a = slug row.Gem_experiments.Ablations.ablation in
+      metric (Printf.sprintf "ablations.%s.baseline" a) row.Gem_experiments.Ablations.baseline;
+      metric (Printf.sprintf "ablations.%s.ablated" a) row.Gem_experiments.Ablations.ablated)
+    r.Gem_experiments.Ablations.rows
 
 (* --- bechamel microbenchmarks of simulator hot paths ----------------------- *)
 
@@ -166,4 +241,5 @@ let () =
   if all || has "fig9" then run_fig9 ~quick ();
   if all || has "ablations" then run_ablations ~quick ();
   if all || has "micro" then micro ();
+  write_results ~quick "BENCH_results.json";
   Printf.printf "\nDone.\n"

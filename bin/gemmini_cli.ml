@@ -184,40 +184,89 @@ let run_cmd =
       $ inject_seed $ inject_rate $ policy $ watchdog)
 
 let sweep_cmd =
-  let run model scale =
-    let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
-    let t =
-      Gem_util.Table.create
-        ~title:(Printf.sprintf "Array-size sweep (%s)" model.Gem_dnn.Layer.model_name)
-        [ "DIM"; "Cycles"; "FPS@1GHz"; "Area (mm^2)"; "fmax (GHz)" ]
-    in
-    List.iter (fun i -> Gem_util.Table.set_align t i Gem_util.Table.Right) [ 1; 2; 3; 4 ];
-    List.iter
-      (fun dim ->
-        let p =
-          Gemmini.Params.validate_exn
+  let run model scale jobs cache_dir no_cache out =
+    let name = model.Gem_dnn.Layer.model_name in
+    let base = Gem_dse.Point.make ~model:name ~scale () in
+    let dim_axis =
+      Gem_dse.Sweep.ints "dim"
+        (fun dim p ->
+          Gem_dse.Point.with_accel
             { Gemmini.Params.default with mesh_rows = dim; mesh_cols = dim }
+            p)
+        [ 4; 8; 16; 32 ]
+    in
+    let points = Gem_dse.Sweep.cartesian ~base [ dim_axis ] in
+    let cache =
+      if no_cache then None else Some (Gem_dse.Cache.create ~dir:cache_dir ())
+    in
+    let rr = Gem_dse.Exec.run ~jobs ~cache points in
+    Printf.eprintf "[dse] %d point(s): %d simulated, %d cached (jobs %d)\n%!"
+      (Array.length points) rr.Gem_dse.Exec.simulated rr.Gem_dse.Exec.cached
+      jobs;
+    match out with
+    | `Json -> print_string (Gem_dse.Report.json_string rr.Gem_dse.Exec.results)
+    | `Csv -> print_string (Gem_dse.Report.csv rr.Gem_dse.Exec.results)
+    | `Table ->
+        let display_name =
+          if scale = 1 then name else Printf.sprintf "%s/%d" name scale
         in
-        let soc =
-          Soc.create
-            { Soc_config.default with cores = [ { Soc_config.default_core with accel = p } ] }
+        let t =
+          Gem_util.Table.create
+            ~title:(Printf.sprintf "Array-size sweep (%s)" display_name)
+            [ "DIM"; "Cycles"; "FPS@1GHz"; "Area (mm^2)"; "fmax (GHz)" ]
         in
-        let r = Runtime.run soc ~core:0 model ~mode:(Runtime.Accel { im2col_on_accel = true }) in
-        let synth = Gemmini.Synthesis.estimate p in
-        Gem_util.Table.add_row t
-          [
-            string_of_int dim;
-            Gem_util.Table.fmt_int r.Runtime.r_total_cycles;
-            Gem_util.Table.fmt_f ~dec:1
-              (Gem_sim.Time.fps ~freq_ghz:1.0 ~cycles_per_item:r.Runtime.r_total_cycles);
-            Gem_util.Table.fmt_f ~dec:2 (synth.Gemmini.Synthesis.total_area_um2 /. 1e6);
-            Gem_util.Table.fmt_f ~dec:2 synth.Gemmini.Synthesis.fmax_ghz;
-          ])
-      [ 4; 8; 16; 32 ];
-    Gem_util.Table.print t
+        List.iter
+          (fun i -> Gem_util.Table.set_align t i Gem_util.Table.Right)
+          [ 1; 2; 3; 4 ];
+        Array.iter
+          (fun (p, o) ->
+            Gem_util.Table.add_row t
+              [
+                p.Gem_dse.Point.label;
+                Gem_util.Table.fmt_int o.Gem_dse.Outcome.total_cycles;
+                Gem_util.Table.fmt_f ~dec:1 (Gem_dse.Report.fps_1ghz o);
+                Gem_util.Table.fmt_f ~dec:2
+                  (o.Gem_dse.Outcome.total_area_um2 /. 1e6);
+                Gem_util.Table.fmt_f ~dec:2 o.Gem_dse.Outcome.fmax_ghz;
+              ])
+          rr.Gem_dse.Exec.results;
+        Gem_util.Table.print t
   in
-  Cmd.v (Cmd.info "sweep" ~doc:"Sweep spatial-array sizes for a workload.")
-    Term.(const run $ model_term $ scale_term)
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Simulation worker domains. 1 (the default) runs serially; 0 \
+             uses the machine's recommended domain count. Results are \
+             ordered by point, so any job count produces identical output.")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt string "_dse_cache"
+      & info [ "cache-dir" ]
+          ~doc:"Persistent result-cache directory (content-addressed).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Simulate every point; touch no cache.")
+  in
+  let out =
+    let fmt =
+      Arg.enum [ ("table", `Table); ("json", `Json); ("csv", `Csv) ]
+    in
+    Arg.(
+      value & opt fmt `Table
+      & info [ "out" ] ~doc:"Output format: table (default), json or csv.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep spatial-array sizes for a workload (parallel, cached: see \
+          --jobs and --cache-dir).")
+    Term.(
+      const run $ model_term $ scale_term $ jobs $ cache_dir $ no_cache $ out)
 
 let experiment_cmd =
   let run id quick =

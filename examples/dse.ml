@@ -1,44 +1,37 @@
 (* Design-space exploration: sweep the generator's spatial-array sizes and
    tile factorizations, reporting performance (ResNet50 FPS), area, power
    and efficiency — the "footprint vs scalability trade-offs" exploration
-   of paper Section III-A, driven end-to-end.
+   of paper Section III-A, driven end-to-end through the parallel
+   [Gem_dse] sweep engine.
 
-     dune exec examples/dse.exe *)
+     dune exec examples/dse.exe
+
+   GEMMINI_EXAMPLE_SCALE shrinks the model for CI smoke runs;
+   GEMMINI_DSE_JOBS / GEMMINI_DSE_CACHE fan the sweep out over worker
+   domains and memoize results (see README "Parallel sweeps & caching"). *)
 
 open Gem_util
-module Soc = Gem_soc.Soc
-module Soc_config = Gem_soc.Soc_config
-module Runtime = Gem_sw.Runtime
 
 (* Keep runtimes reasonable: a channel-scaled ResNet50. *)
-let model = Gem_dnn.Model_zoo.(scale_model ~factor:2 resnet50)
-
-let evaluate params =
-  let report = Gemmini.Synthesis.estimate ~host:Gemmini.Synthesis.Rocket params in
-  let soc =
-    Soc.create
-      {
-        Soc_config.default with
-        cores = [ { Soc_config.default_core with accel = params } ];
-      }
-  in
-  let r = Runtime.run soc ~core:0 model ~mode:(Runtime.Accel { im2col_on_accel = true }) in
-  (* The instance runs at its own fmax, not a fixed 1 GHz. *)
-  let freq = min 1.5 report.Gemmini.Synthesis.fmax_ghz in
-  let fps =
-    Gem_sim.Time.fps ~freq_ghz:freq ~cycles_per_item:r.Runtime.r_total_cycles
-  in
-  (report, fps, freq)
+let scale =
+  match
+    Option.bind (Sys.getenv_opt "GEMMINI_EXAMPLE_SCALE") int_of_string_opt
+  with
+  | Some n when n >= 1 -> n
+  | _ -> 2
 
 let () =
+  let model_name =
+    if scale = 1 then "resnet50" else Printf.sprintf "resnet50/%d" scale
+  in
   let t =
     Table.create
       ~title:
-        (Printf.sprintf "Design-space exploration (%s inference)" model.Gem_dnn.Layer.model_name)
+        (Printf.sprintf "Design-space exploration (%s inference)" model_name)
       [ "Instance"; "fmax"; "clock"; "FPS"; "Area (mm^2)"; "Power (mW)"; "FPS/W" ]
   in
   List.iter (fun i -> Table.set_align t i Table.Right) [ 1; 2; 3; 4; 5; 6 ];
-  let points =
+  let instances =
     [
       ("8x8 edge", Gemmini.Params.edge);
       ("16x16 default", Gemmini.Params.default);
@@ -49,20 +42,34 @@ let () =
       ("32x32 cloud", Gemmini.Params.cloud);
     ]
   in
-  List.iter
-    (fun (name, params) ->
-      let report, fps, freq = evaluate params in
+  let sweep =
+    Gem_dse.Sweep.points
+      (List.map
+         (fun (label, params) ->
+           Gem_dse.Point.with_accel params
+             (Gem_dse.Point.make ~label ~scale ()))
+         instances)
+  in
+  let rr = Gem_dse.Exec.run sweep in
+  Array.iter
+    (fun ((p : Gem_dse.Point.t), (o : Gem_dse.Outcome.t)) ->
+      (* The instance runs at its own fmax, not a fixed 1 GHz. *)
+      let freq = min 1.5 o.Gem_dse.Outcome.fmax_ghz in
+      let fps =
+        Gem_sim.Time.fps ~freq_ghz:freq
+          ~cycles_per_item:o.Gem_dse.Outcome.total_cycles
+      in
       Table.add_row t
         [
-          name;
-          Printf.sprintf "%.2f GHz" report.Gemmini.Synthesis.fmax_ghz;
+          p.Gem_dse.Point.label;
+          Printf.sprintf "%.2f GHz" o.Gem_dse.Outcome.fmax_ghz;
           Printf.sprintf "%.2f GHz" freq;
           Table.fmt_f ~dec:1 fps;
-          Table.fmt_f ~dec:2 (report.Gemmini.Synthesis.total_area_um2 /. 1e6);
-          Table.fmt_f ~dec:0 report.Gemmini.Synthesis.power_mw;
-          Table.fmt_f ~dec:1 (fps /. (report.Gemmini.Synthesis.power_mw /. 1000.));
+          Table.fmt_f ~dec:2 (o.Gem_dse.Outcome.total_area_um2 /. 1e6);
+          Table.fmt_f ~dec:0 o.Gem_dse.Outcome.power_mw;
+          Table.fmt_f ~dec:1 (fps /. (o.Gem_dse.Outcome.power_mw /. 1000.));
         ])
-    points;
+    rr.Gem_dse.Exec.results;
   Table.print t;
   print_endline
     "\nNote how the fully-combinational point trades clock rate for area/power,\n\

@@ -10,8 +10,15 @@ module Soc = Gem_soc.Soc
 module Soc_config = Gem_soc.Soc_config
 module Runtime = Gem_sw.Runtime
 
-let resnet = Gem_dnn.Model_zoo.(scale_model ~factor:2 resnet50)
-let mobilenet = Gem_dnn.Model_zoo.(scale_model ~factor:2 mobilenetv2)
+let scale =
+  match
+    Option.bind (Sys.getenv_opt "GEMMINI_EXAMPLE_SCALE") int_of_string_opt
+  with
+  | Some n when n >= 1 -> n
+  | _ -> 2
+
+let resnet = Gem_dnn.Model_zoo.(scale_model ~factor:scale resnet50)
+let mobilenet = Gem_dnn.Model_zoo.(scale_model ~factor:scale mobilenetv2)
 
 let soc_config ~sp_kb ~l2_kb =
   let accel =

@@ -2,30 +2,26 @@
    TLB hierarchies for an edge-class accelerator and find the cheapest
    configuration within a target of the best performance — ending at the
    paper's recommendation: a tiny private TLB plus two filter registers.
+   The 18-point grid is evaluated through the [Gem_dse] sweep engine
+   (parallel and cacheable via GEMMINI_DSE_JOBS / GEMMINI_DSE_CACHE).
 
      dune exec examples/tlb_codesign.exe *)
 
 open Gem_util
 module H = Gem_vm.Hierarchy
-module Soc = Gem_soc.Soc
 module Soc_config = Gem_soc.Soc_config
-module Runtime = Gem_sw.Runtime
 
-let model = Gem_dnn.Model_zoo.(scale_model ~factor:2 resnet50)
+let scale =
+  match
+    Option.bind (Sys.getenv_opt "GEMMINI_EXAMPLE_SCALE") int_of_string_opt
+  with
+  | Some n when n >= 1 -> n
+  | _ -> 2
 
 (* Cost model for the translation hardware: entries are CAM entries. *)
 let tlb_cost_entries (c : H.config) =
   c.H.private_entries + (c.H.shared_entries / 8)
   + if c.H.filter_registers then 1 else 0
-
-let evaluate tlb =
-  let soc =
-    Soc.create
-      { Soc_config.default with cores = [ { Soc_config.default_core with tlb } ] }
-  in
-  let r = Runtime.run soc ~core:0 model ~mode:(Runtime.Accel { im2col_on_accel = true }) in
-  let h = Soc.tlb (Soc.core soc 0) in
-  (r.Runtime.r_total_cycles, H.effective_hit_rate h)
 
 let () =
   let candidates =
@@ -46,7 +42,27 @@ let () =
           [ 4; 16; 64 ])
       [ false; true ]
   in
-  let results = List.map (fun c -> (c, evaluate c)) candidates in
+  let sweep =
+    Gem_dse.Sweep.points
+      (List.map
+         (fun tlb ->
+           Gem_dse.Point.make ~scale
+             ~soc:
+               {
+                 Soc_config.default with
+                 cores = [ { Soc_config.default_core with tlb } ];
+               }
+             ())
+         candidates)
+  in
+  let rr = Gem_dse.Exec.run sweep in
+  let results =
+    List.map2
+      (fun c (_, (o : Gem_dse.Outcome.t)) ->
+        (c, (o.Gem_dse.Outcome.total_cycles, o.Gem_dse.Outcome.tlb_hit_rate)))
+      candidates
+      (Array.to_list rr.Gem_dse.Exec.results)
+  in
   let best = List.fold_left (fun acc (_, (cyc, _)) -> min acc cyc) max_int results in
   let t =
     Table.create ~title:"TLB hierarchy design space (smaller cost is cheaper)"

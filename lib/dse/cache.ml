@@ -1,0 +1,53 @@
+(* Bump whenever a behavioral change anywhere in the simulator or the
+   synthesis model alters measured numbers; see README "Parallel sweeps &
+   caching". *)
+let sim_version = "1"
+
+type t = { root : string; version_dir : string }
+
+let create ?(version = sim_version) ~dir () =
+  { root = dir; version_dir = Filename.concat dir ("v" ^ version) }
+
+let dir t = t.root
+
+let path_of t point =
+  Filename.concat t.version_dir (Point.digest point ^ ".json")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t point =
+  let path = path_of t point in
+  if not (Sys.file_exists path) then None
+  else
+    match Gem_util.Jsonx.of_string (read_file path) with
+    | exception Sys_error _ -> None
+    | Error _ -> None
+    | Ok json -> (
+        match Outcome.of_json json with Ok o -> Some o | Error _ -> None)
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path ->
+      (* lost a mkdir race to a concurrent worker: fine *)
+      ()
+  end
+
+let store t point outcome =
+  mkdir_p t.version_dir;
+  let path = path_of t point in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Gem_util.Jsonx.to_string (Outcome.to_json outcome)));
+  Sys.rename tmp path

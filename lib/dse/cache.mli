@@ -1,0 +1,27 @@
+(** Persistent, content-addressed result cache for DSE sweeps.
+
+    Layout: [<dir>/v<version>/<md5-of-canonical-point>.json], one
+    {!Outcome} per file. The version stamp partitions the cache by
+    simulator behavior: {!sim_version} must be bumped whenever a change
+    anywhere in the stack alters cycle counts or synthesis estimates, so
+    stale results can never be replayed. Point-level invalidation is
+    automatic — any config change changes the point's digest.
+
+    Writes are atomic (temp file + rename), so concurrent workers — or
+    concurrent sweep processes sharing a cache directory — can race on the
+    same key and at worst redundantly store identical bytes. Unreadable or
+    stale-schema files read as misses. *)
+
+val sim_version : string
+(** Current behavioral version of the simulator + synthesis stack. *)
+
+type t
+
+val create : ?version:string -> dir:string -> unit -> t
+(** [version] defaults to {!sim_version}; tests pass explicit versions to
+    exercise invalidation. Directories are created lazily on first store. *)
+
+val dir : t -> string
+val find : t -> Point.t -> Outcome.t option
+val store : t -> Point.t -> Outcome.t -> unit
+val path_of : t -> Point.t -> string

@@ -1,0 +1,198 @@
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+module H = Gem_vm.Hierarchy
+module Layer = Gem_dnn.Layer
+
+type run_result = {
+  results : (Point.t * Outcome.t) array;
+  simulated : int;
+  cached : int;
+}
+
+(* --- single-point evaluation ------------------------------------------------ *)
+
+let all_classes =
+  [
+    Layer.Class_conv;
+    Layer.Class_depthwise;
+    Layer.Class_matmul;
+    Layer.Class_resadd;
+    Layer.Class_pool;
+    Layer.Class_elementwise;
+  ]
+
+let evaluate (p : Point.t) : Outcome.t =
+  let accel =
+    match p.Point.soc.Soc_config.cores with
+    | c :: _ -> c.Soc_config.accel
+    | [] -> invalid_arg "Gem_dse.Exec.evaluate: SoC has no cores"
+  in
+  let synth = Gemmini.Synthesis.estimate ~host:p.Point.synth_host accel in
+  let base =
+    {
+      Outcome.empty with
+      Outcome.fmax_ghz = synth.Gemmini.Synthesis.fmax_ghz;
+      total_area_um2 = synth.Gemmini.Synthesis.total_area_um2;
+      array_area_um2 = synth.Gemmini.Synthesis.spatial_array_area_um2;
+      power_mw = synth.Gemmini.Synthesis.power_mw;
+    }
+  in
+  if not p.Point.simulate then base
+  else begin
+    let model =
+      match Gem_dnn.Model_zoo.find p.Point.model with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Gem_dse.Exec.evaluate: unknown model %S"
+               p.Point.model)
+    in
+    let model =
+      if p.Point.scale = 1 then model
+      else Gem_dnn.Model_zoo.scale_model ~factor:p.Point.scale model
+    in
+    let soc = Soc.create p.Point.soc in
+    let hierarchy = Soc.tlb (Soc.core soc 0) in
+    let series =
+      Option.map
+        (fun window -> Gem_util.Stats.Series.create ~window)
+        p.Point.tlb_window
+    in
+    Option.iter
+      (fun s ->
+        H.set_observer hierarchy
+          (Some
+             (fun now level ->
+               let miss =
+                 match level with
+                 | H.Filter | H.Private -> 0.
+                 | H.Shared | H.Walk -> 1.
+               in
+               Gem_util.Stats.Series.add s ~time:(float_of_int now) miss)))
+      series;
+    let ncores = List.length p.Point.soc.Soc_config.cores in
+    let results =
+      if ncores = 1 then
+        [| Runtime.run soc ~core:0 model ~mode:p.Point.mode |]
+      else Runtime.run_parallel soc (Array.make ncores (model, p.Point.mode))
+    in
+    Option.iter (fun _ -> H.set_observer hierarchy None) series;
+    let total =
+      Array.fold_left (fun acc r -> max acc r.Runtime.r_total_cycles) 0 results
+    in
+    let class_cycles =
+      List.map
+        (fun klass ->
+          let cycles =
+            Array.fold_left
+              (fun acc r ->
+                acc
+                + Option.value ~default:0
+                    (List.assoc_opt klass (Runtime.cycles_by_class r)))
+              0 results
+          in
+          (Layer.class_name klass, cycles))
+        all_classes
+    in
+    {
+      base with
+      Outcome.total_cycles = total;
+      per_core_cycles =
+        Array.map (fun r -> r.Runtime.r_total_cycles) results;
+      class_cycles;
+      tlb_requests = H.requests hierarchy;
+      tlb_walks = H.walks hierarchy;
+      tlb_shared_hits = H.shared_hits hierarchy;
+      tlb_hit_rate = H.effective_hit_rate hierarchy;
+      tlb_same_page_reads = H.same_page_fraction_reads hierarchy;
+      tlb_same_page_writes = H.same_page_fraction_writes hierarchy;
+      tlb_windows =
+        (match series with
+        | Some s -> Gem_util.Stats.Series.windows s
+        | None -> [||]);
+      l2_miss_rate = Gem_mem.Cache.miss_rate (Soc.l2 soc);
+    }
+  end
+
+(* --- environment defaults --------------------------------------------------- *)
+
+let default_jobs () =
+  match Sys.getenv_opt "GEMMINI_DSE_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some 0 -> Domain.recommended_domain_count ()
+      | Some n when n > 0 -> n
+      | _ -> 1)
+
+let default_cache () =
+  match Sys.getenv_opt "GEMMINI_DSE_CACHE" with
+  | None | Some "" -> None
+  | Some dir -> Some (Cache.create ~dir ())
+
+(* --- worker pool ------------------------------------------------------------ *)
+
+(* Work-stealing by atomic index: deterministic because slot [i] of [out]
+   only ever receives the result of point [i]. *)
+let pool_map ~jobs f points =
+  let n = Array.length points in
+  let out = Array.make n None in
+  if jobs <= 1 || n <= 1 then
+    Array.iteri (fun i p -> out.(i) <- Some (Ok (f i p))) points
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (out.(i) <-
+             (match f i points.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min (jobs - 1) (n - 1) in
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    out
+
+let run ?jobs ?cache points =
+  let jobs =
+    match jobs with None -> default_jobs () | Some 0 -> Domain.recommended_domain_count () | Some j -> j
+  in
+  let cache = match cache with None -> default_cache () | Some c -> c in
+  let evaluate_memo _i point =
+    match cache with
+    | None -> (evaluate point, `Simulated)
+    | Some c -> (
+        match Cache.find c point with
+        | Some outcome -> (outcome, `Cached)
+        | None ->
+            let outcome = evaluate point in
+            Cache.store c point outcome;
+            (outcome, `Simulated))
+  in
+  let evaluated = pool_map ~jobs evaluate_memo points in
+  let simulated = ref 0 and cached = ref 0 in
+  Array.iter
+    (fun (_, src) ->
+      match src with
+      | `Simulated -> incr simulated
+      | `Cached -> incr cached)
+    evaluated;
+  {
+    results = Array.map2 (fun p (o, _) -> (p, o)) points evaluated;
+    simulated = !simulated;
+    cached = !cached;
+  }

@@ -1,0 +1,39 @@
+(** The sweep executor: evaluates design points, fanning out over a
+    [Domain]-based worker pool and memoizing through the persistent
+    {!Cache}.
+
+    Determinism contract: {!run} returns results in point-index order, not
+    completion order, and each worker builds its own [Soc] — no simulator
+    state is shared across points — so [~jobs:n] for any [n] produces
+    results structurally equal to a serial run, and a warm-cache run
+    reproduces a cold run bit-for-bit. *)
+
+type run_result = {
+  results : (Point.t * Outcome.t) array;  (** in input order *)
+  simulated : int;  (** points evaluated this run *)
+  cached : int;  (** points served from the cache *)
+}
+
+val evaluate : Point.t -> Outcome.t
+(** Evaluate one point, bypassing pool and cache: always computes the
+    synthesis estimate; when the point's [simulate] is set, builds a fresh
+    SoC, runs one inference per core ([Runtime.run_parallel] when the SoC
+    has several), and collects TLB/L2 statistics from core 0.
+
+    Raises [Invalid_argument] on an unknown model name and lets simulator
+    exceptions (e.g. {!Gem_sim.Fault.Trap}) propagate. *)
+
+val default_jobs : unit -> int
+(** [GEMMINI_DSE_JOBS] when set ([0] means the domain count recommended
+    for this machine), else 1 — serial, so clean runs stay byte-identical
+    with no environment configured. *)
+
+val default_cache : unit -> Cache.t option
+(** A cache at [GEMMINI_DSE_CACHE] when that variable is set, else none. *)
+
+val run :
+  ?jobs:int -> ?cache:Cache.t option -> Point.t array -> run_result
+(** [jobs] defaults to {!default_jobs}; [cache] to {!default_cache}.
+    [jobs = 0] means [Domain.recommended_domain_count ()]. A worker
+    exception is re-raised (lowest point index wins) after the pool
+    drains. *)

@@ -1,0 +1,135 @@
+module J = Gem_util.Jsonx
+
+type t = {
+  total_cycles : int;
+  per_core_cycles : int array;
+  class_cycles : (string * int) list;
+  fmax_ghz : float;
+  total_area_um2 : float;
+  array_area_um2 : float;
+  power_mw : float;
+  tlb_requests : int;
+  tlb_walks : int;
+  tlb_shared_hits : int;
+  tlb_hit_rate : float;
+  tlb_same_page_reads : float;
+  tlb_same_page_writes : float;
+  tlb_windows : (float * float) array;
+  l2_miss_rate : float;
+}
+
+let empty =
+  {
+    total_cycles = 0;
+    per_core_cycles = [||];
+    class_cycles = [];
+    fmax_ghz = 0.;
+    total_area_um2 = 0.;
+    array_area_um2 = 0.;
+    power_mw = 0.;
+    tlb_requests = 0;
+    tlb_walks = 0;
+    tlb_shared_hits = 0;
+    tlb_hit_rate = 0.;
+    tlb_same_page_reads = 0.;
+    tlb_same_page_writes = 0.;
+    tlb_windows = [||];
+    l2_miss_rate = 0.;
+  }
+
+let to_json t =
+  J.Obj
+    [
+      ("total_cycles", J.Int t.total_cycles);
+      ( "per_core_cycles",
+        J.List (Array.to_list (Array.map (fun c -> J.Int c) t.per_core_cycles))
+      );
+      ( "class_cycles",
+        J.Obj (List.map (fun (k, c) -> (k, J.Int c)) t.class_cycles) );
+      ("fmax_ghz", J.Float t.fmax_ghz);
+      ("total_area_um2", J.Float t.total_area_um2);
+      ("array_area_um2", J.Float t.array_area_um2);
+      ("power_mw", J.Float t.power_mw);
+      ("tlb_requests", J.Int t.tlb_requests);
+      ("tlb_walks", J.Int t.tlb_walks);
+      ("tlb_shared_hits", J.Int t.tlb_shared_hits);
+      ("tlb_hit_rate", J.Float t.tlb_hit_rate);
+      ("tlb_same_page_reads", J.Float t.tlb_same_page_reads);
+      ("tlb_same_page_writes", J.Float t.tlb_same_page_writes);
+      ( "tlb_windows",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun (time, rate) -> J.List [ J.Float time; J.Float rate ])
+                t.tlb_windows)) );
+      ("l2_miss_rate", J.Float t.l2_miss_rate);
+    ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (J.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "outcome: bad or missing field %S" name)
+  in
+  let* total_cycles = field "total_cycles" J.to_int in
+  let* per_core =
+    let* l = field "per_core_cycles" J.to_list in
+    let ints = List.filter_map J.to_int l in
+    if List.length ints = List.length l then Ok (Array.of_list ints)
+    else Error "outcome: non-int per_core_cycles"
+  in
+  let* class_cycles =
+    let* o = field "class_cycles" J.to_obj in
+    let pairs = List.filter_map (fun (k, v) -> Option.map (fun c -> (k, c)) (J.to_int v)) o in
+    if List.length pairs = List.length o then Ok pairs
+    else Error "outcome: non-int class_cycles"
+  in
+  let* fmax_ghz = field "fmax_ghz" J.to_float in
+  let* total_area_um2 = field "total_area_um2" J.to_float in
+  let* array_area_um2 = field "array_area_um2" J.to_float in
+  let* power_mw = field "power_mw" J.to_float in
+  let* tlb_requests = field "tlb_requests" J.to_int in
+  let* tlb_walks = field "tlb_walks" J.to_int in
+  let* tlb_shared_hits = field "tlb_shared_hits" J.to_int in
+  let* tlb_hit_rate = field "tlb_hit_rate" J.to_float in
+  let* tlb_same_page_reads = field "tlb_same_page_reads" J.to_float in
+  let* tlb_same_page_writes = field "tlb_same_page_writes" J.to_float in
+  let* tlb_windows =
+    let* l = field "tlb_windows" J.to_list in
+    let pairs =
+      List.filter_map
+        (function
+          | J.List [ time; rate ] ->
+              (match (J.to_float time, J.to_float rate) with
+              | Some t, Some r -> Some (t, r)
+              | _ -> None)
+          | _ -> None)
+        l
+    in
+    if List.length pairs = List.length l then Ok (Array.of_list pairs)
+    else Error "outcome: malformed tlb_windows"
+  in
+  let* l2_miss_rate = field "l2_miss_rate" J.to_float in
+  Ok
+    {
+      total_cycles;
+      per_core_cycles = per_core;
+      class_cycles;
+      fmax_ghz;
+      total_area_um2;
+      array_area_um2;
+      power_mw;
+      tlb_requests;
+      tlb_walks;
+      tlb_shared_hits;
+      tlb_hit_rate;
+      tlb_same_page_reads;
+      tlb_same_page_writes;
+      tlb_windows;
+      l2_miss_rate;
+    }
+
+let class_cycles_of t klass =
+  Option.value ~default:0
+    (List.assoc_opt (Gem_dnn.Layer.class_name klass) t.class_cycles)

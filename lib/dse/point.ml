@@ -1,0 +1,123 @@
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+
+type t = {
+  label : string;
+  soc : Soc_config.t;
+  model : string;
+  scale : int;
+  mode : Runtime.mode;
+  simulate : bool;
+  synth_host : Gemmini.Synthesis.host_cpu;
+  tlb_window : float option;
+}
+
+let make ?(label = "") ?(soc = Soc_config.default) ?(model = "resnet50")
+    ?(scale = 1) ?(mode = Runtime.Accel { im2col_on_accel = true })
+    ?(simulate = true) ?(synth_host = Gemmini.Synthesis.Rocket) ?tlb_window ()
+    =
+  { label; soc; model; scale; mode; simulate; synth_host; tlb_window }
+
+let with_accel accel t =
+  let accel = Gemmini.Params.validate_exn accel in
+  { t with soc = Soc_config.map_accel (fun _ -> accel) t.soc }
+
+(* --- canonical serialization ------------------------------------------------ *)
+
+(* Every field that can influence a measurement is rendered, with its name,
+   in a fixed order. [%h] keeps floats bit-exact. *)
+
+let fl f = Printf.sprintf "%h" f
+
+let params_fields (p : Gemmini.Params.t) =
+  [
+    ("mesh_rows", string_of_int p.mesh_rows);
+    ("mesh_cols", string_of_int p.mesh_cols);
+    ("tile_rows", string_of_int p.tile_rows);
+    ("tile_cols", string_of_int p.tile_cols);
+    ("dataflow", Gemmini.Dataflow.to_string p.dataflow);
+    ("input_type", Gemmini.Dtype.to_string p.input_type);
+    ("acc_type", Gemmini.Dtype.to_string p.acc_type);
+    ("sp_capacity_bytes", string_of_int p.sp_capacity_bytes);
+    ("sp_banks", string_of_int p.sp_banks);
+    ("acc_capacity_bytes", string_of_int p.acc_capacity_bytes);
+    ("acc_banks", string_of_int p.acc_banks);
+    ("has_im2col", string_of_bool p.has_im2col);
+    ("has_pooling", string_of_bool p.has_pooling);
+    ("has_transposer", string_of_bool p.has_transposer);
+    ("has_activations", string_of_bool p.has_activations);
+    ("dma_bus_bytes", string_of_int p.dma_bus_bytes);
+    ("max_in_flight", string_of_int p.max_in_flight);
+    ("freq_ghz", fl p.freq_ghz);
+  ]
+
+let tlb_fields (c : Gem_vm.Hierarchy.config) =
+  [
+    ("private_entries", string_of_int c.private_entries);
+    ("shared_entries", string_of_int c.shared_entries);
+    ("filter_registers", string_of_bool c.filter_registers);
+    ("private_hit_latency", string_of_int c.private_hit_latency);
+    ("shared_hit_latency", string_of_int c.shared_hit_latency);
+  ]
+
+let cpu_name = function
+  | Gem_cpu.Cpu_model.Rocket -> "rocket"
+  | Gem_cpu.Cpu_model.Boom -> "boom"
+
+let host_name = function
+  | Gemmini.Synthesis.No_host -> "no_host"
+  | Gemmini.Synthesis.Rocket -> "rocket"
+  | Gemmini.Synthesis.Boom -> "boom"
+
+let mode_fields = function
+  | Runtime.Accel { im2col_on_accel } ->
+      [ ("mode", "accel"); ("im2col_on_accel", string_of_bool im2col_on_accel) ]
+  | Runtime.Cpu_only -> [ ("mode", "cpu_only") ]
+
+let group buf name fields =
+  Buffer.add_char buf '(';
+  Buffer.add_string buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_char buf '(';
+      Buffer.add_string buf k;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf v;
+      Buffer.add_char buf ')')
+    fields;
+  Buffer.add_char buf ')'
+
+let canonical t =
+  let buf = Buffer.create 1024 in
+  group buf "point"
+    ([
+       ("model", t.model);
+       ("scale", string_of_int t.scale);
+       ("simulate", string_of_bool t.simulate);
+       ("synth_host", host_name t.synth_host);
+       ( "tlb_window",
+         match t.tlb_window with None -> "none" | Some w -> fl w );
+     ]
+    @ mode_fields t.mode);
+  let s = t.soc in
+  group buf "soc"
+    [
+      ("l2_size_bytes", string_of_int s.Soc_config.l2_size_bytes);
+      ("l2_ways", string_of_int s.Soc_config.l2_ways);
+      ("l2_line_bytes", string_of_int s.Soc_config.l2_line_bytes);
+      ("l2_hit_latency", string_of_int s.Soc_config.l2_hit_latency);
+      ("l2_port_bytes", string_of_int s.Soc_config.l2_port_bytes);
+      ("dram_latency", string_of_int s.Soc_config.dram_latency);
+      ("dram_bytes_per_cycle", string_of_int s.Soc_config.dram_bytes_per_cycle);
+      ("functional", string_of_bool s.Soc_config.functional);
+    ];
+  List.iter
+    (fun (c : Soc_config.core_config) ->
+      group buf "core" [ ("cpu", cpu_name c.cpu) ];
+      group buf "tlb" (tlb_fields c.tlb);
+      group buf "accel" (params_fields c.accel))
+    s.Soc_config.cores;
+  Buffer.contents buf
+
+let digest t = Digest.to_hex (Digest.string (canonical t))

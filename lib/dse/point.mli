@@ -1,0 +1,51 @@
+(** One design-space point: everything the {!Exec} evaluator needs to
+    produce an {!Outcome} — the full SoC configuration, the workload, the
+    execution mode, and which measurements to take.
+
+    A point has a {e canonical serialization} covering every field that
+    can influence the measurement (the display [label] is excluded), and a
+    content hash of that serialization keys the persistent result cache:
+    two points evaluate to the same outcome iff they serialize to the same
+    bytes. When a new field is added here it must be appended to
+    {!canonical}, which changes the hashes and naturally invalidates stale
+    cache entries. *)
+
+type t = {
+  label : string;  (** display name in tables/CSV; not part of the hash *)
+  soc : Gem_soc.Soc_config.t;
+  model : string;  (** {!Gem_dnn.Model_zoo} name *)
+  scale : int;  (** channel-scale divisor; 1 = full size *)
+  mode : Gem_sw.Runtime.mode;
+  simulate : bool;
+      (** when false, only the analytic synthesis estimate is computed
+          (e.g. the Fig. 3 area/fmax/power sweep) *)
+  synth_host : Gemmini.Synthesis.host_cpu;
+  tlb_window : float option;
+      (** when set, record the core-0 private-TLB miss-rate time series in
+          windows of this many cycles (the Fig. 4 profile) *)
+}
+
+val make :
+  ?label:string ->
+  ?soc:Gem_soc.Soc_config.t ->
+  ?model:string ->
+  ?scale:int ->
+  ?mode:Gem_sw.Runtime.mode ->
+  ?simulate:bool ->
+  ?synth_host:Gemmini.Synthesis.host_cpu ->
+  ?tlb_window:float ->
+  unit ->
+  t
+(** Defaults: empty label, {!Gem_soc.Soc_config.default}, ResNet50 at full
+    scale, accelerated mode with hardware im2col, timing simulation on,
+    Rocket host for the synthesis estimate, no TLB time series. *)
+
+val with_accel : Gemmini.Params.t -> t -> t
+(** Replaces the accelerator of every core (validated). *)
+
+val canonical : t -> string
+(** Canonical serialization of every measurement-relevant field. Floats
+    are rendered in hex ([%h]) so the serialization is bit-exact. *)
+
+val digest : t -> string
+(** Hex MD5 of {!canonical} — the cache key. *)

@@ -1,0 +1,44 @@
+module J = Gem_util.Jsonx
+
+let fps_1ghz (o : Outcome.t) =
+  if o.Outcome.total_cycles = 0 then 0.
+  else Gem_sim.Time.fps ~freq_ghz:1.0 ~cycles_per_item:o.Outcome.total_cycles
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' s)
+    ^ "\""
+  else s
+
+let csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "label,model,scale,total_cycles,fps_1ghz,fmax_ghz,area_mm2,power_mw,tlb_hit_rate,l2_miss_rate\n";
+  Array.iter
+    (fun ((p : Point.t), (o : Outcome.t)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.1f,%.4f,%.4f\n"
+           (csv_field p.Point.label) (csv_field p.Point.model) p.Point.scale
+           o.Outcome.total_cycles (fps_1ghz o) o.Outcome.fmax_ghz
+           (o.Outcome.total_area_um2 /. 1e6)
+           o.Outcome.power_mw o.Outcome.tlb_hit_rate o.Outcome.l2_miss_rate))
+    rows;
+  Buffer.contents buf
+
+let json rows =
+  J.List
+    (Array.to_list
+       (Array.map
+          (fun ((p : Point.t), o) ->
+            J.Obj
+              [
+                ("label", J.String p.Point.label);
+                ("model", J.String p.Point.model);
+                ("scale", J.Int p.Point.scale);
+                ("digest", J.String (Point.digest p));
+                ("outcome", Outcome.to_json o);
+              ])
+          rows))
+
+let json_string rows = J.to_string ~pretty:true (json rows) ^ "\n"

@@ -1,0 +1,18 @@
+(** Emitters for sweep results: CSV and JSON renderings of
+    [(point, outcome)] rows, pure functions of the result table so a
+    cached sweep prints bytes identical to a fresh one. *)
+
+val fps_1ghz : Outcome.t -> float
+(** Frames per second at 1 GHz; 0 for synthesis-only outcomes. *)
+
+val csv : (Point.t * Outcome.t) array -> string
+(** Header + one row per point: label, model, scale, total_cycles,
+    fps_1ghz, fmax_ghz, area_mm2, power_mw, tlb_hit_rate, l2_miss_rate.
+    Fields containing commas/quotes/newlines are quoted. *)
+
+val json : (Point.t * Outcome.t) array -> Gem_util.Jsonx.t
+(** Array of [{label; model; scale; digest; outcome}] objects; [outcome]
+    is the full {!Outcome.to_json} record. *)
+
+val json_string : (Point.t * Outcome.t) array -> string
+(** Pretty-printed {!json}, with a trailing newline. *)

@@ -1,0 +1,31 @@
+type axis = {
+  axis_name : string;
+  axis_values : (string * (Point.t -> Point.t)) list;
+}
+
+let axis axis_name axis_values = { axis_name; axis_values }
+
+let ints axis_name apply values =
+  {
+    axis_name;
+    axis_values = List.map (fun v -> (string_of_int v, apply v)) values;
+  }
+
+let cartesian ?(sep = "/") ~base axes =
+  let rec expand labels point = function
+    | [] ->
+        let label =
+          let value_part = String.concat sep (List.rev labels) in
+          if point.Point.label = "" then value_part
+          else if value_part = "" then point.Point.label
+          else point.Point.label ^ sep ^ value_part
+        in
+        [ { point with Point.label } ]
+    | ax :: rest ->
+        List.concat_map
+          (fun (vl, f) -> expand (vl :: labels) (f point) rest)
+          ax.axis_values
+  in
+  Array.of_list (expand [] base axes)
+
+let points l = Array.of_list l

@@ -6,19 +6,24 @@ module Soc = Gem_soc.Soc
 module Soc_config = Gem_soc.Soc_config
 module Runtime = Gem_sw.Runtime
 
+let resnet_scale ~quick = if quick then 4 else 1
+
 let resnet ~quick =
   if quick then Gem_dnn.Model_zoo.(scale_model ~factor:4 resnet50)
   else Gem_dnn.Model_zoo.resnet50
 
 let accel_mode = Runtime.Accel { im2col_on_accel = true }
 
-let single_core_soc ?(tlb = (Soc_config.default_core).Soc_config.tlb) ?accel () =
+let single_core_config ?(tlb = (Soc_config.default_core).Soc_config.tlb)
+    ?accel () =
   let accel = Option.value accel ~default:Gemmini.Params.default in
-  Soc.create
-    {
-      Soc_config.default with
-      cores = [ { Soc_config.default_core with accel; tlb } ];
-    }
+  {
+    Soc_config.default with
+    cores = [ { Soc_config.default_core with accel; tlb } ];
+  }
+
+let single_core_soc ?tlb ?accel () =
+  Soc.create (single_core_config ?tlb ?accel ())
 
 let run_single ?tlb ?accel model ~mode =
   let soc = single_core_soc ?tlb ?accel () in

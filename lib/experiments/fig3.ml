@@ -43,18 +43,31 @@ let design_points ~pes =
   factorizations 1
 
 let measure ?(pes = 256) () =
+  let designs = design_points ~pes in
+  (* Synthesis-only DSE sweep: no timing simulation, bare accelerator
+     (no host CPU in the estimate). *)
+  let sweep =
+    Gem_dse.Sweep.points
+      (List.map
+         (fun (label, params) ->
+           Gem_dse.Point.with_accel params
+             (Gem_dse.Point.make ~label ~simulate:false
+                ~synth_host:Gemmini.Synthesis.No_host ()))
+         designs)
+  in
+  let rr = Gem_dse.Exec.run sweep in
   let points =
-    List.map
-      (fun (label, params) ->
-        let r = Gemmini.Synthesis.estimate ~host:Gemmini.Synthesis.No_host params in
+    List.map2
+      (fun (label, params) (_, o) ->
         {
           label;
           params;
-          fmax_ghz = r.Gemmini.Synthesis.fmax_ghz;
-          array_area_um2 = r.Gemmini.Synthesis.spatial_array_area_um2;
-          power_mw = r.Gemmini.Synthesis.power_mw;
+          fmax_ghz = o.Gem_dse.Outcome.fmax_ghz;
+          array_area_um2 = o.Gem_dse.Outcome.array_area_um2;
+          power_mw = o.Gem_dse.Outcome.power_mw;
         })
-      (design_points ~pes)
+      designs
+      (Array.to_list rr.Gem_dse.Exec.results)
   in
   let first = List.hd points in
   let last = List.nth points (List.length points - 1) in

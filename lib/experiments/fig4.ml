@@ -27,20 +27,22 @@ let measure ?(quick = false) ?(window_cycles = 200_000.) ?(tlb_entries = 4) () =
       filter_registers = false;
     }
   in
-  let soc = Common.single_core_soc ~tlb:tlb_cfg () in
-  let hierarchy = Gem_soc.Soc.tlb (Gem_soc.Soc.core soc 0) in
-  let series = Stats.Series.create ~window:window_cycles in
-  H.set_observer hierarchy
-    (Some
-       (fun now level ->
-         let miss = match level with H.Filter | H.Private -> 0. | H.Shared | H.Walk -> 1. in
-         Stats.Series.add series ~time:(float_of_int now) miss));
-  let model = Common.resnet ~quick in
-  ignore (Gem_sw.Runtime.run soc ~core:0 model ~mode:Common.accel_mode);
-  H.set_observer hierarchy None;
-  let windows = Stats.Series.windows series in
-  let misses = float_of_int (H.walks hierarchy + H.shared_hits hierarchy) in
-  let total = H.requests hierarchy in
+  (* A one-point DSE sweep with the TLB time-series probe enabled; the
+     windowed miss profile comes back in the outcome, so a cached rerun
+     reproduces the plot without simulating. *)
+  let point =
+    Gem_dse.Point.make ~label:"fig4"
+      ~soc:(Common.single_core_config ~tlb:tlb_cfg ())
+      ~scale:(Common.resnet_scale ~quick)
+      ~tlb_window:window_cycles ()
+  in
+  let rr = Gem_dse.Exec.run (Gem_dse.Sweep.points [ point ]) in
+  let _, o = rr.Gem_dse.Exec.results.(0) in
+  let windows = o.Gem_dse.Outcome.tlb_windows in
+  let misses =
+    float_of_int (o.Gem_dse.Outcome.tlb_walks + o.Gem_dse.Outcome.tlb_shared_hits)
+  in
+  let total = o.Gem_dse.Outcome.tlb_requests in
   let peak =
     Array.fold_left (fun acc (_, rate) -> max acc rate) 0. windows
   in

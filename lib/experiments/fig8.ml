@@ -33,41 +33,67 @@ type result = {
 let private_sizes = [ 4; 8; 16; 32; 64 ]
 let shared_sizes = [ 0; 128; 512 ]
 
-let measure_point ~quick ~priv ~shared ~filters =
-  let tlb =
-    {
-      H.private_entries = priv;
-      shared_entries = shared;
-      filter_registers = filters;
-      private_hit_latency = 2;
-      shared_hit_latency = 8;
-    }
-  in
-  let soc, r = Common.run_single ~tlb (Common.resnet ~quick) ~mode:Common.accel_mode in
-  let h = Gem_soc.Soc.tlb (Gem_soc.Soc.core soc 0) in
+let tlb_config ~priv ~shared ~filters =
   {
-    private_entries = priv;
+    H.private_entries = priv;
     shared_entries = shared;
-    filters;
-    cycles = r.Gem_sw.Runtime.r_total_cycles;
-    effective_hit_rate = H.effective_hit_rate h;
-    same_page_reads = H.same_page_fraction_reads h;
-    same_page_writes = H.same_page_fraction_writes h;
+    filter_registers = filters;
+    private_hit_latency = 2;
+    shared_hit_latency = 8;
   }
 
 let measure ?(quick = false) () =
   let privs = if quick then [ 4; 16; 64 ] else private_sizes in
   let shareds = if quick then [ 0; 512 ] else shared_sizes in
+  (* The full cartesian TLB-sizing sweep as one DSE run: filters outermost,
+     then private size, then shared size — the paper's Fig. 8a/8b grid. *)
+  let map_tlb f (p : Gem_dse.Point.t) =
+    { p with Gem_dse.Point.soc = Gem_soc.Soc_config.map_tlb f p.Gem_dse.Point.soc }
+  in
+  let base =
+    Gem_dse.Point.make ~scale:(Common.resnet_scale ~quick)
+      ~soc:
+        (Common.single_core_config
+           ~tlb:(tlb_config ~priv:4 ~shared:0 ~filters:false)
+           ())
+      ()
+  in
+  let sweep =
+    Gem_dse.Sweep.cartesian ~base
+      [
+        Gem_dse.Sweep.axis "filters"
+          (List.map
+             (fun filters ->
+               ( (if filters then "filters" else "nofilters"),
+                 map_tlb (fun t -> { t with H.filter_registers = filters }) ))
+             [ false; true ]);
+        Gem_dse.Sweep.ints "private"
+          (fun n -> map_tlb (fun t -> { t with H.private_entries = n }))
+          privs;
+        Gem_dse.Sweep.ints "shared"
+          (fun n -> map_tlb (fun t -> { t with H.shared_entries = n }))
+          shareds;
+      ]
+  in
+  let rr = Gem_dse.Exec.run sweep in
   let points =
-    List.concat_map
-      (fun filters ->
-        List.concat_map
-          (fun priv ->
-            List.map
-              (fun shared -> measure_point ~quick ~priv ~shared ~filters)
-              shareds)
-          privs)
-      [ false; true ]
+    List.map
+      (fun ((p : Gem_dse.Point.t), (o : Gem_dse.Outcome.t)) ->
+        let tlb =
+          match p.Gem_dse.Point.soc.Gem_soc.Soc_config.cores with
+          | c :: _ -> c.Gem_soc.Soc_config.tlb
+          | [] -> assert false
+        in
+        {
+          private_entries = tlb.H.private_entries;
+          shared_entries = tlb.H.shared_entries;
+          filters = tlb.H.filter_registers;
+          cycles = o.Gem_dse.Outcome.total_cycles;
+          effective_hit_rate = o.Gem_dse.Outcome.tlb_hit_rate;
+          same_page_reads = o.Gem_dse.Outcome.tlb_same_page_reads;
+          same_page_writes = o.Gem_dse.Outcome.tlb_same_page_writes;
+        })
+      (Array.to_list rr.Gem_dse.Exec.results)
   in
   let best_cycles =
     List.fold_left (fun acc p -> min acc p.cycles) max_int points

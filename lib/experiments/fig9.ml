@@ -53,41 +53,41 @@ type run = {
 
 type result = { runs : run list }
 
-let class_cycles r k =
-  Option.value ~default:0 (List.assoc_opt k (Runtime.cycles_by_class r))
-
-let measure_one ~quick name ~cores =
-  let model = Common.resnet ~quick in
-  let soc = Soc.create (soc_config name ~cores) in
-  let results =
-    if cores = 1 then [| Runtime.run soc ~core:0 model ~mode:Common.accel_mode |]
-    else
-      Runtime.run_parallel soc
-        (Array.make cores (model, Common.accel_mode))
-  in
-  let total =
-    Array.fold_left (fun acc r -> max acc r.Runtime.r_total_cycles) 0 results
-  in
-  let sum k =
-    Array.fold_left (fun acc r -> acc + class_cycles r k) 0 results
-  in
-  {
-    name;
-    cores;
-    total_cycles = total;
-    conv_cycles = sum Layer.Class_conv;
-    matmul_cycles = sum Layer.Class_matmul;
-    resadd_cycles = sum Layer.Class_resadd;
-    l2_miss_rate = Gem_mem.Cache.miss_rate (Soc.l2 soc);
-  }
-
 let measure ?(quick = false) () =
+  (* Cores x memory-partitioning as one DSE sweep; the evaluator runs one
+     inference per core ([Runtime.run_parallel] on the dual-core SoCs) and
+     returns per-class cycles summed over cores. *)
+  let combos =
+    List.concat_map
+      (fun cores -> List.map (fun name -> (cores, name)) [ Base; BigSP; BigL2 ])
+      [ 1; 2 ]
+  in
+  let sweep =
+    Gem_dse.Sweep.points
+      (List.map
+         (fun (cores, name) ->
+           Gem_dse.Point.make
+             ~label:(Printf.sprintf "%dc/%s" cores (config_label name))
+             ~soc:(soc_config name ~cores)
+             ~scale:(Common.resnet_scale ~quick) ())
+         combos)
+  in
+  let rr = Gem_dse.Exec.run sweep in
   {
     runs =
-      List.concat_map
-        (fun cores ->
-          List.map (fun name -> measure_one ~quick name ~cores) [ Base; BigSP; BigL2 ])
-        [ 1; 2 ];
+      List.map2
+        (fun (cores, name) (_, (o : Gem_dse.Outcome.t)) ->
+          {
+            name;
+            cores;
+            total_cycles = o.Gem_dse.Outcome.total_cycles;
+            conv_cycles = Gem_dse.Outcome.class_cycles_of o Layer.Class_conv;
+            matmul_cycles = Gem_dse.Outcome.class_cycles_of o Layer.Class_matmul;
+            resadd_cycles = Gem_dse.Outcome.class_cycles_of o Layer.Class_resadd;
+            l2_miss_rate = o.Gem_dse.Outcome.l2_miss_rate;
+          })
+        combos
+        (Array.to_list rr.Gem_dse.Exec.results);
   }
 
 let find r ~name ~cores =

@@ -1,0 +1,43 @@
+(** A minimal JSON value type with a deterministic emitter and a
+    recursive-descent parser.
+
+    Used by the DSE result cache (exact float round-trips matter: a cached
+    sweep must reproduce a fresh sweep bit-for-bit) and by the bench
+    regression checker. Floats are emitted with ["%.17g"], which
+    round-trips every finite double exactly; non-finite floats are emitted
+    as the bare tokens [nan]/[inf]/[-inf], which this parser (only)
+    accepts back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents objects and lists by two
+    spaces (stable output, suitable for committed baselines). Ends without
+    a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parses a single JSON value (surrounding whitespace allowed). Errors
+    carry a character offset. *)
+
+(* Accessors: total lookups returning [None]/[Error] rather than raising. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] — [None] on missing key or non-object. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float] values. *)
+
+val to_float : t -> float option
+(** [Float] or [Int] values. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option
+val to_str : t -> string option

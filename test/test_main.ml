@@ -14,5 +14,6 @@ let () =
       ("soc", Test_soc.suite);
       ("loop_ws", Test_loop_ws.suite);
       ("fault", Test_fault.suite);
+      ("dse", Test_dse.suite);
       ("experiments", Test_experiments.suite);
     ]
