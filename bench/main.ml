@@ -117,6 +117,51 @@ let run_ablations ?quick () =
       metric (Printf.sprintf "ablations.%s.ablated" a) row.Gem_experiments.Ablations.ablated)
     r.Gem_experiments.Ablations.rows
 
+(* Observability overhead: a collected run must report exactly the same
+   cycle count as a quiet run (events carry already-observed timestamps),
+   and a quiet run must not pay for span construction (every emission site
+   is guarded by Engine.live). Asserted hard here rather than contributed
+   as gated metrics — the regression gate would treat any new metric name
+   as a failure. *)
+let run_trace_overhead () =
+  timed "Trace overhead: quiet vs collected run" (fun () ->
+      let model =
+        Gem_dnn.Model_zoo.scale_model ~factor:8 Gem_dnn.Model_zoo.mobilenetv2
+      in
+      let run ~collect =
+        let soc = Gem_soc.Soc.create Gem_soc.Soc_config.default in
+        let collector =
+          if collect then Some (Gem_sim.Export.attach (Gem_soc.Soc.engine soc))
+          else None
+        in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Gem_sw.Runtime.run soc ~core:0 model
+            ~mode:(Gem_sw.Runtime.Accel { im2col_on_accel = true })
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let spans =
+          match collector with
+          | Some c ->
+              Gem_sim.Export.finalize c;
+              Gem_sim.Span.count (Gem_sim.Export.recorder c)
+          | None -> 0
+        in
+        (r.Gem_sw.Runtime.r_total_cycles, spans, dt)
+      in
+      let quiet_cycles, _, quiet_dt = run ~collect:false in
+      let traced_cycles, spans, traced_dt = run ~collect:true in
+      Printf.printf
+        "  quiet  %s cycles in %.2fs\n  traced %s cycles in %.2fs (%s spans)\n"
+        (Gem_util.Table.fmt_int quiet_cycles)
+        quiet_dt
+        (Gem_util.Table.fmt_int traced_cycles)
+        traced_dt
+        (Gem_util.Table.fmt_int spans);
+      if quiet_cycles <> traced_cycles then
+        failwith "trace overhead: collected run changed the cycle count";
+      if spans = 0 then failwith "trace overhead: collector recorded no spans")
+
 (* --- bechamel microbenchmarks of simulator hot paths ----------------------- *)
 
 let micro () =
@@ -240,6 +285,7 @@ let () =
   if all || has "fig8" then run_fig8 ~quick ();
   if all || has "fig9" then run_fig9 ~quick ();
   if all || has "ablations" then run_ablations ~quick ();
+  if all || has "trace" then run_trace_overhead ();
   if all || has "micro" then micro ();
   write_results ~quick "BENCH_results.json";
   Printf.printf "\nDone.\n"

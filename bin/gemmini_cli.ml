@@ -103,45 +103,90 @@ let policy_conv =
 
 let run_cmd =
   let run p model scale im2col_on_accel profile inject_seed inject_rate policy
-      watchdog =
+      watchdog cores trace_out trace_format =
     let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
+    let core_cfg = { Soc_config.default_core with accel = p } in
     let soc =
       Soc.create
-        { Soc_config.default with cores = [ { Soc_config.default_core with accel = p } ] }
+        { Soc_config.default with cores = List.init cores (fun _ -> core_cfg) }
     in
     (match inject_seed with
     | Some seed -> Soc.arm_injection soc ~seed ~rate:inject_rate
     | None -> ());
-    let r =
-      Runtime.run ~policy ?watchdog soc ~core:0 model
-        ~mode:(Runtime.Accel { im2col_on_accel })
+    (* The trace collector doubles as the profile's latency source; it
+       never perturbs simulated timing. *)
+    let collector =
+      if trace_out <> None || profile then
+        Some (Gem_sim.Export.attach (Soc.engine soc))
+      else None
     in
-    Printf.printf "%s on %s\n" model.Gem_dnn.Layer.model_name (Gemmini.Params.describe p);
-    Printf.printf "total %s cycles = %.2f FPS at 1 GHz\n"
-      (Gem_util.Table.fmt_int r.Runtime.r_total_cycles)
-      (Gem_sim.Time.fps ~freq_ghz:1.0 ~cycles_per_item:r.Runtime.r_total_cycles);
-    List.iter
-      (fun (k, c) ->
-        Printf.printf "  %-12s %s cycles\n" (Gem_dnn.Layer.class_name k)
-          (Gem_util.Table.fmt_int c))
-      (Runtime.cycles_by_class r);
-    if r.Runtime.r_faults <> [] then begin
-      Printf.printf "faults handled (%s policy): %d\n"
-        (Runtime.policy_desc policy)
-        (List.length r.Runtime.r_faults);
-      List.iter
-        (fun fr ->
-          Printf.printf "  %-8s %-24s %s\n" fr.Runtime.fr_action
-            fr.Runtime.fr_layer
-            (Gem_sim.Fault.to_string fr.Runtime.fr_fault))
-        r.Runtime.r_faults
-    end;
-    if profile then begin
-      print_newline ();
-      Gem_util.Table.print
-        (Gem_sim.Engine.utilization_table (Soc.engine soc)
-           ~horizon:r.Runtime.r_total_cycles ())
-    end
+    let mode = Runtime.Accel { im2col_on_accel } in
+    let results =
+      if cores = 1 then [| Runtime.run ~policy ?watchdog soc ~core:0 model ~mode |]
+      else
+        Runtime.run_parallel ~policy ?watchdog soc
+          (Array.init cores (fun _ -> (model, mode)))
+    in
+    Printf.printf "%s on %s%s\n" model.Gem_dnn.Layer.model_name
+      (Gemmini.Params.describe p)
+      (if cores > 1 then Printf.sprintf " x %d cores" cores else "");
+    let horizon = ref 0 in
+    Array.iter
+      (fun r ->
+        horizon := max !horizon r.Runtime.r_total_cycles;
+        (* Dual-core runs label every row with its core so the outputs
+           line up with the core-prefixed component names below. *)
+        let tag =
+          if cores > 1 then Printf.sprintf "core%d: " r.Runtime.r_core else ""
+        in
+        Printf.printf "%stotal %s cycles = %.2f FPS at 1 GHz\n" tag
+          (Gem_util.Table.fmt_int r.Runtime.r_total_cycles)
+          (Gem_sim.Time.fps ~freq_ghz:1.0
+             ~cycles_per_item:r.Runtime.r_total_cycles);
+        List.iter
+          (fun (k, c) ->
+            Printf.printf "  %s%-12s %s cycles\n" tag
+              (Gem_dnn.Layer.class_name k)
+              (Gem_util.Table.fmt_int c))
+          (Runtime.cycles_by_class r);
+        if r.Runtime.r_faults <> [] then begin
+          Printf.printf "%sfaults handled (%s policy): %d\n" tag
+            (Runtime.policy_desc policy)
+            (List.length r.Runtime.r_faults);
+          List.iter
+            (fun fr ->
+              Printf.printf "  %s%-8s %-24s %s\n" tag fr.Runtime.fr_action
+                fr.Runtime.fr_layer
+                (Gem_sim.Fault.to_string fr.Runtime.fr_fault))
+            r.Runtime.r_faults
+        end)
+      results;
+    match collector with
+    | None -> ()
+    | Some c ->
+        Gem_sim.Export.finalize c;
+        (match trace_out with
+        | Some file ->
+            (match trace_format with
+            | `Chrome -> Gem_sim.Export.write_chrome_file c file
+            | `Report ->
+                let oc = open_out file in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc (Gem_sim.Export.report c)));
+            Printf.eprintf "[trace] wrote %s (%s)\n%!" file
+              (match trace_format with
+              | `Chrome -> "chrome"
+              | `Report -> "report")
+        | None -> ());
+        if profile then begin
+          print_newline ();
+          Gem_util.Table.print
+            (Gem_sim.Engine.utilization_table (Soc.engine soc)
+               ~horizon:!horizon ());
+          print_newline ();
+          print_string (Gem_sim.Export.report c)
+        end
   in
   let im2col =
     Arg.(value & opt bool true & info [ "accel-im2col" ] ~doc:"Use the hardware im2col block.")
@@ -178,10 +223,34 @@ let run_cmd =
       value & opt (some int) None
       & info [ "watchdog" ] ~doc:"Max cycles any single layer may spend.")
   in
-  Cmd.v (Cmd.info "run" ~doc:"Simulate a DNN inference on a single-core SoC.")
+  let cores =
+    Arg.(
+      value & opt int 1
+      & info [ "cores" ]
+          ~doc:
+            "Accelerator cores; with more than one, every core runs the \
+             model in parallel and outputs are labeled per core.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write an execution trace of the run to $(docv).")
+  in
+  let trace_format =
+    let fmt = Arg.enum [ ("chrome", `Chrome); ("report", `Report) ] in
+    Arg.(
+      value & opt fmt `Chrome
+      & info [ "trace-format" ]
+          ~doc:
+            "Trace format: chrome (Perfetto-loadable Trace Event JSON, the \
+             default) or report (plain-text hierarchical profile).")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a DNN inference on an SoC.")
     Term.(
       const run $ params_term $ model_term $ scale_term $ im2col $ profile
-      $ inject_seed $ inject_rate $ policy $ watchdog)
+      $ inject_seed $ inject_rate $ policy $ watchdog $ cores $ trace_out
+      $ trace_format)
 
 let sweep_cmd =
   let run model scale jobs cache_dir no_cache out =

@@ -43,6 +43,7 @@ type mutable_stats = {
 type t = {
   p : Params.t;
   name : string;
+  host : string; (* host-interface component name: <name>/host *)
   core : int;
   engine : Engine.t;
   spad : Scratchpad.t;
@@ -69,6 +70,9 @@ type t = {
   mutable issue : Time.cycles;
   mutable last_ld_finish : Time.cycles;
   mutable last_st_finish : Time.cycles;
+  (* retire high-water mark of the command currently executing; the close
+     stamp of its span *)
+  mutable cmd_finish : Time.cycles;
   rob : Time.cycles Queue.t;
   s : mutable_stats;
 }
@@ -112,6 +116,7 @@ let create ?engine ?(name = "accel") ?(core = 0) ~params ~port ~tlb
   {
     p;
     name;
+    host = name ^ "/host";
     core;
     engine;
     spad;
@@ -144,6 +149,7 @@ let create ?engine ?(name = "accel") ?(core = 0) ~params ~port ~tlb
     issue = 0;
     last_ld_finish = 0;
     last_st_finish = 0;
+    cmd_finish = 0;
     rob = Queue.create ();
     s;
   }
@@ -160,7 +166,9 @@ let now t = t.issue
    the RoCC queue is where a malformed command is caught. *)
 let trap t cause =
   Engine.trap t.engine
-    (Fault.make ~core:t.core ~component:(t.name ^ "/host") ~cycle:t.issue cause)
+    (Fault.make ~core:t.core ~component:t.host ~cycle:t.issue cause)
+
+let host_component t = t.host
 
 let finish_time t =
   Mathx.imax3 t.last_ld_finish
@@ -179,6 +187,7 @@ let host_work t ~cycles =
   t.s.host_cycles <- t.s.host_cycles + cycles
 
 let retire t finish =
+  if finish > t.cmd_finish then t.cmd_finish <- finish;
   Queue.push finish t.rob;
   if Queue.length t.rob > t.p.Params.max_in_flight then
     t.issue <- max t.issue (Queue.pop t.rob)
@@ -692,6 +701,64 @@ let do_loop_ws t (strides : Isa.loop_strides) ~execute_sub =
     done
   done
 
+(* Per-command span support. [span_track] is the unit that services a
+   command — the trace track its span lands on. Staging commands
+   (configs, Preload, the three loop-configuration commands) occupy no
+   unit and would only add noise at LOOP_WS micro-op volume, so they get
+   no span. *)
+let spanned = function
+  | Isa.Mvin _ | Isa.Mvout _ | Isa.Compute_preloaded _
+  | Isa.Compute_accumulated _ | Isa.Loop_ws _ | Isa.Flush | Isa.Fence ->
+      true
+  | Isa.Config_ex _ | Isa.Config_ld _ | Isa.Config_st _ | Isa.Preload _
+  | Isa.Loop_ws_bounds _ | Isa.Loop_ws_addrs _ | Isa.Loop_ws_outs _ ->
+      false
+
+let span_track t = function
+  | Isa.Mvin _ -> Resource.name t.ld_pipe
+  | Isa.Mvout _ -> Resource.name t.st_pipe
+  | Isa.Compute_preloaded _ | Isa.Compute_accumulated _ ->
+      Resource.name t.ex_pipe
+  | _ -> t.host
+
+let span_args t cmd =
+  match cmd with
+  | Isa.Mvin (mv, id) ->
+      [
+        ("rows", string_of_int mv.Isa.rows);
+        ("cols", string_of_int mv.Isa.cols);
+        ("ch", string_of_int id);
+      ]
+  | Isa.Mvout mv ->
+      [
+        ("rows", string_of_int mv.Isa.rows);
+        ("cols", string_of_int mv.Isa.cols);
+      ]
+  | Isa.Compute_preloaded args | Isa.Compute_accumulated args ->
+      let dim = Params.dim t.p in
+      let rows = min args.Isa.a_rows dim and k = min args.Isa.a_cols dim in
+      (* Mirrors do_compute: WS output width comes from the staged
+         preload, OS from the command itself. *)
+      let cols =
+        match (t.ex_cfg.dataflow, t.preload) with
+        | `WS, Some pl -> pl.pl_c_cols
+        | _ -> min args.Isa.bd_cols dim
+      in
+      let preload =
+        match cmd with Isa.Compute_preloaded _ -> true | _ -> false
+      in
+      Mesh.block_attrs ~dataflow:t.ex_cfg.dataflow ~rows ~k ~cols ~preload
+  | Isa.Loop_ws _ -> (
+      match t.loop_bounds with
+      | Some b ->
+          [
+            ("m", string_of_int b.Isa.lw_m);
+            ("k", string_of_int b.Isa.lw_k);
+            ("n", string_of_int b.Isa.lw_n);
+          ]
+      | None -> [])
+  | _ -> []
+
 let rec execute_with t ~issue_cost ~count_insn (cmd : Isa.t) =
   (* Validation runs before any state moves (insn counters, issue cursor):
      a trapped command has no side effects, so a recovery policy can
@@ -701,6 +768,22 @@ let rec execute_with t ~issue_cost ~count_insn (cmd : Isa.t) =
   | Error cause -> trap t cause);
   if count_insn then t.s.insns <- t.s.insns + 1
   else t.s.loop_micro_ops <- t.s.loop_micro_ops + 1;
+  (* Span opens at dispatch, closes at the retire high-water mark the
+     command reaches — so a span covers queueing as well as service.
+     LOOP_WS micro-ops fold into the parent LOOP_WS span. *)
+  let span = count_insn && Engine.live t.engine && spanned cmd in
+  if span then begin
+    t.cmd_finish <- t.issue;
+    Engine.emit t.engine
+      (Engine.Span_open
+         {
+           component = span_track t cmd;
+           time = t.issue;
+           name = Isa.mnemonic cmd;
+           cat = "command";
+           args = span_args t cmd;
+         })
+  end;
   t.issue <- t.issue + issue_cost;
   (match cmd with
   | Isa.Config_ex c ->
@@ -742,7 +825,15 @@ let rec execute_with t ~issue_cost ~count_insn (cmd : Isa.t) =
       do_loop_ws t strides
         ~execute_sub:(execute_with t ~issue_cost:1 ~count_insn:false)
   | Isa.Flush -> do_flush t
-  | Isa.Fence -> do_fence t)
+  | Isa.Fence -> do_fence t);
+  if span then
+    Engine.emit t.engine
+      (Engine.Span_close
+         {
+           component = span_track t cmd;
+           time = max t.issue t.cmd_finish;
+           name = Isa.mnemonic cmd;
+         })
 
 let execute t cmd = execute_with t ~issue_cost:t.issue_cycles ~count_insn:true cmd
 

@@ -64,6 +64,11 @@ val host_work : t -> cycles:int -> unit
 val now : t -> Gem_sim.Time.cycles
 (** The issue cursor: when the host could dispatch the next command. *)
 
+val host_component : t -> string
+(** Name of the host-interface component ("<name>/host") — the span track
+    for software-level (network/layer/kernel) and host-serviced command
+    spans. *)
+
 val finish_time : t -> Gem_sim.Time.cycles
 (** When all issued work (including in-flight DMA/compute) completes. *)
 

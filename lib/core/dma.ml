@@ -100,8 +100,31 @@ let for_segments t ~now ~vaddr ~bytes ~write ~f =
   done;
   (!cursor, !finish)
 
+(* One span per burst on the bus track (cat "dma"): open at request time,
+   close at overall finish. Rendered async so overlapping bursts (memory
+   latency of one row under the issue of the next command) display
+   faithfully. *)
+let burst_open t ~now ~name ~rows ~bytes =
+  if Engine.live t.engine then
+    Engine.emit t.engine
+      (Engine.Span_open
+         {
+           component = Resource.name t.bus;
+           time = now;
+           name;
+           cat = "dma";
+           args =
+             [ ("rows", string_of_int rows); ("bytes", string_of_int bytes) ];
+         })
+
+let burst_close t ~time ~name =
+  if Engine.live t.engine then
+    Engine.emit t.engine
+      (Engine.Span_close { component = Resource.name t.bus; time; name })
+
 let mvin t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
   if rows <= 0 || row_bytes <= 0 then invalid_arg "Dma.mvin: empty transfer";
+  burst_open t ~now ~name:"dma-read" ~rows ~bytes:(rows * row_bytes);
   let functional = Option.is_some t.port.read_data in
   let rows_data =
     if functional then Array.make rows [||] else [||]
@@ -131,7 +154,7 @@ let mvin t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
     finish := max !finish row_done
   done;
   t.bytes_in := !(t.bytes_in) + (rows * row_bytes);
-  if Engine.observing t.engine then
+  if Engine.live t.engine then
     Engine.emit t.engine
       (Engine.Transfer
          {
@@ -140,10 +163,12 @@ let mvin t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
            dir = `Read;
            bytes = rows * row_bytes;
          });
+  burst_close t ~time:!finish ~name:"dma-read";
   { engine_free = !cursor; finish = !finish; rows_data }
 
 let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
   if rows <= 0 || row_bytes <= 0 then invalid_arg "Dma.mvout: empty transfer";
+  burst_open t ~now ~name:"dma-write" ~rows ~bytes:(rows * row_bytes);
   let cursor = ref now in
   let finish = ref now in
   for r = 0 to rows - 1 do
@@ -164,7 +189,7 @@ let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
     finish := max !finish row_done
   done;
   t.bytes_out := !(t.bytes_out) + (rows * row_bytes);
-  if Engine.observing t.engine then
+  if Engine.live t.engine then
     Engine.emit t.engine
       (Engine.Transfer
          {
@@ -173,6 +198,7 @@ let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
            dir = `Write;
            bytes = rows * row_bytes;
          });
+  burst_close t ~time:!finish ~name:"dma-write";
   (!cursor, !finish)
 
 let mvout t ~now ~vaddr ~stride_bytes ~rows_data ~row_bytes =

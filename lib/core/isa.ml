@@ -392,6 +392,22 @@ let activation_to_string = function
   | Peripheral.Relu -> "relu"
   | Peripheral.Relu6 { shift } -> Printf.sprintf "relu6<<%d" shift
 
+let mnemonic = function
+  | Config_ex _ -> "config_ex"
+  | Config_ld _ -> "config_ld"
+  | Config_st _ -> "config_st"
+  | Mvin _ -> "mvin"
+  | Mvout _ -> "mvout"
+  | Preload _ -> "preload"
+  | Compute_preloaded _ -> "compute.preloaded"
+  | Compute_accumulated _ -> "compute.accumulated"
+  | Loop_ws_bounds _ -> "loop_ws.bounds"
+  | Loop_ws_addrs _ -> "loop_ws.addrs"
+  | Loop_ws_outs _ -> "loop_ws.outs"
+  | Loop_ws _ -> "loop_ws"
+  | Flush -> "flush"
+  | Fence -> "fence"
+
 let to_string = function
   | Config_ex c ->
       Printf.sprintf "config_ex df=%s act=%s shift=%d%s%s"

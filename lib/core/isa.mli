@@ -121,6 +121,11 @@ val validate : Params.t -> t -> (unit, Gem_sim.Fault.cause) result
     bit-widths, validation checks meaning. *)
 
 val funct_name : int -> string
+
+val mnemonic : t -> string
+(** Constant short name of the command ("mvin", "compute.preloaded", ...);
+    the span name used by per-command tracing. Allocation-free. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

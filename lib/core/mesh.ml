@@ -260,6 +260,15 @@ let pipelined_block_cycles p ~dataflow ~rows ~k ~cols ~preload =
       (* The OS drain shares the vertical ports, so it is not hidden. *)
       k + Params.dim p + inter_block_bubble
 
+let block_attrs ~dataflow ~rows ~k ~cols ~preload =
+  [
+    ("dataflow", match dataflow with `WS -> "ws" | `OS -> "os");
+    ("rows", string_of_int rows);
+    ("k", string_of_int k);
+    ("cols", string_of_int cols);
+    ("preload", if preload then "1" else "0");
+  ]
+
 let peak_macs_per_cycle p = Params.pes p
 
 let utilization p ~dataflow ~rows ~k ~cols =

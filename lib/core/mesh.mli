@@ -81,6 +81,18 @@ val pipelined_block_cycles :
     (weights resident) cycles plus a small inter-block bubble. This is the
     cost the controller's execute pipeline charges. *)
 
+val block_attrs :
+  dataflow:[ `WS | `OS ] ->
+  rows:int ->
+  k:int ->
+  cols:int ->
+  preload:bool ->
+  (string * string) list
+(** Span attributes describing one block execution (dataflow, block shape,
+    whether weights were re-preloaded); attached to compute-command spans
+    so a trace shows what each array occupation computed. Only call when
+    the engine is live — this allocates. *)
+
 val peak_macs_per_cycle : Params.t -> int
 val utilization : Params.t -> dataflow:[ `WS | `OS ] -> rows:int -> k:int -> cols:int -> float
 (** Fraction of peak MACs achieved by one block execution. *)

@@ -12,9 +12,15 @@ let all = [ resnet50; alexnet; squeezenet; mobilenetv2; bert ]
 let names = List.map (fun m -> m.model_name) all
 
 let find name =
-  List.find_opt
-    (fun m -> String.lowercase_ascii m.model_name = String.lowercase_ascii name)
-    all
+  let want = String.lowercase_ascii name in
+  let lname m = String.lowercase_ascii m.model_name in
+  match List.find_opt (fun m -> lname m = want) all with
+  | Some m -> Some m
+  | None -> (
+      (* Accept an unambiguous prefix ("mobilenet" -> mobilenetv2). *)
+      match List.filter (fun m -> String.starts_with ~prefix:want (lname m)) all with
+      | [ m ] -> Some m
+      | _ -> None)
 
 let scale_dim factor d = max 1 (d / factor)
 

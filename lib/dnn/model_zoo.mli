@@ -11,7 +11,11 @@ val bert : Layer.model
 val bert_with_seq : int -> Layer.model
 
 val all : Layer.model list
+
 val find : string -> Layer.model option
+(** Case-insensitive lookup by exact name, falling back to an unambiguous
+    prefix ("mobilenet" finds mobilenetv2). *)
+
 val names : string list
 
 val scale_model : factor:int -> Layer.model -> Layer.model

@@ -53,6 +53,9 @@ let evaluate (p : Point.t) : Outcome.t =
       else Gem_dnn.Model_zoo.scale_model ~factor:p.Point.scale model
     in
     let soc = Soc.create p.Point.soc in
+    (* Histograms and series only — span recording would churn memory for
+       hundreds of thousands of spans per point with no reader. *)
+    let collector = Gem_sim.Export.attach ~spans:false (Soc.engine soc) in
     let hierarchy = Soc.tlb (Soc.core soc 0) in
     let series =
       Option.map
@@ -80,6 +83,27 @@ let evaluate (p : Point.t) : Outcome.t =
     Option.iter (fun _ -> H.set_observer hierarchy None) series;
     let total =
       Array.fold_left (fun acc r -> max acc r.Runtime.r_total_cycles) 0 results
+    in
+    let engine_stats = Gem_sim.Engine.stats (Soc.engine soc) in
+    let comp_util =
+      let horizon = float_of_int (max 1 total) in
+      List.map
+        (fun (s : Gem_sim.Engine.stat) ->
+          ( s.Gem_sim.Engine.stat_name,
+            float_of_int s.Gem_sim.Engine.stat_busy /. horizon ))
+        engine_stats
+    in
+    let comp_wait =
+      List.map
+        (fun (s : Gem_sim.Engine.stat) ->
+          (s.Gem_sim.Engine.stat_name, s.Gem_sim.Engine.stat_wait))
+        engine_stats
+    in
+    let comp_p95_lat =
+      List.map
+        (fun (name, _, (s : Gem_util.Stats.Histogram.summary)) ->
+          (name, s.Gem_util.Stats.Histogram.p95))
+        (Gem_sim.Export.latency collector)
     in
     let class_cycles =
       List.map
@@ -112,6 +136,9 @@ let evaluate (p : Point.t) : Outcome.t =
         | Some s -> Gem_util.Stats.Series.windows s
         | None -> [||]);
       l2_miss_rate = Gem_mem.Cache.miss_rate (Soc.l2 soc);
+      comp_util;
+      comp_wait;
+      comp_p95_lat;
     }
   end
 

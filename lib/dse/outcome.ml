@@ -16,6 +16,10 @@ type t = {
   tlb_same_page_writes : float;
   tlb_windows : (float * float) array;
   l2_miss_rate : float;
+  (* Per-component observability summary (engine registration order). *)
+  comp_util : (string * float) list;
+  comp_wait : (string * int) list;
+  comp_p95_lat : (string * float) list;
 }
 
 let empty =
@@ -35,6 +39,9 @@ let empty =
     tlb_same_page_writes = 0.;
     tlb_windows = [||];
     l2_miss_rate = 0.;
+    comp_util = [];
+    comp_wait = [];
+    comp_p95_lat = [];
   }
 
 let to_json t =
@@ -63,6 +70,11 @@ let to_json t =
                 (fun (time, rate) -> J.List [ J.Float time; J.Float rate ])
                 t.tlb_windows)) );
       ("l2_miss_rate", J.Float t.l2_miss_rate);
+      ( "comp_util",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) t.comp_util) );
+      ("comp_wait", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) t.comp_wait));
+      ( "comp_p95_lat",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) t.comp_p95_lat) );
     ]
 
 let of_json json =
@@ -111,6 +123,17 @@ let of_json json =
     else Error "outcome: malformed tlb_windows"
   in
   let* l2_miss_rate = field "l2_miss_rate" J.to_float in
+  let assoc name conv kind =
+    let* o = field name J.to_obj in
+    let pairs =
+      List.filter_map (fun (k, v) -> Option.map (fun x -> (k, x)) (conv v)) o
+    in
+    if List.length pairs = List.length o then Ok pairs
+    else Error (Printf.sprintf "outcome: non-%s %s" kind name)
+  in
+  let* comp_util = assoc "comp_util" J.to_float "float" in
+  let* comp_wait = assoc "comp_wait" J.to_int "int" in
+  let* comp_p95_lat = assoc "comp_p95_lat" J.to_float "float" in
   Ok
     {
       total_cycles;
@@ -128,8 +151,25 @@ let of_json json =
       tlb_same_page_writes;
       tlb_windows;
       l2_miss_rate;
+      comp_util;
+      comp_wait;
+      comp_p95_lat;
     }
 
 let class_cycles_of t klass =
   Option.value ~default:0
     (List.assoc_opt (Gem_dnn.Layer.class_name klass) t.class_cycles)
+
+(* Components are core-prefixed ("core0/mesh"); experiments usually want
+   "the mesh" regardless of core, so look up by suffix. *)
+let by_suffix pairs suffix =
+  List.find_map
+    (fun (name, v) ->
+      if String.ends_with ~suffix name then Some v else None)
+    pairs
+
+let util_of t suffix = Option.value ~default:0. (by_suffix t.comp_util suffix)
+let wait_of t suffix = Option.value ~default:0 (by_suffix t.comp_wait suffix)
+
+let p95_lat_of t suffix =
+  Option.value ~default:0. (by_suffix t.comp_p95_lat suffix)

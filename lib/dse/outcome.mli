@@ -29,6 +29,12 @@ type t = {
           set [tlb_window] *)
   (* Shared memory system. *)
   l2_miss_rate : float;
+  (* Per-component observability summary, in engine registration order
+     (component names are core-prefixed, e.g. "core0/mesh"). *)
+  comp_util : (string * float) list;  (** busy / horizon, 0..1 *)
+  comp_wait : (string * int) list;  (** total stall (wait) cycles *)
+  comp_p95_lat : (string * float) list;
+      (** p95 queue latency in cycles (request to service start) *)
 }
 
 val empty : t
@@ -42,3 +48,10 @@ val of_json : Gem_util.Jsonx.t -> (t, string) result
 
 val class_cycles_of : t -> Gem_dnn.Layer.klass -> int
 (** Lookup by layer class; 0 when the class did not occur. *)
+
+val util_of : t -> string -> float
+(** First component whose name ends with the suffix ("mesh" matches
+    "core0/mesh"); 0 when absent. Same convention for the two below. *)
+
+val wait_of : t -> string -> int
+val p95_lat_of : t -> string -> float

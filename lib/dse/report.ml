@@ -14,15 +14,20 @@ let csv_field s =
 let csv rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "label,model,scale,total_cycles,fps_1ghz,fmax_ghz,area_mm2,power_mw,tlb_hit_rate,l2_miss_rate\n";
+    "label,model,scale,total_cycles,fps_1ghz,fmax_ghz,area_mm2,power_mw,tlb_hit_rate,l2_miss_rate,mesh_util_pct,dma_util_pct,dma_wait_cycles,ld_wait_cycles,dma_p95_lat\n";
   Array.iter
     (fun ((p : Point.t), (o : Outcome.t)) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.1f,%.4f,%.4f\n"
+        (Printf.sprintf
+           "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.1f,%.4f,%.4f,%.2f,%.2f,%d,%d,%.1f\n"
            (csv_field p.Point.label) (csv_field p.Point.model) p.Point.scale
            o.Outcome.total_cycles (fps_1ghz o) o.Outcome.fmax_ghz
            (o.Outcome.total_area_um2 /. 1e6)
-           o.Outcome.power_mw o.Outcome.tlb_hit_rate o.Outcome.l2_miss_rate))
+           o.Outcome.power_mw o.Outcome.tlb_hit_rate o.Outcome.l2_miss_rate
+           (100. *. Outcome.util_of o "mesh")
+           (100. *. Outcome.util_of o "dma")
+           (Outcome.wait_of o "dma") (Outcome.wait_of o "/ld")
+           (Outcome.p95_lat_of o "dma")))
     rows;
   Buffer.contents buf
 

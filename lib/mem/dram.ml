@@ -31,7 +31,7 @@ let access t ~now ~bytes ~write =
   let service_done = Engine.acquire t.engine t.channel ~now ~occupancy in
   if write then t.bytes_written := !(t.bytes_written) + bytes
   else t.bytes_read := !(t.bytes_read) + bytes;
-  if Engine.observing t.engine then
+  if Engine.live t.engine then
     Engine.emit t.engine
       (Engine.Transfer
          {

@@ -41,16 +41,25 @@ type event =
       kind : string;
       detail : string;
     }
+  | Span_open of {
+      component : string;
+      time : Time.cycles;
+      name : string;
+      cat : string;
+      args : (string * string) list;
+    }
+  | Span_close of { component : string; time : Time.cycles; name : string }
 
 let event_time = function
   | Acquire { time; _ } | Transfer { time; _ } | Translate { time; _ }
-  | Note { time; _ } | Fault { time; _ } ->
+  | Note { time; _ } | Fault { time; _ } | Span_open { time; _ }
+  | Span_close { time; _ } ->
       time
 
 let event_component = function
   | Acquire { component; _ } | Transfer { component; _ }
   | Translate { component; _ } | Note { component; _ } | Fault { component; _ }
-    ->
+  | Span_open { component; _ } | Span_close { component; _ } ->
       component
 
 let pp_event fmt = function
@@ -69,6 +78,13 @@ let pp_event fmt = function
   | Fault { component; time; kind; detail } ->
       Format.fprintf fmt "[%a] %-16s FAULT %s: %s" Time.pp time component kind
         detail
+  | Span_open { component; time; name; cat; args } ->
+      Format.fprintf fmt "[%a] %-16s span open %s (%s)%s" Time.pp time component
+        name cat
+        (String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) args))
+  | Span_close { component; time; name } ->
+      Format.fprintf fmt "[%a] %-16s span close %s" Time.pp time component name
 
 type sample = {
   p_requests : int;
@@ -157,6 +173,7 @@ let observe t time = if time > t.clock then t.clock <- time
 let tracing t = t.trace_on
 let set_tracing t b = t.trace_on <- b
 let observing t = t.trace_on || t.sinks <> []
+let live = observing
 let add_sink t f = t.sinks <- t.sinks @ [ f ]
 
 let emit t event =

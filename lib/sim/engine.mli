@@ -61,6 +61,16 @@ type event =
       kind : string;  (** {!Fault.cause_label} of the cause *)
       detail : string;  (** {!Fault.cause_detail} of the cause *)
     }
+  | Span_open of {
+      component : string;  (** track the span renders on *)
+      time : Time.cycles;  (** begin stamp *)
+      name : string;  (** e.g. a layer name or ISA mnemonic *)
+      cat : string;  (** hierarchy level: network/layer/kernel/command/... *)
+      args : (string * string) list;  (** free-form attributes *)
+    }
+  | Span_close of { component : string; time : Time.cycles; name : string }
+      (** Closes the innermost open span with this [name] on [component]'s
+          scope; see {!Span} for the stack discipline. *)
 
 val event_time : event -> Time.cycles
 val event_component : event -> string
@@ -135,9 +145,13 @@ val observe : t -> Time.cycles -> unit
 val tracing : t -> bool
 val set_tracing : t -> bool -> unit
 
-val observing : t -> bool
+val live : t -> bool
 (** True when emitted events go anywhere (tracing on or sinks attached);
-    components use this to skip event construction on the hot path. *)
+    components use this to skip event construction on the hot path. A
+    disabled run must allocate no event records at all. *)
+
+val observing : t -> bool
+(** Alias of {!live} (the original name; kept for existing callers). *)
 
 val emit : t -> event -> unit
 (** Feeds the sinks, and the ring when tracing. Advances the clock. *)

@@ -1,0 +1,73 @@
+(** Trace collection and export: Chrome Trace Event JSON and text reports.
+
+    An [Export.t] is an engine sink that aggregates the event stream into
+    - a {!Span.t} recorder (the network > layer > kernel > command tree),
+    - per-component queue-latency {e histograms} (request-to-service-start
+      cycles of every [Acquire] event),
+    - windowed {e time series}: busy occupancy, outstanding backlog and
+      transferred bytes per fixed-width window of simulated time.
+
+    Two export formats:
+
+    - {!write_chrome} emits Chrome Trace Event JSON, loadable in Perfetto
+      ({:https://ui.perfetto.dev}) or [chrome://tracing]. One process lane
+      per core (shared memory-system components form a ["soc"] lane), one
+      thread track per registered component, X slices for network/layer
+      spans, async b/e pairs for kernels, ISA commands and DMA bursts
+      (these overlap their siblings, which sync slices cannot express),
+      and counter tracks for windowed utilization, outstanding occupancy
+      and transferred bytes. Timestamps are cycle numbers presented as
+      microseconds. Output is deterministic byte-for-byte: fixed track
+      order, insertion-order spans, and {!Gem_util.Jsonx} printing.
+
+    - {!report} renders a plain-text hierarchical profile: per-layer
+      breakdown (cycles, share of total, kernels, command count) plus a
+      per-component queue-latency table (p50/p95/p99/max).
+
+    Attaching a collector never changes simulated timing — events carry
+    timestamps already observed by the clock — so traced runs report
+    cycle counts identical to quiet runs. *)
+
+type t
+
+val attach :
+  ?window:int ->
+  ?lat_range:float ->
+  ?lat_buckets:int ->
+  ?spans:bool ->
+  ?acquire_spans:(string -> bool) ->
+  Engine.t ->
+  t
+(** Registers the collector as a sink on [engine] (making it
+    {!Engine.live}) and returns it.
+
+    [window] (default 65536) is the time-series bucket width in cycles.
+    [lat_range]/[lat_buckets] (default 4096.0 / 64) shape the queue-latency
+    histograms; samples beyond the range clamp into the last bucket while
+    the recorded maximum stays exact. [spans:false] drops span and acquire
+    events (histograms and series only — what a DSE sweep wants).
+    [acquire_spans] is passed to {!Span.create}. *)
+
+val recorder : t -> Span.t
+val engine : t -> Engine.t
+
+val finalize : t -> unit
+(** {!Span.finalize} at the engine horizon. Call after the run, before
+    exporting. Idempotent in effect: already-closed spans are untouched. *)
+
+val latency : t -> (string * int * Gem_util.Stats.Histogram.summary) list
+(** Per-component [(name, acquires, latency summary)] in track order. *)
+
+val write_chrome : t -> (string -> unit) -> unit
+(** Streams the JSON through the callback (called many times with small
+    chunks); full-model traces reach hundreds of MB, so no intermediate
+    whole-file string is built. *)
+
+val chrome_string : t -> string
+(** {!write_chrome} into a buffer. For tests and small runs. *)
+
+val write_chrome_file : t -> string -> unit
+(** {!write_chrome} into a file (buffered). *)
+
+val report : t -> string
+(** The plain-text hierarchical profile. *)

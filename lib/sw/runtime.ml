@@ -272,6 +272,39 @@ let read_tensor soc core ~vaddr ~shape =
 let write_tensor soc core ~vaddr t =
   Soc.host_write_i8 soc core ~vaddr (Tensor.data t)
 
+(* --- span markers ------------------------------------------------------------ *)
+
+module Span = Gem_sim.Span
+
+(* Zero-cost observability hooks: each marker reads the controller clock
+   and emits a span event only when the engine is live, so unobserved runs
+   execute the identical op stream with no event allocation. *)
+let span_open_marker ~cat ~name time_of =
+  Soc.Marker
+    (fun core ->
+      let ctrl = Soc.controller core in
+      Span.emit_open
+        (Gemmini.Controller.engine ctrl)
+        ~component:(Gemmini.Controller.host_component ctrl)
+        ~time:(time_of ctrl) ~cat name)
+
+let span_close_marker ~name time_of =
+  Soc.Marker
+    (fun core ->
+      let ctrl = Soc.controller core in
+      Span.emit_close
+        (Gemmini.Controller.engine ctrl)
+        ~component:(Gemmini.Controller.host_component ctrl)
+        ~time:(time_of ctrl) name)
+
+(* A kernel span opens at the issue cursor (dispatch of the kernel's first
+   command) and closes at the finish horizon once its commands retire. *)
+let kernel_span name = function
+  | [] -> []
+  | ops ->
+      (span_open_marker ~cat:"kernel" ~name Gemmini.Controller.now :: ops)
+      @ [ span_close_marker ~name Gemmini.Controller.finish_time ]
+
 (* --- per-layer emission ------------------------------------------------------ *)
 
 let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
@@ -289,14 +322,17 @@ let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
              let data = Soc.host_read_i8 soc core ~vaddr:input_va ~n:e_elems in
              Soc.host_write_i8 soc core ~vaddr:out_va data)
        else [])
-      @ Kernels.host_elementwise_ops ~cpu ~elems:e_elems ~tag:e_name
+      @ kernel_span e_name
+          (Kernels.host_elementwise_ops ~cpu ~elems:e_elems ~tag:e_name)
   | Accel _, Layer.Global_avg_pool { g_h; g_w; g_ch } ->
       (if functional then
          marker (fun core ->
              let t = read_tensor soc core ~vaddr:input_va ~shape:[| 1; g_h; g_w; g_ch |] in
              write_tensor soc core ~vaddr:out_va (Gemmini.Peripheral.avg_pool_global t))
        else [])
-      @ Kernels.host_elementwise_ops ~cpu ~elems:(g_h * g_w * g_ch) ~tag:"gap"
+      @ kernel_span "gap"
+          (Kernels.host_elementwise_ops ~cpu ~elems:(g_h * g_w * g_ch)
+             ~tag:"gap")
   | Accel _, Layer.Max_pool p ->
       if functional then
         marker (fun core ->
@@ -309,14 +345,19 @@ let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
                 ~stride:p.Layer.p_stride ~padding:p.Layer.p_padding t
             in
             write_tensor soc core ~vaddr:out_va pooled)
-      else Kernels.maxpool_ops params ~cpu ~input:input_va ~out:out_va ~spec:p ()
+      else
+        kernel_span "maxpool"
+          (Kernels.maxpool_ops params ~cpu ~input:input_va ~out:out_va ~spec:p
+             ())
   | Accel _, Layer.Residual_add { r_h; r_w; r_ch; back1; back2 } ->
       let operand back =
         let j = idx - back in
         if j < 0 then tensors.t_input else tensors.t_out.(j)
       in
-      Kernels.resadd_ops params ~x:(operand back1) ~y:(operand back2) ~out:out_va
-        ~elems:(r_h * r_w * r_ch) ()
+      kernel_span "resadd"
+        (Kernels.resadd_ops params ~x:(operand back1) ~y:(operand back2)
+           ~out:out_va
+           ~elems:(r_h * r_w * r_ch) ())
   | Accel { im2col_on_accel }, Layer.Conv spec ->
       let patch_va = tensors.t_patch.(idx) in
       let prep =
@@ -361,15 +402,18 @@ let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
         else Kernels.Im2col_on_cpu
       in
       prep
-      @ Kernels.conv_ops params ~cpu ~im2col ~bias:(tensors.t_bias.(idx))
-          ~scale:out_scale ~input:input_va ~weights:(tensors.t_weights.(idx))
-          ~out:out_va ~spec ~patch_scratch:tensors.t_patch.(idx) ()
+      @ kernel_span "conv"
+          (Kernels.conv_ops params ~cpu ~im2col ~bias:(tensors.t_bias.(idx))
+             ~scale:out_scale ~input:input_va ~weights:(tensors.t_weights.(idx))
+             ~out:out_va ~spec ~patch_scratch:tensors.t_patch.(idx) ())
   | Accel _, Layer.Matmul mm ->
       let act =
         if mm.Layer.relu then Gemmini.Peripheral.Relu
         else Gemmini.Peripheral.No_activation
       in
       let instance i =
+        kernel_span "matmul"
+        @@
         if mm.Layer.m = 1 then
           (* C^T = W^T . x: the transposed weight matrix is the streaming
              A operand (page-sequential rows); x and C^T are flat vectors,
@@ -407,10 +451,21 @@ let plan_ops_with soc core model ~mode ~records ~guard =
     let name, layer = layers.(idx) in
     let input_va = if idx = 0 then tensors.t_input else tensors.t_out.(idx - 1) in
     let ops = layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer in
+    (* The layer span opens at the previous layer's finish horizon (the
+       same base lr_cycles measures from), so layer slices tile the
+       timeline without overlap. *)
+    let layer_open =
+      span_open_marker ~cat:"layer" ~name Gemmini.Controller.finish_time
+    in
     let finish_marker =
       Soc.Marker
         (fun core ->
-          let f = Gemmini.Controller.finish_time (Soc.controller core) in
+          let ctrl = Soc.controller core in
+          let f = Gemmini.Controller.finish_time ctrl in
+          Span.emit_close
+            (Gemmini.Controller.engine ctrl)
+            ~component:(Gemmini.Controller.host_component ctrl)
+            ~time:f name;
           records :=
             {
               lr_name = name;
@@ -423,7 +478,7 @@ let plan_ops_with soc core model ~mode ~records ~guard =
     in
     let ops = ops @ [ Kernels.fence ] in
     match guard with
-    | None -> ops @ [ finish_marker ]
+    | None -> (layer_open :: ops) @ [ finish_marker ]
     | Some g ->
         (* Guarded stream: a begin marker arms the per-layer recovery
            state, and every op routes through [guarded_exec]. Plan-level
@@ -445,12 +500,23 @@ let plan_ops_with soc core model ~mode ~records ~guard =
           | Soc.Marker _ -> op
           | _ -> Soc.Marker (fun core -> guarded_exec soc g core op)
         in
-        (begin_marker :: List.map wrap ops) @ [ finish_marker ]
+        (layer_open :: begin_marker :: List.map wrap ops) @ [ finish_marker ]
   in
   let n = Array.length layers in
-  Seq.concat_map
-    (fun idx -> List.to_seq (emit_layer idx))
-    (Seq.init n (fun i -> i))
+  let net_name = model.Layer.model_name in
+  let body =
+    Seq.concat_map
+      (fun idx -> List.to_seq (emit_layer idx))
+      (Seq.init n (fun i -> i))
+  in
+  (* The whole program sits under one network-level span. *)
+  Seq.append
+    (Seq.return
+       (span_open_marker ~cat:"network" ~name:net_name
+          Gemmini.Controller.finish_time))
+    (Seq.append body
+       (Seq.return
+          (span_close_marker ~name:net_name Gemmini.Controller.finish_time)))
 
 let plan_ops soc core model ~mode ~records =
   plan_ops_with soc core model ~mode ~records ~guard:None

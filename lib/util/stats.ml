@@ -70,12 +70,19 @@ let hit_rate ~hits ~total =
   if total = 0 then 0. else float_of_int hits /. float_of_int total
 
 module Histogram = struct
-  type t = { counts : int array; range : float; mutable n : int }
+  type t = {
+    counts : int array;
+    range : float;
+    mutable n : int;
+    mutable raw_max : float;
+  }
+
+  type summary = { p50 : float; p95 : float; p99 : float; max : float }
 
   let create ~buckets ~range =
     if buckets <= 0 then invalid_arg "Histogram.create: buckets <= 0";
     if range <= 0. then invalid_arg "Histogram.create: range <= 0";
-    { counts = Array.make buckets 0; range; n = 0 }
+    { counts = Array.make buckets 0; range; n = 0; raw_max = nan }
 
   let bucket_of t x =
     let b = int_of_float (x /. t.range *. float_of_int (Array.length t.counts)) in
@@ -84,10 +91,12 @@ module Histogram = struct
   let add t x =
     let b = bucket_of t x in
     t.counts.(b) <- t.counts.(b) + 1;
+    if t.n = 0 || x > t.raw_max then t.raw_max <- x;
     t.n <- t.n + 1
 
   let bucket_counts t = Array.copy t.counts
   let count t = t.n
+  let max t = t.raw_max
 
   let percentile t p =
     if t.n = 0 then nan
@@ -104,6 +113,14 @@ module Histogram = struct
       in
       go 0 0
     end
+
+  let summary t =
+    {
+      p50 = percentile t 50.;
+      p95 = percentile t 95.;
+      p99 = percentile t 99.;
+      max = t.raw_max;
+    }
 end
 
 module Series = struct

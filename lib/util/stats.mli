@@ -44,13 +44,25 @@ val hit_rate : hits:int -> total:int -> float
 module Histogram : sig
   type t
 
+  type summary = { p50 : float; p95 : float; p99 : float; max : float }
+  (** Quantile digest of a histogram: bucket-midpoint approximations for
+      the percentiles plus the exact largest raw sample. *)
+
   val create : buckets:int -> range:float -> t
   val add : t -> float -> unit
   val bucket_counts : t -> int array
   val count : t -> int
+
+  val max : t -> float
+  (** Exact largest sample seen (pre-clamping). [nan] when empty. *)
+
   val percentile : t -> float -> float
   (** [percentile t p] approximates the [p]-th percentile ([0 <= p <= 100])
       using bucket midpoints. [nan] when empty. *)
+
+  val summary : t -> summary
+  (** p50/p95/p99 via {!percentile}; [max] is exact. All [nan] when
+      empty. *)
 end
 
 (** Windowed time series: samples are bucketed by timestamp into fixed-width

@@ -128,7 +128,7 @@ let invalidate t ~vpn =
 
 let observe t now level =
   (match t.observer with None -> () | Some f -> f now level);
-  if Engine.observing t.engine then
+  if Engine.live t.engine then
     Engine.emit t.engine
       (Engine.Translate
          { component = t.name; time = now; level = level_label level })

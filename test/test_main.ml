@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
+      ("trace", Test_trace.suite);
       ("mem", Test_mem.suite);
       ("vm", Test_vm.suite);
       ("mesh", Test_mesh.suite);

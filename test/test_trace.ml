@@ -1,0 +1,294 @@
+(* Observability: histogram percentile summaries, engine event-ring
+   wraparound with span events, span nesting and error handling, and the
+   Chrome trace / report exporters (structure, determinism, and timing
+   neutrality). *)
+
+open Gem_sim
+module Stats = Gem_util.Stats
+module J = Gem_util.Jsonx
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+
+(* --- Stats.Histogram summaries -------------------------------------------- *)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create ~buckets:8 ~range:64. in
+  let s = Stats.Histogram.summary h in
+  Alcotest.(check bool) "p50 nan" true (Float.is_nan s.Stats.Histogram.p50);
+  Alcotest.(check bool) "p95 nan" true (Float.is_nan s.Stats.Histogram.p95);
+  Alcotest.(check bool) "p99 nan" true (Float.is_nan s.Stats.Histogram.p99);
+  Alcotest.(check bool) "max nan" true (Float.is_nan s.Stats.Histogram.max)
+
+let test_histogram_single_bucket () =
+  let h = Stats.Histogram.create ~buckets:8 ~range:64. in
+  (* All samples land in bucket 0 (width 8); every percentile is its
+     midpoint and max is the exact raw value. *)
+  List.iter (Stats.Histogram.add h) [ 1.; 2.; 3. ];
+  let s = Stats.Histogram.summary h in
+  Alcotest.(check (float 1e-9)) "p50 midpoint" 4. s.Stats.Histogram.p50;
+  Alcotest.(check (float 1e-9)) "p95 midpoint" 4. s.Stats.Histogram.p95;
+  Alcotest.(check (float 1e-9)) "p99 midpoint" 4. s.Stats.Histogram.p99;
+  Alcotest.(check (float 1e-9)) "max exact" 3. s.Stats.Histogram.max
+
+let test_histogram_clamped () =
+  let h = Stats.Histogram.create ~buckets:4 ~range:40. in
+  (* Nine samples in the first bucket, one far beyond the range: the
+     outlier clamps into the last bucket but the recorded max stays
+     exact. *)
+  for _ = 1 to 9 do
+    Stats.Histogram.add h 5.
+  done;
+  Stats.Histogram.add h 1000.;
+  let s = Stats.Histogram.summary h in
+  Alcotest.(check (float 1e-9)) "p50 in first bucket" 5. s.Stats.Histogram.p50;
+  Alcotest.(check (float 1e-9)) "p99 clamped to last bucket midpoint" 35.
+    s.Stats.Histogram.p99;
+  Alcotest.(check (float 1e-9)) "max exact beyond range" 1000.
+    s.Stats.Histogram.max;
+  Alcotest.(check int) "count" 10 (Stats.Histogram.count h)
+
+(* --- engine ring wraparound with span events -------------------------------- *)
+
+let span_open ~component ~time ~name ~cat =
+  Engine.Span_open { component; time; name; cat; args = [] }
+
+let span_close ~component ~time ~name =
+  Engine.Span_close { component; time; name }
+
+let test_ring_wraparound () =
+  let e = Engine.create ~trace_capacity:4 ~trace:true () in
+  for i = 1 to 3 do
+    Engine.emit e
+      (span_open ~component:"c" ~time:(10 * i)
+         ~name:(Printf.sprintf "s%d" i)
+         ~cat:"kernel");
+    Engine.emit e
+      (span_close ~component:"c" ~time:((10 * i) + 5)
+         ~name:(Printf.sprintf "s%d" i))
+  done;
+  Alcotest.(check int) "total recorded" 6 (Engine.event_count e);
+  let evs = Engine.events e in
+  Alcotest.(check int) "capacity retained" 4 (List.length evs);
+  (* Oldest first: the ring kept the events of spans 2 and 3. *)
+  Alcotest.(check (list int)) "times oldest-first" [ 20; 25; 30; 35 ]
+    (List.map Engine.event_time evs);
+  (* A recorder fed only the surviving ring contents sees closes for
+     span 1 never opened: the orphan counter, not a crash. *)
+  let r = Span.create () in
+  List.iter (Span.on_event r) evs;
+  Alcotest.(check int) "ring replay recovers spans" 2 (Span.count r);
+  Alcotest.(check int) "no orphans in surviving window" 0 (Span.orphan_closes r)
+
+(* --- span nesting and error handling ---------------------------------------- *)
+
+let test_span_nesting () =
+  let r = Span.create () in
+  let ev = Span.on_event r in
+  ev (span_open ~component:"core0/host" ~time:0 ~name:"net" ~cat:"network");
+  ev (span_open ~component:"core0/host" ~time:10 ~name:"l1" ~cat:"layer");
+  ev (span_open ~component:"core0/mesh" ~time:20 ~name:"mm" ~cat:"kernel");
+  ev (span_close ~component:"core0/mesh" ~time:30 ~name:"mm");
+  ev (span_close ~component:"core0/host" ~time:40 ~name:"l1");
+  ev (span_close ~component:"core0/host" ~time:50 ~name:"net");
+  Alcotest.(check int) "three spans" 3 (Span.count r);
+  let net = Span.get r 0 and l1 = Span.get r 1 and mm = Span.get r 2 in
+  Alcotest.(check int) "network is root" (-1) net.Span.parent;
+  Alcotest.(check int) "layer under network" net.Span.id l1.Span.parent;
+  Alcotest.(check int) "kernel under layer" l1.Span.id mm.Span.parent;
+  Alcotest.(check int) "kernel t1" 30 mm.Span.t1;
+  Alcotest.(check int) "all closed" 0 (Span.open_count r)
+
+let test_span_orphan_and_forced () =
+  let r = Span.create () in
+  let ev = Span.on_event r in
+  (* A close that matches nothing is an orphan. *)
+  ev (span_close ~component:"core0/host" ~time:5 ~name:"ghost");
+  Alcotest.(check int) "orphan counted" 1 (Span.orphan_closes r);
+  (* A close that skips an inner open force-closes it at the closer's
+     stamp. *)
+  ev (span_open ~component:"core0/host" ~time:10 ~name:"outer" ~cat:"layer");
+  ev (span_open ~component:"core0/host" ~time:20 ~name:"inner" ~cat:"kernel");
+  ev (span_close ~component:"core0/host" ~time:30 ~name:"outer");
+  Alcotest.(check int) "forced close counted" 1 (Span.forced_closes r);
+  let inner = Span.get r 1 in
+  Alcotest.(check int) "inner forced at closer stamp" 30 inner.Span.t1;
+  (* finalize closes whatever is still open, at the horizon. *)
+  ev (span_open ~component:"core0/host" ~time:40 ~name:"dangling" ~cat:"layer");
+  Span.finalize r ~horizon:99;
+  Alcotest.(check int) "nothing open after finalize" 0 (Span.open_count r);
+  Alcotest.(check int) "finalize forced it" 2 (Span.forced_closes r);
+  Alcotest.(check int) "dangling closed at horizon" 99 (Span.get r 2).Span.t1
+
+let test_span_scopes () =
+  (* Interleaved cores keep independent stacks; shared components attach
+     to the scope that opened a span most recently. *)
+  let r = Span.create () in
+  let ev = Span.on_event r in
+  ev (span_open ~component:"core0/host" ~time:0 ~name:"l0" ~cat:"layer");
+  ev (span_open ~component:"core1/host" ~time:0 ~name:"l1" ~cat:"layer");
+  ev (span_open ~component:"core1/mesh" ~time:5 ~name:"k1" ~cat:"kernel");
+  ev (span_open ~component:"core0/mesh" ~time:6 ~name:"k0" ~cat:"kernel");
+  ev (span_close ~component:"core0/mesh" ~time:9 ~name:"k0");
+  ev (span_close ~component:"core1/mesh" ~time:9 ~name:"k1");
+  ev (span_close ~component:"core0/host" ~time:10 ~name:"l0");
+  ev (span_close ~component:"core1/host" ~time:10 ~name:"l1");
+  let by_name n =
+    let found = ref None in
+    Span.iter r (fun s -> if s.Span.name = n then found := Some s);
+    Option.get !found
+  in
+  Alcotest.(check int) "core0 kernel under core0 layer" (by_name "l0").Span.id
+    (by_name "k0").Span.parent;
+  Alcotest.(check int) "core1 kernel under core1 layer" (by_name "l1").Span.id
+    (by_name "k1").Span.parent;
+  Alcotest.(check int) "no forced closes" 0 (Span.forced_closes r)
+
+let test_acquire_spans () =
+  let e = Engine.create () in
+  let r = Span.attach ~acquire_spans:(fun c -> c = "bus") e in
+  Engine.emit e
+    (Engine.Acquire { component = "bus"; time = 5; start = 7; finish = 12 });
+  Engine.emit e
+    (Engine.Acquire { component = "dram"; time = 5; start = 7; finish = 12 });
+  Alcotest.(check int) "only predicated component" 1 (Span.count r);
+  let s = Span.get r 0 in
+  Alcotest.(check string) "cat" "acquire" s.Span.cat;
+  Alcotest.(check int) "t0 is service start" 7 s.Span.t0;
+  Alcotest.(check int) "t1 is finish" 12 s.Span.t1
+
+(* --- export: chrome structure, hierarchy, determinism, neutrality ----------- *)
+
+let small_model =
+  lazy
+    (Gem_dnn.Model_zoo.scale_model ~factor:32 Gem_dnn.Model_zoo.mobilenetv2)
+
+let traced_run () =
+  let soc = Soc.create Soc_config.default in
+  let c = Export.attach (Soc.engine soc) in
+  let r =
+    Runtime.run soc ~core:0 (Lazy.force small_model)
+      ~mode:(Runtime.Accel { im2col_on_accel = true })
+  in
+  Export.finalize c;
+  (c, r)
+
+let test_chrome_structure () =
+  let c, _ = traced_run () in
+  let json =
+    match J.of_string (Export.chrome_string c) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "trace does not parse: %s" e
+  in
+  let events = Option.get (J.to_list json) in
+  let with_ph ph =
+    List.filter
+      (fun ev -> J.member "ph" ev = Some (J.String ph))
+      events
+  in
+  let tracks =
+    List.filter
+      (fun ev -> J.member "name" ev = Some (J.String "thread_name"))
+      (with_ph "M")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 4 component tracks (got %d)" (List.length tracks))
+    true
+    (List.length tracks >= 4);
+  let counters =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun ev -> Option.bind (J.member "name" ev) J.to_str)
+         (with_ph "C"))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 2 counter tracks (got %d)" (List.length counters))
+    true
+    (List.length counters >= 2);
+  Alcotest.(check bool) "has sync slices" true (with_ph "X" <> []);
+  Alcotest.(check bool) "has async spans" true (with_ph "b" <> []);
+  Alcotest.(check int) "async opens and closes pair up"
+    (List.length (with_ph "b"))
+    (List.length (with_ph "e"))
+
+let test_span_hierarchy_end_to_end () =
+  let c, _ = traced_run () in
+  let r = Export.recorder c in
+  (* Walk one command span up to the root: command -> kernel -> layer ->
+     network. *)
+  let cat_of id = (Span.get r id).Span.cat in
+  let some_command = ref None in
+  Span.iter r (fun s ->
+      if s.Span.cat = "command" && !some_command = None then
+        some_command := Some s);
+  let s = Option.get !some_command in
+  let k = s.Span.parent in
+  Alcotest.(check string) "command under kernel" "kernel" (cat_of k);
+  let l = (Span.get r k).Span.parent in
+  Alcotest.(check string) "kernel under layer" "layer" (cat_of l);
+  let n = (Span.get r l).Span.parent in
+  Alcotest.(check string) "layer under network" "network" (cat_of n);
+  Alcotest.(check int) "network is root" (-1) (Span.get r n).Span.parent;
+  (* Every span carries an end stamp after finalize. *)
+  Span.iter r (fun s ->
+      if s.Span.t1 < s.Span.t0 then
+        Alcotest.failf "span %s [%s] has no end stamp" s.Span.name s.Span.cat);
+  Alcotest.(check int) "clean run forced no closes" 0 (Span.forced_closes r);
+  Alcotest.(check int) "clean run orphaned no closes" 0 (Span.orphan_closes r)
+
+let test_chrome_deterministic () =
+  let c1, _ = traced_run () in
+  let c2, _ = traced_run () in
+  Alcotest.(check bool) "byte-identical traces" true
+    (String.equal (Export.chrome_string c1) (Export.chrome_string c2))
+
+let test_collector_timing_neutral () =
+  let quiet =
+    let soc = Soc.create Soc_config.default in
+    let r =
+      Runtime.run soc ~core:0 (Lazy.force small_model)
+        ~mode:(Runtime.Accel { im2col_on_accel = true })
+    in
+    r.Runtime.r_total_cycles
+  in
+  let _, r = traced_run () in
+  Alcotest.(check int) "collector does not move the clock" quiet
+    r.Runtime.r_total_cycles
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_report_renders () =
+  let c, _ = traced_run () in
+  let report = Export.report c in
+  Alcotest.(check bool) "has layer profile" true
+    (contains ~sub:"Layer profile" report);
+  Alcotest.(check bool) "has queue latency table" true
+    (contains ~sub:"Queue latency" report);
+  Alcotest.(check bool) "mentions a real layer" true
+    (contains ~sub:"conv1" report)
+
+let suite =
+  [
+    Alcotest.test_case "histogram: empty summary" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram: single bucket" `Quick
+      test_histogram_single_bucket;
+    Alcotest.test_case "histogram: clamped samples" `Quick
+      test_histogram_clamped;
+    Alcotest.test_case "engine ring: span-event wraparound" `Quick
+      test_ring_wraparound;
+    Alcotest.test_case "span: nesting and parents" `Quick test_span_nesting;
+    Alcotest.test_case "span: orphan and forced closes" `Quick
+      test_span_orphan_and_forced;
+    Alcotest.test_case "span: per-core scopes" `Quick test_span_scopes;
+    Alcotest.test_case "span: acquire predicate" `Quick test_acquire_spans;
+    Alcotest.test_case "chrome: structure" `Quick test_chrome_structure;
+    Alcotest.test_case "chrome: full hierarchy" `Quick
+      test_span_hierarchy_end_to_end;
+    Alcotest.test_case "chrome: deterministic" `Quick test_chrome_deterministic;
+    Alcotest.test_case "collector: timing neutral" `Quick
+      test_collector_timing_neutral;
+    Alcotest.test_case "report: renders tables" `Quick test_report_renders;
+  ]
