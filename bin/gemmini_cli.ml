@@ -337,6 +337,84 @@ let sweep_cmd =
     Term.(
       const run $ model_term $ scale_term $ jobs $ cache_dir $ no_cache $ out)
 
+(* --- fuzz: differential testing against the golden model -------------------- *)
+
+let fuzz_cmd =
+  let run seed count shrink self_test =
+    if self_test then begin
+      (* Prove detection power: each deliberate golden-model bug must be
+         caught within the case budget. *)
+      let undetected =
+        List.filter
+          (fun mutation ->
+            let detected = ref false in
+            let i = ref 0 in
+            while (not !detected) && !i < count do
+              let case = Gem_check.Gen.case ~force_invalid:false ~seed:(seed + !i) () in
+              let report = Gem_check.Diff.run_case ~mutate:mutation case in
+              if report.Gem_check.Diff.divergences <> [] then detected := true;
+              incr i
+            done;
+            Printf.printf "self-test %-18s %s\n"
+              (Gem_check.Golden.mutation_name mutation)
+              (if !detected then
+                 Printf.sprintf "detected (seed %d)" (seed + !i - 1)
+               else "NOT DETECTED");
+            not !detected)
+          Gem_check.Golden.mutations
+      in
+      if undetected <> [] then exit 1
+    end
+    else begin
+      let failures = ref 0 and invalid = ref 0 in
+      for i = 0 to count - 1 do
+        let case = Gem_check.Gen.case ~seed:(seed + i) () in
+        if case.Gem_check.Gen.invalid then incr invalid;
+        let report = Gem_check.Diff.run_case case in
+        if report.Gem_check.Diff.divergences <> [] then begin
+          incr failures;
+          Printf.printf "seed %d: %d divergence(s)\n" (seed + i)
+            (List.length report.Gem_check.Diff.divergences);
+          List.iter (Printf.printf "  %s\n") report.Gem_check.Diff.divergences;
+          let case =
+            if shrink then begin
+              let small = Gem_check.Shrink.minimize_case case in
+              Printf.printf "  shrunk to %d command(s):\n"
+                (List.length small.Gem_check.Gen.program);
+              small
+            end
+            else case
+          in
+          if shrink then
+            List.iter
+              (fun cmd -> Printf.printf "    %s\n" (Gemmini.Isa.to_string cmd))
+              case.Gem_check.Gen.program;
+          Printf.printf "  repro: %s\n" (Gem_check.Diff.repro case)
+        end
+      done;
+      Printf.printf "fuzz: %d programs (%d invalid-mode), %d divergence(s), seeds %d..%d\n"
+        count !invalid !failures seed (seed + count - 1);
+      if !failures > 0 then exit 1
+    end
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First case seed; case $(i) uses seed + i.") in
+  let count = Arg.(value & opt int 100 & info [ "count" ] ~doc:"Cases to run (self-test: per-mutation budget).") in
+  let shrink = Arg.(value & flag & info [ "shrink" ] ~doc:"Minimize each failing program (ddmin) and print it.") in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Mutate the golden model instead of fuzzing: every deliberate \
+             bug must be detected, proving the harness has teeth.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random ISA programs on the cycle-accurate \
+          SoC vs an independent golden architectural model.")
+    Term.(const run $ seed $ count $ shrink $ self_test)
+
 let experiment_cmd =
   let run id quick =
     match String.lowercase_ascii id with
@@ -359,4 +437,15 @@ let () =
     Cmd.info "gemmini_cli" ~version:"1.0.0"
       ~doc:"Full-stack DNN accelerator generator and SoC simulator (Gemmini reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ describe_cmd; header_cmd; synth_cmd; run_cmd; sweep_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            describe_cmd;
+            header_cmd;
+            synth_cmd;
+            run_cmd;
+            sweep_cmd;
+            experiment_cmd;
+            fuzz_cmd;
+          ]))

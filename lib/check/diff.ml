@@ -1,0 +1,166 @@
+module Isa = Gemmini.Isa
+module Params = Gemmini.Params
+module Local_addr = Gemmini.Local_addr
+module Controller = Gemmini.Controller
+module Scratchpad = Gemmini.Scratchpad
+module Dma = Gemmini.Dma
+module Mesh = Gemmini.Mesh
+module Fault = Gem_sim.Fault
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+
+type report = {
+  divergences : string list;
+  sim_trap : (int * string) option;
+  gold_trap : (int * string) option;
+  finish : Gem_sim.Time.cycles;
+}
+
+let max_reported = 12
+
+let array_to_string a =
+  "[" ^ String.concat " " (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+(* Execute the program on a real single-core functional SoC, stopping at
+   the first architectural trap. *)
+let run_sim (case : Gen.case) =
+  let soc =
+    Soc.create
+      {
+        Soc_config.default with
+        Soc_config.functional = true;
+        cores = [ { Soc_config.default_core with Soc_config.accel = case.Gen.params } ];
+      }
+  in
+  let core = Soc.core soc 0 in
+  let base = Soc.alloc soc core ~bytes:case.Gen.arena_bytes in
+  if base <> Gen.arena_base then
+    invalid_arg
+      (Printf.sprintf "Diff: SoC arena landed at 0x%x, generator assumed 0x%x"
+         base Gen.arena_base);
+  Soc.host_write_i8 soc core ~vaddr:base case.Gen.init;
+  let trap = ref None in
+  (try
+     List.iteri
+       (fun i cmd ->
+         match !trap with
+         | Some _ -> ()
+         | None -> (
+             try Soc.exec_op core (Soc.Insn cmd)
+             with Fault.Trap f -> trap := Some (i, Fault.cause_label f.Fault.cause)))
+       case.Gen.program
+   with Fault.Trap f -> trap := Some (-1, Fault.cause_label f.Fault.cause));
+  (soc, core, !trap)
+
+let run_gold ?mutate (case : Gen.case) =
+  let g = Golden.create ?mutate case.Gen.params in
+  Golden.write_host g ~addr:Gen.arena_base case.Gen.init;
+  let trap =
+    match Golden.run g case.Gen.program with
+    | None -> None
+    | Some (i, cause) -> Some (i, Fault.cause_label cause)
+  in
+  (g, trap)
+
+let compare_state (case : Gen.case) soc core g out =
+  let p = case.Gen.params in
+  let ctl = Soc.controller core in
+  let spad = Controller.scratchpad ctl in
+  let stats = Controller.stats ctl in
+  let dma = Controller.dma ctl in
+  let diverge fmt = Printf.ksprintf (fun m -> out := m :: !out) fmt in
+  let loop = Golden.saw_loop g in
+  (* Local memories are unspecified on the golden side after a LOOP_WS. *)
+  if not loop then begin
+    for row = 0 to Params.sp_rows p - 1 do
+      let sim = Scratchpad.read_row spad (Local_addr.scratchpad ~row) ~offset:0 in
+      let gold = Golden.sp_row g row in
+      if sim <> gold then
+        diverge "sp[%d]: sim %s gold %s" row (array_to_string sim)
+          (array_to_string gold)
+    done;
+    for row = 0 to Params.acc_rows p - 1 do
+      let sim =
+        Scratchpad.read_row spad (Local_addr.accumulator ~row ()) ~offset:0
+      in
+      let gold = Golden.acc_row g row in
+      if sim <> gold then
+        diverge "acc[%d]: sim %s gold %s" row (array_to_string sim)
+          (array_to_string gold)
+    done
+  end;
+  (* Host memory: the whole arena, byte for byte. *)
+  let n = case.Gen.arena_bytes in
+  let sim_host = Soc.host_read_i8 soc core ~vaddr:Gen.arena_base ~n in
+  let gold_host = Golden.read_host_i8 g ~addr:Gen.arena_base ~n in
+  for i = 0 to n - 1 do
+    if sim_host.(i) <> gold_host.(i) then
+      diverge "host[0x%x]: sim %d gold %d" (Gen.arena_base + i) sim_host.(i)
+        gold_host.(i)
+  done;
+  (* Invariant oracles. *)
+  if stats.Controller.macs <> Golden.macs g then
+    diverge "macs: sim %d gold %d" stats.Controller.macs (Golden.macs g);
+  let gin = Golden.bytes_in g and gout = Golden.bytes_out g in
+  let sin = Dma.bytes_in dma and sout = Dma.bytes_out dma in
+  if loop then begin
+    (* tiling may re-load operands, never less than once each *)
+    if sin < gin then diverge "bytes_in: sim %d below lower bound %d" sin gin
+  end
+  else if sin <> gin then diverge "bytes_in: sim %d gold %d" sin gin;
+  if sout <> gout then diverge "bytes_out: sim %d gold %d" sout gout;
+  (* The mesh pipe's busy cycles are exactly the sum of the pipelined
+     block occupancies of the computes the golden model witnessed. *)
+  let occupancy =
+    List.fold_left
+      (fun acc (dataflow, rows, k, cols, preload) ->
+        acc + Mesh.pipelined_block_cycles p ~dataflow ~rows ~k ~cols ~preload)
+      0 (Golden.compute_shapes g)
+  in
+  if not loop then begin
+    if stats.Controller.ex_busy <> occupancy then
+      diverge "ex_busy: sim %d, block-cycle model %d" stats.Controller.ex_busy
+        occupancy
+  end
+  else if stats.Controller.ex_busy < occupancy then
+    diverge "ex_busy: sim %d below lower bound %d" stats.Controller.ex_busy
+      occupancy;
+  if Soc.finish_time soc < occupancy then
+    diverge "finish: sim %d below mesh-occupancy bound %d"
+      (Soc.finish_time soc) occupancy
+
+let run_case ?mutate (case : Gen.case) =
+  let soc, core, sim_trap = run_sim case in
+  let g, gold_trap = run_gold ?mutate case in
+  let out = ref [] in
+  (match (sim_trap, gold_trap) with
+  | None, None -> compare_state case soc core g out
+  | Some (si, sc), Some (gi, gc) ->
+      (* Both trapped: agreement means same command, same cause. The
+         post-trap state is not compared — an execution-stage trap may
+         legitimately leave partial effects. *)
+      if si <> gi || sc <> gc then
+        out :=
+          [
+            Printf.sprintf "trap mismatch: sim %s@%d gold %s@%d" sc si gc gi;
+          ]
+  | Some (si, sc), None ->
+      out := [ Printf.sprintf "sim trapped (%s@%d), golden ran clean" sc si ]
+  | None, Some (gi, gc) ->
+      out := [ Printf.sprintf "golden trapped (%s@%d), sim ran clean" gc gi ]);
+  (match (case.Gen.invalid, sim_trap) with
+  | true, None ->
+      out := "invalid-mode case did not trap in the simulator" :: !out
+  | _ -> ());
+  let divergences =
+    let all = List.rev !out in
+    let n = List.length all in
+    if n <= max_reported then all
+    else
+      List.filteri (fun i _ -> i < max_reported) all
+      @ [ Printf.sprintf "... and %d more divergences" (n - max_reported) ]
+  in
+  { divergences; sim_trap; gold_trap; finish = Soc.finish_time soc }
+
+let repro (case : Gen.case) =
+  Printf.sprintf "gemmini_cli fuzz --seed %d --count 1 --shrink" case.Gen.seed

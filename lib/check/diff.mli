@@ -1,0 +1,25 @@
+(** Runs one generated case on both executors — the real
+    [Soc]/[Controller] pipeline in functional mode and the {!Golden}
+    interpreter — and compares the architectural outcome: trap parity
+    (index + cause), final scratchpad / accumulator / host-arena
+    contents, and the invariant oracles (exact MAC and DMA-byte counts,
+    the mesh-occupancy cycle identity, and the finish-time lower bound).
+
+    After a [Loop_ws] the golden model's local memories are unspecified
+    (it computes the loop as pure linear algebra), so state comparison
+    narrows to host memory, MACs, stored bytes, and a loaded-bytes lower
+    bound. *)
+
+type report = {
+  divergences : string list;  (** empty = the executors agree *)
+  sim_trap : (int * string) option;  (** (command index, cause label) *)
+  gold_trap : (int * string) option;
+  finish : Gem_sim.Time.cycles;  (** simulator finish time, clean runs *)
+}
+
+val run_case : ?mutate:Golden.mutation -> Gen.case -> report
+(** [mutate] plants a deliberate bug in the {e golden} side — the
+    harness self-test: a mutated oracle must produce divergences. *)
+
+val repro : Gen.case -> string
+(** One-line CLI command that replays exactly this case. *)

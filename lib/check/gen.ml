@@ -1,0 +1,452 @@
+(* Program generator for the differential fuzzer. Valid mode emits
+   well-formed programs (every command passes [Isa.validate] by
+   construction — asserted, so a generator bug fails loudly instead of
+   polluting the fuzz run with bogus divergences); invalid mode plants
+   exactly one malformed command whose trap both executors must report
+   at the same index with the same cause. *)
+
+open Gem_util
+module Isa = Gemmini.Isa
+module Params = Gemmini.Params
+module Local_addr = Gemmini.Local_addr
+module Peripheral = Gemmini.Peripheral
+module Fault = Gem_sim.Fault
+
+type case = {
+  seed : int;
+  invalid : bool;
+  params : Params.t;
+  program : Isa.t list;
+  init : int array;
+  arena_bytes : int;
+}
+
+let arena_base = 0x1_0000
+
+(* --- random hardware configurations -------------------------------------- *)
+
+let params_of rng =
+  let dim = Rng.pick rng [| 2; 4; 8 |] in
+  let tile = Rng.pick rng (match dim with 2 -> [| 1; 2 |] | 4 -> [| 1; 2; 4 |] | _ -> [| 1; 2; 4; 8 |]) in
+  let mesh = dim / tile in
+  let sp_banks = Rng.pick rng [| 1; 2; 4 |] in
+  let sp_rpb = Rng.pick rng [| 16; 32; 64 |] in
+  let acc_banks = Rng.pick rng [| 1; 2 |] in
+  let acc_rpb = Rng.pick rng [| 8; 16; 32 |] in
+  let p =
+    {
+      Params.default with
+      mesh_rows = mesh;
+      mesh_cols = mesh;
+      tile_rows = tile;
+      tile_cols = tile;
+      dataflow = Gemmini.Dataflow.Both;
+      sp_capacity_bytes = sp_banks * sp_rpb * dim;
+      sp_banks;
+      acc_capacity_bytes = acc_banks * acc_rpb * dim * 4;
+      acc_banks;
+      dma_bus_bytes = Rng.pick rng [| 4; 8; 16 |];
+      max_in_flight = Rng.pick rng [| 1; 4; 16 |];
+    }
+  in
+  Params.validate_exn p
+
+(* --- generator state ------------------------------------------------------ *)
+
+type st = {
+  rng : Rng.t;
+  p : Params.t;
+  dim : int;
+  sp_rows : int;
+  acc_rows : int;
+  mutable off : int; (* bump allocator over the host arena *)
+  mutable prog_rev : Isa.t list;
+}
+
+let alloc st bytes =
+  let addr = arena_base + st.off in
+  st.off <- st.off + bytes + Rng.int st.rng 32;
+  addr
+
+(* Room for [rows] rows of [row_bytes] at [stride] apart. *)
+let alloc_rows st ~rows ~row_bytes ~stride =
+  alloc st (((rows - 1) * stride) + row_bytes)
+
+let emit st cmd =
+  (match Isa.validate st.p cmd with
+  | Ok () -> ()
+  | Error c ->
+      invalid_arg
+        (Printf.sprintf "Gen bug: emitted invalid command %s (%s)"
+           (Isa.to_string cmd) (Fault.cause_label c)));
+  st.prog_rev <- cmd :: st.prog_rev
+
+let sp_slot st rows = Rng.int_in st.rng ~lo:0 ~hi:(st.sp_rows - rows)
+let acc_slot st rows = Rng.int_in st.rng ~lo:0 ~hi:(st.acc_rows - rows)
+
+let ld_scale st = Rng.pick st.rng [| 1.0; 1.0; 0.5; 0.25 |]
+let st_scale st = Rng.pick st.rng [| 1.0; 0.5; 0.0625; 0.0078125 |]
+
+let st_act st =
+  Rng.pick st.rng
+    [| Peripheral.No_activation; Peripheral.Relu; Peripheral.Relu6 { shift = 4 } |]
+
+let config_ld st ~id ~stride ~scale ~shrunk =
+  emit st (Isa.Config_ld { Isa.ld_stride_bytes = stride; ld_scale = scale; ld_shrunk = shrunk; ld_id = id })
+
+let config_st st ~stride ~act ~scale =
+  emit st
+    (Isa.Config_st { Isa.st_stride_bytes = stride; st_activation = act; st_scale = scale; st_pool = None })
+
+(* mvin an int8 region of rows x cols through channel [id] into [local]. *)
+let mvin_i8 st ~id ~rows ~cols ~scale local =
+  let stride = cols + Rng.int st.rng 4 in
+  let dram_addr = alloc_rows st ~rows ~row_bytes:cols ~stride in
+  config_ld st ~id ~stride ~scale ~shrunk:false;
+  emit st (Isa.Mvin ({ Isa.dram_addr; local; cols; rows }, id));
+  dram_addr
+
+(* mvin 32-bit host words into the accumulator (bias loads). *)
+let mvin_i32 st ~id ~rows ~cols ~row =
+  let stride = 4 * (cols + Rng.int st.rng 4) in
+  let dram_addr = alloc_rows st ~rows ~row_bytes:(4 * cols) ~stride in
+  config_ld st ~id ~stride ~scale:1.0 ~shrunk:false;
+  emit st
+    (Isa.Mvin
+       ({ Isa.dram_addr; local = Local_addr.accumulator ~row (); cols; rows }, id))
+
+let mvout st ~rows ~cols ~out_eb local =
+  let row_bytes = cols * out_eb in
+  let stride = row_bytes + (out_eb * Rng.int st.rng 4) in
+  let dram_addr = alloc_rows st ~rows ~row_bytes ~stride in
+  config_st st ~stride ~act:(st_act st) ~scale:(st_scale st);
+  emit st (Isa.Mvout { Isa.dram_addr; local; cols; rows })
+
+(* --- segments ------------------------------------------------------------- *)
+
+type dest = Acc of { row : int; accumulate : bool } | Sp of int | Garbage
+
+let pick_dest st ~rows =
+  match Rng.int st.rng 8 with
+  | 0 -> Garbage
+  | 1 | 2 | 3 -> Sp (sp_slot st rows)
+  | _ -> Acc { row = acc_slot st rows; accumulate = Rng.bool st.rng }
+
+let dest_la dest =
+  match dest with
+  | Garbage -> Local_addr.garbage
+  | Sp row -> Local_addr.scratchpad ~row
+  | Acc { row; accumulate } -> Local_addr.accumulator ~accumulate ~row ()
+
+(* Read-side address for the destination (no accumulate flag; maybe
+   full-width for accumulator readouts). *)
+let mvout_dest st dest ~rows ~cols =
+  match dest with
+  | Garbage -> ()
+  | Sp row -> mvout st ~rows ~cols ~out_eb:1 (Local_addr.scratchpad ~row)
+  | Acc { row; _ } ->
+      let full = Rng.int st.rng 4 = 0 in
+      mvout st ~rows ~cols
+        ~out_eb:(if full then 4 else 1)
+        (Local_addr.accumulator ~full_width:full ~row ())
+
+(* One weight-stationary tile group: load A/B (and optionally D), preload
+   B with a destination, compute, optionally a second accumulating
+   compute on resident weights, then store the result. *)
+let ws_segment st =
+  let dim = st.dim in
+  let square = Rng.int st.rng 4 = 0 in
+  let a_t = square && Rng.bool st.rng and b_t = square && Rng.bool st.rng in
+  let s = 1 + Rng.int st.rng dim in
+  let i = if square then s else 1 + Rng.int st.rng dim in
+  let k = if square then s else 1 + Rng.int st.rng dim in
+  let j = if square then s else 1 + Rng.int st.rng dim in
+  emit st
+    (Isa.Config_ex
+       {
+         Isa.dataflow = `WS;
+         activation = Peripheral.No_activation;
+         sys_shift = 0;
+         a_transpose = a_t;
+         b_transpose = b_t;
+       });
+  let ra = sp_slot st i and rb = sp_slot st k in
+  ignore (mvin_i8 st ~id:0 ~rows:i ~cols:k ~scale:(ld_scale st) (Local_addr.scratchpad ~row:ra));
+  (* with b_transpose the staged block is read as j x k and transposed *)
+  let b_rows = if b_t then j else k and b_cols = if b_t then k else j in
+  ignore (mvin_i8 st ~id:1 ~rows:b_rows ~cols:b_cols ~scale:1.0 (Local_addr.scratchpad ~row:rb));
+  let d =
+    if Rng.int st.rng 3 = 0 then begin
+      let rd = sp_slot st i in
+      ignore (mvin_i8 st ~id:2 ~rows:i ~cols:j ~scale:1.0 (Local_addr.scratchpad ~row:rd));
+      Some rd
+    end
+    else None
+  in
+  let dest = pick_dest st ~rows:i in
+  (match dest with
+  | Acc { row; accumulate } when accumulate ->
+      (* an accumulating destination needs something to accumulate onto:
+         a 32-bit bias at the dtype extremes *)
+      mvin_i32 st ~id:2 ~rows:i ~cols:j ~row
+  | _ -> ());
+  emit st
+    (Isa.Preload
+       {
+         b = Local_addr.scratchpad ~row:rb;
+         c = dest_la dest;
+         b_rows;
+         b_cols;
+         c_rows = i;
+         c_cols = j;
+       });
+  let compute_args a_row ~rows =
+    {
+      Isa.a = Local_addr.scratchpad ~row:a_row;
+      bd = (match d with Some rd -> Local_addr.scratchpad ~row:rd | None -> Local_addr.garbage);
+      a_cols = k;
+      a_rows = rows;
+      bd_cols = j;
+      bd_rows = rows;
+    }
+  in
+  emit st (Isa.Compute_preloaded (compute_args ra ~rows:i));
+  if Rng.int st.rng 3 = 0 then begin
+    (* second tile against the resident weights *)
+    let i2 = if a_t then s else 1 + Rng.int st.rng i in
+    let ra2 = sp_slot st i2 in
+    ignore (mvin_i8 st ~id:0 ~rows:i2 ~cols:k ~scale:1.0 (Local_addr.scratchpad ~row:ra2));
+    emit st (Isa.Compute_accumulated (compute_args ra2 ~rows:i2))
+  end;
+  mvout_dest st dest ~rows:i ~cols:j
+
+(* Output-stationary: results accumulate in the PEs across computes and
+   reach memory only on the next preload or a fence. *)
+let os_segment st =
+  let dim = st.dim in
+  let i = 1 + Rng.int st.rng dim
+  and k = 1 + Rng.int st.rng dim
+  and j = 1 + Rng.int st.rng dim in
+  emit st
+    (Isa.Config_ex
+       {
+         Isa.dataflow = `OS;
+         activation = Peripheral.No_activation;
+         sys_shift = Rng.int st.rng 9;
+         a_transpose = false;
+         b_transpose = false;
+       });
+  let ra = sp_slot st i and rb = sp_slot st k in
+  ignore (mvin_i8 st ~id:0 ~rows:i ~cols:k ~scale:(ld_scale st) (Local_addr.scratchpad ~row:ra));
+  ignore (mvin_i8 st ~id:1 ~rows:k ~cols:j ~scale:1.0 (Local_addr.scratchpad ~row:rb));
+  let d =
+    if Rng.int st.rng 3 = 0 then begin
+      let rd = sp_slot st i in
+      ignore (mvin_i8 st ~id:2 ~rows:i ~cols:j ~scale:1.0 (Local_addr.scratchpad ~row:rd));
+      Some rd
+    end
+    else None
+  in
+  let dest = pick_dest st ~rows:i in
+  emit st
+    (Isa.Preload
+       {
+         b = (match d with Some rd -> Local_addr.scratchpad ~row:rd | None -> Local_addr.garbage);
+         c = dest_la dest;
+         b_rows = i;
+         b_cols = j;
+         c_rows = i;
+         c_cols = j;
+       });
+  emit st
+    (Isa.Compute_preloaded
+       {
+         Isa.a = Local_addr.scratchpad ~row:ra;
+         bd = Local_addr.scratchpad ~row:rb;
+         a_cols = k;
+         a_rows = i;
+         bd_cols = j;
+         bd_rows = k;
+       });
+  if Rng.int st.rng 3 = 0 then begin
+    (* keep accumulating into the resident tile with a fresh K slab *)
+    let k2 = 1 + Rng.int st.rng dim in
+    let ra2 = sp_slot st i and rb2 = sp_slot st k2 in
+    ignore (mvin_i8 st ~id:0 ~rows:i ~cols:k2 ~scale:1.0 (Local_addr.scratchpad ~row:ra2));
+    ignore (mvin_i8 st ~id:1 ~rows:k2 ~cols:j ~scale:1.0 (Local_addr.scratchpad ~row:rb2));
+    emit st
+      (Isa.Compute_accumulated
+         {
+           Isa.a = Local_addr.scratchpad ~row:ra2;
+           bd = Local_addr.scratchpad ~row:rb2;
+           a_cols = k2;
+           a_rows = i;
+           bd_cols = j;
+           bd_rows = k2;
+         })
+  end;
+  (* flush the resident results out of the PEs *)
+  if Rng.bool st.rng then emit st Isa.Fence
+  else
+    emit st
+      (Isa.Preload
+         {
+           b = Local_addr.garbage;
+           c = Local_addr.garbage;
+           b_rows = 1;
+           b_cols = 1;
+           c_rows = 1;
+           c_cols = 1;
+         });
+  mvout_dest st dest ~rows:i ~cols:j
+
+(* Residual addition: two shrunk loads into the same accumulator rows
+   (the second with the accumulate flag), then an activated store. *)
+let resadd_segment st =
+  let rows = 1 + Rng.int st.rng st.dim and cols = 1 + Rng.int st.rng st.dim in
+  let row = acc_slot st rows in
+  let x_stride = cols + Rng.int st.rng 4 in
+  let x_addr = alloc_rows st ~rows ~row_bytes:cols ~stride:x_stride in
+  config_ld st ~id:0 ~stride:x_stride ~scale:(ld_scale st) ~shrunk:true;
+  emit st
+    (Isa.Mvin
+       ( { Isa.dram_addr = x_addr; local = Local_addr.accumulator ~row (); cols; rows },
+         0 ));
+  let y_stride = cols + Rng.int st.rng 4 in
+  let y_addr = alloc_rows st ~rows ~row_bytes:cols ~stride:y_stride in
+  config_ld st ~id:1 ~stride:y_stride ~scale:(ld_scale st) ~shrunk:true;
+  emit st
+    (Isa.Mvin
+       ( {
+           Isa.dram_addr = y_addr;
+           local = Local_addr.accumulator ~accumulate:true ~row ();
+           cols;
+           rows;
+         },
+         1 ));
+  mvout st ~rows ~cols ~out_eb:1 (Local_addr.accumulator ~row ())
+
+(* A wide (multi-block) mvin followed by a single-block mvout. *)
+let wide_mvin_segment st =
+  let dim = st.dim in
+  let rows = 1 + Rng.int st.rng dim in
+  let blocks_max = min 4 (((st.sp_rows - rows) / dim) + 1) in
+  if blocks_max < 2 then ws_segment st
+  else begin
+    let blocks = Rng.int_in st.rng ~lo:2 ~hi:blocks_max in
+    let cols = ((blocks - 1) * dim) + 1 + Rng.int st.rng dim in
+    let row = Rng.int_in st.rng ~lo:0 ~hi:(st.sp_rows - (((blocks - 1) * dim) + rows)) in
+    ignore (mvin_i8 st ~id:0 ~rows ~cols ~scale:1.0 (Local_addr.scratchpad ~row));
+    let bi = Rng.int st.rng blocks in
+    let bcols = min dim (cols - (bi * dim)) in
+    mvout st ~rows ~cols:bcols ~out_eb:1 (Local_addr.scratchpad ~row:(row + (bi * dim)))
+  end
+
+(* --- the malformed command for invalid mode ------------------------------- *)
+
+let bad_command st =
+  let dim = st.dim in
+  match Rng.int st.rng 6 with
+  | 0 ->
+      (* runs off the end of the scratchpad *)
+      Isa.Mvin
+        ( {
+            Isa.dram_addr = arena_base;
+            local = Local_addr.scratchpad ~row:(st.sp_rows - 1);
+            cols = 1;
+            rows = 2;
+          },
+          0 )
+  | 1 ->
+      Isa.Mvin
+        ( {
+            Isa.dram_addr = arena_base;
+            local = Local_addr.scratchpad ~row:0;
+            cols = (4 * dim) + 1;
+            rows = 1;
+          },
+          0 )
+  | 2 ->
+      Isa.Mvout { Isa.dram_addr = arena_base; local = Local_addr.garbage; cols = 1; rows = 1 }
+  | 3 ->
+      Isa.Config_ld { Isa.ld_stride_bytes = 1; ld_scale = Float.nan; ld_shrunk = false; ld_id = 0 }
+  | 4 ->
+      (* accumulate flag on a scratchpad destination, constructible only
+         through the raw 32-bit encoding *)
+      Isa.Mvin
+        ( {
+            Isa.dram_addr = arena_base;
+            local = Local_addr.of_bits (0x4000_0000 lor 1);
+            cols = 1;
+            rows = 1;
+          },
+          0 )
+  | _ ->
+      Isa.Preload
+        {
+          b = Local_addr.scratchpad ~row:0;
+          c = Local_addr.garbage;
+          b_cols = 0;
+          b_rows = 1;
+          c_cols = 1;
+          c_rows = 1;
+        }
+
+let insert_at program idx cmd =
+  let rec go i = function
+    | rest when i = idx -> cmd :: rest
+    | [] -> [ cmd ]
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 program
+
+(* --- cases ---------------------------------------------------------------- *)
+
+let extreme_byte rng =
+  match Rng.int rng 5 with
+  | 0 -> 0
+  | 1 -> 0x7F
+  | 2 -> 0x80
+  | 3 -> 0xFF
+  | _ -> Rng.int rng 256
+
+let case ?force_invalid ~seed () =
+  let rng = Rng.create ~seed in
+  let invalid =
+    match force_invalid with Some b -> b | None -> Rng.int rng 4 = 0
+  in
+  let p = params_of rng in
+  let st =
+    {
+      rng;
+      p;
+      dim = Params.dim p;
+      sp_rows = Params.sp_rows p;
+      acc_rows = Params.acc_rows p;
+      off = 0;
+      prog_rev = [];
+    }
+  in
+  let segments = 1 + Rng.int rng 3 in
+  for _ = 1 to segments do
+    match Rng.int rng 4 with
+    | 0 -> os_segment st
+    | 1 -> resadd_segment st
+    | 2 -> wide_mvin_segment st
+    | _ -> ws_segment st
+  done;
+  emit st Isa.Fence;
+  let program = List.rev st.prog_rev in
+  let program =
+    if not invalid then program
+    else begin
+      let cmd = bad_command st in
+      (match Isa.validate p cmd with
+      | Error _ -> ()
+      | Ok () -> invalid_arg "Gen bug: bad_command validated cleanly");
+      insert_at program (Rng.int rng (List.length program)) cmd
+    end
+  in
+  let arena_bytes = max 1 st.off in
+  let init = Array.init arena_bytes (fun _ -> extreme_byte rng) in
+  { seed; invalid; params = p; program; init; arena_bytes }

@@ -1,0 +1,24 @@
+(** Seeded random fuzz cases: a hardware configuration, a host-memory
+    image biased toward dtype extremes, and a well-formed ISA program
+    (random tilings of mvin / preload / compute / mvout in both
+    dataflows, residual adds, wide multi-block moves). In invalid mode
+    one command is deliberately malformed; both executors must trap on
+    it, at the same index with the same cause. Equal seeds give equal
+    cases, so every counterexample is a one-line repro. *)
+
+type case = {
+  seed : int;
+  invalid : bool;  (** one command is malformed and must trap *)
+  params : Gemmini.Params.t;
+  program : Gemmini.Isa.t list;
+  init : int array;  (** bytes written at [arena_base] before the run *)
+  arena_bytes : int;  (** host allocation covering every dram access *)
+}
+
+val arena_base : int
+(** Where {!Diff} expects the SoC's first allocation to land; every
+    generated [dram_addr] lives in [arena_base, arena_base + arena_bytes). *)
+
+val case : ?force_invalid:bool -> seed:int -> unit -> case
+(** [force_invalid] pins the invalid-program mode (default: roughly a
+    quarter of cases are invalid). *)

@@ -1,0 +1,681 @@
+(* The independent oracle. Everything here is written from the ISA
+   contracts (isa.mli, scratchpad.mli, the paper's Section II semantics),
+   not from the cycle-accurate sources: flat arrays instead of banked
+   SRAMs, a hashtable instead of paged main memory, a three-nested-loop
+   matmul instead of the systolic pipeline. Where the architecture pins
+   down an order of operations (per-MAC saturation in ascending k, tile
+   accumulation in ascending k-tile order, round-half-even scaling) we
+   follow the *documented* order — agreement with the simulator is then a
+   checked property, not a shared subroutine. *)
+
+module Isa = Gemmini.Isa
+module Params = Gemmini.Params
+module Local_addr = Gemmini.Local_addr
+module Dataflow = Gemmini.Dataflow
+module Dtype = Gemmini.Dtype
+module Peripheral = Gemmini.Peripheral
+module Fault = Gem_sim.Fault
+
+type mutation = No_saturation | Transposed_b | Stride_off_by_one | Dropped_activation
+
+let mutations = [ No_saturation; Transposed_b; Stride_off_by_one; Dropped_activation ]
+
+let mutation_name = function
+  | No_saturation -> "no-saturation"
+  | Transposed_b -> "transposed-b"
+  | Stride_off_by_one -> "stride-off-by-one"
+  | Dropped_activation -> "dropped-activation"
+
+type ld_cfg = { ld_stride : int; ld_scale : float; ld_shrunk : bool }
+
+type preload = {
+  pb : Local_addr.t;
+  pc : Local_addr.t;
+  pb_rows : int;
+  pb_cols : int;
+  pc_rows : int;
+  pc_cols : int;
+}
+
+type t = {
+  p : Params.t;
+  mutate : mutation option;
+  dim : int;
+  sp_rows : int;
+  acc_rows : int;
+  sp : int array; (* sp_rows * dim, row-major *)
+  acc : int array; (* acc_rows * dim, row-major *)
+  host : (int, int) Hashtbl.t; (* byte address -> unsigned byte *)
+  (* configuration state, reset exactly as the ISA documents *)
+  mutable dataflow : [ `WS | `OS ];
+  mutable sys_shift : int;
+  mutable a_t : bool;
+  mutable b_t : bool;
+  ld : ld_cfg array; (* three mvin channels *)
+  mutable st_stride : int;
+  mutable st_act : Peripheral.activation;
+  mutable st_scale : float;
+  (* compute staging *)
+  mutable preload : preload option;
+  mutable resident_b : int array array option;
+  mutable os_acc : (int array array * Local_addr.t) option;
+  mutable loop_bounds : Isa.loop_bounds option;
+  mutable loop_addrs : Isa.loop_addrs option;
+  mutable loop_outs : Isa.loop_outs option;
+  (* invariant oracles *)
+  mutable macs : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable shapes_rev : ([ `WS | `OS ] * int * int * int * bool) list;
+  mutable saw_loop : bool;
+}
+
+let create ?mutate p =
+  let p = Params.validate_exn p in
+  let dim = Params.dim p in
+  let sp_rows = Params.sp_rows p and acc_rows = Params.acc_rows p in
+  {
+    p;
+    mutate;
+    dim;
+    sp_rows;
+    acc_rows;
+    sp = Array.make (sp_rows * dim) 0;
+    acc = Array.make (acc_rows * dim) 0;
+    host = Hashtbl.create 1024;
+    dataflow = (if Dataflow.supports p.Params.dataflow `WS then `WS else `OS);
+    sys_shift = 0;
+    a_t = false;
+    b_t = false;
+    ld = Array.init 3 (fun _ -> { ld_stride = 0; ld_scale = 1.0; ld_shrunk = false });
+    st_stride = 0;
+    st_act = Peripheral.No_activation;
+    st_scale = 1.0;
+    preload = None;
+    resident_b = None;
+    os_acc = None;
+    loop_bounds = None;
+    loop_addrs = None;
+    loop_outs = None;
+    macs = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    shapes_rev = [];
+    saw_loop = false;
+  }
+
+(* --- traps --------------------------------------------------------------- *)
+
+exception Trap_c of Fault.cause
+
+let trap cause = raise (Trap_c cause)
+
+let illegal fmt = Printf.ksprintf (fun msg -> trap (Fault.Illegal_inst msg)) fmt
+
+(* --- arithmetic, re-derived from the documented contracts ---------------- *)
+
+let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v
+
+let int32_lo = -0x8000_0000
+let int32_hi = 0x7FFF_FFFF
+
+let sat32 t v =
+  if t.mutate = Some No_saturation then v else clamp ~lo:int32_lo ~hi:int32_hi v
+
+let dt_range = function
+  | Dtype.Int8 -> Some (-128, 127)
+  | Dtype.Int16 -> Some (-32768, 32767)
+  | Dtype.Int32 -> Some (int32_lo, int32_hi)
+  | Dtype.Fp16 | Dtype.Fp32 -> None
+
+let dt_sat t dt v =
+  if t.mutate = Some No_saturation then v
+  else match dt_range dt with None -> v | Some (lo, hi) -> clamp ~lo ~hi v
+
+(* Round-half-to-even scaling: computed from floor and the fractional
+   part, a different derivation from the RTL-mirroring implementation. *)
+let scale_to t dt ~scale x =
+  match dt_range dt with
+  | None -> x
+  | Some _ ->
+      let scaled = float_of_int x *. scale in
+      let fl = Float.floor scaled in
+      let diff = scaled -. fl in
+      let rounded =
+        if diff > 0.5 then fl +. 1.
+        else if diff < 0.5 then fl
+        else if Float.rem fl 2. = 0. then fl
+        else fl +. 1.
+      in
+      dt_sat t dt (int_of_float rounded)
+
+let activation t act v =
+  if t.mutate = Some Dropped_activation then v
+  else
+    match act with
+    | Peripheral.No_activation -> v
+    | Peripheral.Relu -> max v 0
+    | Peripheral.Relu6 { shift } -> clamp ~lo:0 ~hi:(6 lsl shift) v
+
+(* Divide by 2^s rounding half to even, via the bitwise remainder. *)
+let rounding_shift v s =
+  if s = 0 then v
+  else begin
+    let half = 1 lsl (s - 1) in
+    let q = (v + half) asr s in
+    let rem = v land ((1 lsl s) - 1) in
+    if rem = half && q land 1 = 1 then q - 1 else q
+  end
+
+let sign_extend_byte b = if b >= 128 then b - 256 else b
+
+let sign_extend_i32 v = (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+
+(* --- host image ---------------------------------------------------------- *)
+
+let write_host t ~addr bytes =
+  Array.iteri (fun i b -> Hashtbl.replace t.host (addr + i) (b land 0xFF)) bytes
+
+let host_byte t addr = try Hashtbl.find t.host addr with Not_found -> 0
+
+let read_host_i8 t ~addr ~n =
+  Array.init n (fun i -> sign_extend_byte (host_byte t (addr + i)))
+
+let host_i32 t addr =
+  let b0 = host_byte t addr
+  and b1 = host_byte t (addr + 1)
+  and b2 = host_byte t (addr + 2)
+  and b3 = host_byte t (addr + 3) in
+  sign_extend_i32 (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+
+(* --- local memories ------------------------------------------------------ *)
+
+let mem_of t la =
+  if Local_addr.is_garbage la then
+    illegal "golden: dereference of the garbage local address";
+  if Local_addr.is_accumulator la then (t.acc, t.acc_rows, "accumulator")
+  else (t.sp, t.sp_rows, "scratchpad")
+
+let check_local_row t la row =
+  let _, limit, target = mem_of t la in
+  if row < 0 || row >= limit then
+    trap (Fault.Local_oob { target; row; rows = 1; limit })
+
+let read_row t la ~offset =
+  let mem, _, _ = mem_of t la in
+  let row = Local_addr.row la + offset in
+  check_local_row t la row;
+  Array.sub mem (row * t.dim) t.dim
+
+(* A plain write zero-fills the row tail; an accumulating write adds
+   element-wise with 32-bit saturation and leaves the tail alone. *)
+let write_row t la ~offset (elems : int array) =
+  let mem, _, _ = mem_of t la in
+  let row = Local_addr.row la + offset in
+  check_local_row t la row;
+  let n = Array.length elems in
+  if Local_addr.accumulate_flag la then begin
+    if not (Local_addr.is_accumulator la) then
+      illegal "golden: accumulate flag on a scratchpad address";
+    Array.iteri
+      (fun i v ->
+        let j = (row * t.dim) + i in
+        mem.(j) <- sat32 t (mem.(j) + v))
+      elems
+  end
+  else begin
+    Array.blit elems 0 mem (row * t.dim) n;
+    Array.fill mem ((row * t.dim) + n) (t.dim - n) 0
+  end
+
+let read_block t la ~rows ~cols =
+  Array.init rows (fun r -> Array.sub (read_row t la ~offset:r) 0 cols)
+
+let read_block_or_zeros t la ~rows ~cols =
+  if Local_addr.is_garbage la then Array.make_matrix rows cols 0
+  else read_block t la ~rows ~cols
+
+let write_block t la (m : int array array) =
+  Array.iteri (fun r row -> write_row t la ~offset:r row) m
+
+let transpose (m : int array array) =
+  let rows = Array.length m and cols = Array.length m.(0) in
+  Array.init cols (fun c -> Array.init rows (fun r -> m.(r).(c)))
+
+(* --- the naive matmul ----------------------------------------------------
+
+   C[i][j] starts from D (or zero) and accumulates A[i][r] * B[r][j] in
+   ascending r with per-MAC accumulator-type saturation — the documented
+   Pe.ws_step/os_step order. The dimension checks mirror the order the
+   mesh documents so malformed operands trap identically. *)
+
+let matmul t ~ws ~a ~b ~d =
+  let i_n = Array.length a and k_n = Array.length a.(0) in
+  let b_rows = Array.length b and j_n = Array.length b.(0) in
+  if b_rows <> k_n then
+    illegal "golden matmul: A is %dx%d but B is %dx%d" i_n k_n b_rows j_n;
+  if ws then begin
+    if k_n > t.dim then illegal "golden matmul: K=%d exceeds %d array rows" k_n t.dim
+  end
+  else if i_n > t.dim then
+    illegal "golden matmul: I=%d exceeds %d array rows" i_n t.dim;
+  if j_n > t.dim then illegal "golden matmul: J=%d exceeds %d array cols" j_n t.dim;
+  (match d with
+  | Some d ->
+      if Array.length d <> i_n || Array.length d.(0) <> j_n then
+        illegal "golden matmul: D is %dx%d, want %dx%d" (Array.length d)
+          (Array.length d.(0)) i_n j_n
+  | None -> ());
+  let mutate_b = ws && t.mutate = Some Transposed_b in
+  let acc_ty = t.p.Params.acc_type in
+  Array.init i_n (fun i ->
+      Array.init j_n (fun j ->
+          let acc = ref (match d with Some d -> d.(i).(j) | None -> 0) in
+          for r = 0 to k_n - 1 do
+            let bv =
+              if mutate_b then if j < b_rows && r < j_n then b.(j).(r) else 0
+              else b.(r).(j)
+            in
+            acc := dt_sat t acc_ty (!acc + (a.(i).(r) * bv))
+          done;
+          !acc))
+
+(* --- command validation, re-derived from isa.mli -------------------------- *)
+
+let check ~what ~lo ~hi v =
+  if v < lo || v > hi then illegal "%s = %d out of range [%d, %d]" what v lo hi
+
+let finite scale =
+  if not (Float.is_finite scale) then trap (Fault.Acc_overflow { scale })
+
+let ceil_div a b = (a + b - 1) / b
+
+let target_limit t la =
+  if Local_addr.is_accumulator la then ("accumulator", t.acc_rows)
+  else ("scratchpad", t.sp_rows)
+
+(* A strided move touches rows [row, row + (blocks-1)*dim + rows). *)
+let strided_extent t la ~cols ~rows =
+  let blocks = ceil_div cols t.dim in
+  let row = Local_addr.row la in
+  let target, limit = target_limit t la in
+  let last = row + ((blocks - 1) * t.dim) + rows in
+  if last > limit then
+    trap (Fault.Local_oob { target; row; rows = last - row; limit })
+
+let block_extent t la ~rows =
+  let row = Local_addr.row la in
+  let target, limit = target_limit t la in
+  if row + rows > limit then trap (Fault.Local_oob { target; row; rows; limit })
+
+let dram_max = (1 lsl 48) - 1
+
+let precheck t cmd =
+  match cmd with
+  | Isa.Config_ex { dataflow; sys_shift; _ } ->
+      check ~what:"sys_shift" ~lo:0 ~hi:63 sys_shift;
+      if not (Dataflow.supports t.p.Params.dataflow dataflow) then
+        illegal "dataflow %s not supported by this instance"
+          (match dataflow with `WS -> "WS" | `OS -> "OS")
+  | Isa.Config_ld { ld_stride_bytes; ld_scale; ld_id; _ } ->
+      check ~what:"ld_id" ~lo:0 ~hi:2 ld_id;
+      check ~what:"ld_stride" ~lo:0 ~hi:0xFFFF_FFFF ld_stride_bytes;
+      finite ld_scale
+  | Isa.Config_st { st_stride_bytes; st_scale; st_pool; _ } ->
+      check ~what:"st_stride" ~lo:0 ~hi:0xFFFF_FFFF st_stride_bytes;
+      (match st_pool with
+      | None -> ()
+      | Some { Isa.window; stride; padding } ->
+          check ~what:"pool window" ~lo:1 ~hi:15 window;
+          check ~what:"pool stride" ~lo:1 ~hi:15 stride;
+          check ~what:"pool padding" ~lo:0 ~hi:15 padding);
+      finite st_scale
+  | Isa.Mvin ({ Isa.dram_addr; local; cols; rows }, id) ->
+      check ~what:"mvin id" ~lo:0 ~hi:2 id;
+      check ~what:"dram_addr" ~lo:0 ~hi:dram_max dram_addr;
+      check ~what:"mvin cols" ~lo:1 ~hi:(4 * t.dim) cols;
+      check ~what:"mvin rows" ~lo:1 ~hi:t.dim rows;
+      if Local_addr.is_garbage local then
+        illegal "mvin destination is the garbage address";
+      if Local_addr.accumulate_flag local && not (Local_addr.is_accumulator local)
+      then illegal "mvin accumulate flag on a scratchpad destination";
+      strided_extent t local ~cols ~rows
+  | Isa.Mvout { Isa.dram_addr; local; cols; rows } ->
+      check ~what:"dram_addr" ~lo:0 ~hi:dram_max dram_addr;
+      check ~what:"mvout cols" ~lo:1 ~hi:t.dim cols;
+      check ~what:"mvout rows" ~lo:1 ~hi:t.dim rows;
+      if Local_addr.is_garbage local then
+        illegal "mvout source is the garbage address";
+      strided_extent t local ~cols ~rows
+  | Isa.Preload { b; c; b_cols; b_rows; c_cols; c_rows } ->
+      check ~what:"preload b_cols" ~lo:1 ~hi:t.dim b_cols;
+      check ~what:"preload b_rows" ~lo:1 ~hi:t.dim b_rows;
+      check ~what:"preload c_cols" ~lo:1 ~hi:t.dim c_cols;
+      check ~what:"preload c_rows" ~lo:1 ~hi:t.dim c_rows;
+      if not (Local_addr.is_garbage b) then block_extent t b ~rows:b_rows;
+      if not (Local_addr.is_garbage c) then block_extent t c ~rows:c_rows
+  | Isa.Compute_preloaded { a; bd; a_cols; a_rows; bd_cols; bd_rows }
+  | Isa.Compute_accumulated { a; bd; a_cols; a_rows; bd_cols; bd_rows } ->
+      check ~what:"compute a_cols" ~lo:1 ~hi:0xFFFF a_cols;
+      check ~what:"compute a_rows" ~lo:1 ~hi:0xFFFF a_rows;
+      check ~what:"compute bd_cols" ~lo:1 ~hi:0xFFFF bd_cols;
+      check ~what:"compute bd_rows" ~lo:1 ~hi:0xFFFF bd_rows;
+      if not (Local_addr.is_garbage a) then
+        block_extent t a ~rows:(min a_rows t.dim);
+      if not (Local_addr.is_garbage bd) then
+        block_extent t bd ~rows:(min bd_rows t.dim)
+  | Isa.Loop_ws_bounds { lw_m; lw_k; lw_n; _ } ->
+      check ~what:"loop m" ~lo:1 ~hi:0xFFFF lw_m;
+      check ~what:"loop k" ~lo:1 ~hi:0xFFFF lw_k;
+      check ~what:"loop n" ~lo:1 ~hi:0xFFFF lw_n
+  | Isa.Loop_ws_addrs { lw_a; lw_b } ->
+      check ~what:"loop a" ~lo:0 ~hi:dram_max lw_a;
+      check ~what:"loop b" ~lo:0 ~hi:dram_max lw_b
+  | Isa.Loop_ws_outs { lw_bias; lw_c } ->
+      check ~what:"loop bias" ~lo:0 ~hi:dram_max lw_bias;
+      check ~what:"loop c" ~lo:0 ~hi:dram_max lw_c
+  | Isa.Loop_ws { lw_a_stride; lw_b_stride; lw_c_stride; lw_scale } ->
+      check ~what:"a stride" ~lo:0 ~hi:0xFF_FFFF lw_a_stride;
+      check ~what:"b stride" ~lo:0 ~hi:0xFF_FFFF lw_b_stride;
+      check ~what:"c stride" ~lo:0 ~hi:0xFF_FFFF lw_c_stride;
+      finite lw_scale
+  | Isa.Flush | Isa.Fence -> ()
+
+(* --- command handlers ----------------------------------------------------- *)
+
+let input_bytes t = Dtype.bytes t.p.Params.input_type
+
+let elem_bytes t la =
+  if Local_addr.is_accumulator la then Dtype.bytes t.p.Params.acc_type
+  else input_bytes t
+
+let do_mvin t (mv : Isa.mv) id =
+  let cfg = t.ld.(id) in
+  let eb = if cfg.ld_shrunk then input_bytes t else elem_bytes t mv.Isa.local in
+  let row_bytes = mv.Isa.cols * eb in
+  let stride =
+    cfg.ld_stride + if t.mutate = Some Stride_off_by_one then 1 else 0
+  in
+  t.bytes_in <- t.bytes_in + (mv.Isa.rows * row_bytes);
+  let acc_dest = Local_addr.is_accumulator mv.Isa.local in
+  let wide = acc_dest && not cfg.ld_shrunk in
+  for r = 0 to mv.Isa.rows - 1 do
+    let base = mv.Isa.dram_addr + (r * stride) in
+    let elems =
+      Array.init mv.Isa.cols (fun c ->
+          if wide then host_i32 t (base + (4 * c))
+          else sign_extend_byte (host_byte t (base + c)))
+    in
+    let elems =
+      if cfg.ld_scale = 1.0 then elems
+      else
+        Array.map
+          (fun v ->
+            scale_to t
+              (if acc_dest then t.p.Params.acc_type else t.p.Params.input_type)
+              ~scale:cfg.ld_scale v)
+          elems
+    in
+    (* A wide mvin (cols > DIM) fills adjacent DIM-blocks a full array
+       height apart: row r of block b lands at local + b*DIM + r. *)
+    let nblocks = ceil_div mv.Isa.cols t.dim in
+    for b = 0 to nblocks - 1 do
+      let lo = b * t.dim in
+      let len = min t.dim (mv.Isa.cols - lo) in
+      write_row t mv.Isa.local ~offset:((b * t.dim) + r) (Array.sub elems lo len)
+    done
+  done
+
+let do_mvout t (mv : Isa.mv) =
+  let full = Local_addr.full_width_flag mv.Isa.local in
+  let acc_src = Local_addr.is_accumulator mv.Isa.local in
+  let out_eb =
+    if acc_src && not full then input_bytes t else elem_bytes t mv.Isa.local
+  in
+  let row_bytes = mv.Isa.cols * out_eb in
+  t.bytes_out <- t.bytes_out + (mv.Isa.rows * row_bytes);
+  for r = 0 to mv.Isa.rows - 1 do
+    let elems = Array.sub (read_row t mv.Isa.local ~offset:r) 0 mv.Isa.cols in
+    let elems =
+      if acc_src && not full then
+        Array.map
+          (fun v ->
+            activation t t.st_act
+              (scale_to t t.p.Params.input_type ~scale:t.st_scale v))
+          elems
+      else elems
+    in
+    let base = mv.Isa.dram_addr + (r * t.st_stride) in
+    Array.iteri
+      (fun c v ->
+        if acc_src && full then begin
+          Hashtbl.replace t.host (base + (4 * c)) (v land 0xFF);
+          Hashtbl.replace t.host (base + (4 * c) + 1) ((v asr 8) land 0xFF);
+          Hashtbl.replace t.host (base + (4 * c) + 2) ((v asr 16) land 0xFF);
+          Hashtbl.replace t.host (base + (4 * c) + 3) ((v asr 24) land 0xFF)
+        end
+        else Hashtbl.replace t.host (base + c) (v land 0xFF))
+      elems
+  done
+
+(* OS results stay resident in the PEs until the next preload (or a
+   fence) flushes them to their destination — raw into the accumulator,
+   shifted and saturated into the scratchpad. *)
+let flush_os t =
+  (match t.os_acc with
+  | Some (data, dest) when not (Local_addr.is_garbage dest) ->
+      let scaled =
+        if Local_addr.is_accumulator dest then data
+        else
+          Array.map
+            (Array.map (fun v ->
+                 dt_sat t t.p.Params.input_type (rounding_shift v t.sys_shift)))
+            data
+      in
+      write_block t dest scaled
+  | _ -> ());
+  t.os_acc <- None
+
+let do_preload t ~b ~c ~b_rows ~b_cols ~c_rows ~c_cols =
+  if t.dataflow = `OS then flush_os t;
+  t.preload <-
+    Some { pb = b; pc = c; pb_rows = b_rows; pb_cols = b_cols; pc_rows = c_rows; pc_cols = c_cols }
+
+let do_compute t (args : Isa.compute_args) ~preloaded =
+  let a_rows = min args.Isa.a_rows t.dim and a_cols = min args.Isa.a_cols t.dim in
+  match t.dataflow with
+  | `WS ->
+      let pl =
+        match t.preload with
+        | Some pl -> pl
+        | None -> illegal "WS compute without preload"
+      in
+      let k = a_cols and out_cols = pl.pc_cols in
+      t.macs <- t.macs + (a_rows * k * out_cols);
+      t.shapes_rev <- (`WS, a_rows, k, out_cols, preloaded) :: t.shapes_rev;
+      let b =
+        if preloaded then begin
+          let b = read_block_or_zeros t pl.pb ~rows:pl.pb_rows ~cols:pl.pb_cols in
+          let b = if t.b_t then transpose b else b in
+          t.resident_b <- Some b;
+          b
+        end
+        else
+          match t.resident_b with
+          | Some b -> b
+          | None -> illegal "accumulate-compute without resident weights"
+      in
+      let a = read_block_or_zeros t args.Isa.a ~rows:a_rows ~cols:a_cols in
+      let a = if t.a_t then transpose a else a in
+      let d =
+        if Local_addr.is_garbage args.Isa.bd then None
+        else
+          Some
+            (read_block t args.Isa.bd
+               ~rows:(min args.Isa.bd_rows t.dim)
+               ~cols:(min args.Isa.bd_cols t.dim))
+      in
+      let out = matmul t ~ws:true ~a ~b ~d in
+      if not (Local_addr.is_garbage pl.pc) then write_block t pl.pc out;
+      if preloaded then t.preload <- Some { pl with pb = Local_addr.garbage }
+  | `OS ->
+      let pl =
+        match t.preload with
+        | Some pl -> pl
+        | None -> illegal "OS compute without preload"
+      in
+      let k = a_cols in
+      let out_rows = a_rows and out_cols = min args.Isa.bd_cols t.dim in
+      t.macs <- t.macs + (out_rows * k * out_cols);
+      t.shapes_rev <- (`OS, out_rows, k, out_cols, false) :: t.shapes_rev;
+      let a = read_block_or_zeros t args.Isa.a ~rows:out_rows ~cols:k in
+      let a = if t.a_t then transpose a else a in
+      let b =
+        read_block_or_zeros t args.Isa.bd
+          ~rows:(min args.Isa.bd_rows t.dim)
+          ~cols:out_cols
+      in
+      let b = if t.b_t then transpose b else b in
+      let d =
+        match t.os_acc with
+        | Some (data, _) when not preloaded -> Some data
+        | _ ->
+            if Local_addr.is_garbage pl.pb then None
+            else Some (read_block t pl.pb ~rows:pl.pb_rows ~cols:pl.pb_cols)
+      in
+      let out = matmul t ~ws:false ~a ~b ~d in
+      t.os_acc <- Some (out, pl.pc)
+
+(* LOOP_WS, interpreted as the linear algebra it promises: C = act(scale *
+   (A*B + bias)), computed straight from and to host memory. Tile-order
+   saturation is preserved (per-MAC accumulator-type saturation within
+   each DIM-wide k-slab, 32-bit saturating accumulation across slabs in
+   ascending order) because that grouping is architecturally visible at
+   the extremes. Scratchpad/accumulator contents and compute staging are
+   left unspecified afterwards. *)
+let do_loop_ws t (strides : Isa.loop_strides) =
+  let bounds =
+    match t.loop_bounds with
+    | Some b -> b
+    | None -> illegal "LOOP_WS without LOOP_WS_CONFIG_BOUNDS"
+  in
+  let addrs =
+    match t.loop_addrs with
+    | Some a -> a
+    | None -> illegal "LOOP_WS without LOOP_WS_CONFIG_ADDRS"
+  in
+  let outs =
+    match t.loop_outs with
+    | Some o -> o
+    | None -> illegal "LOOP_WS without LOOP_WS_CONFIG_OUTS"
+  in
+  t.saw_loop <- true;
+  let m = bounds.Isa.lw_m and k = bounds.Isa.lw_k and n = bounds.Isa.lw_n in
+  t.macs <- t.macs + (m * k * n);
+  (* Lower bounds on traffic: every A and B element crosses the bus at
+     least once, biases are 4-byte broadcast rows, C leaves exactly once. *)
+  t.bytes_in <-
+    t.bytes_in + (m * k) + (k * n)
+    + (if bounds.Isa.lw_has_bias then 4 * m * n else 0);
+  t.bytes_out <- t.bytes_out + (m * n);
+  let acc_ty = t.p.Params.acc_type in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc =
+        ref
+          (if bounds.Isa.lw_has_bias then host_i32 t (outs.Isa.lw_bias + (4 * j))
+           else 0)
+      in
+      let slabs = ceil_div k t.dim in
+      for gk = 0 to slabs - 1 do
+        let r_lo = gk * t.dim and r_hi = min k ((gk + 1) * t.dim) in
+        let tile = ref 0 in
+        for r = r_lo to r_hi - 1 do
+          let av =
+            sign_extend_byte
+              (host_byte t (addrs.Isa.lw_a + (i * strides.Isa.lw_a_stride) + r))
+          in
+          let bv =
+            sign_extend_byte
+              (host_byte t (addrs.Isa.lw_b + (r * strides.Isa.lw_b_stride) + j))
+          in
+          tile := dt_sat t acc_ty (!tile + (av * bv))
+        done;
+        acc := sat32 t (!acc + !tile)
+      done;
+      let v =
+        activation t bounds.Isa.lw_activation
+          (scale_to t t.p.Params.input_type ~scale:strides.Isa.lw_scale !acc)
+      in
+      Hashtbl.replace t.host
+        (outs.Isa.lw_c + (i * strides.Isa.lw_c_stride) + j)
+        (v land 0xFF)
+    done
+  done;
+  (* The sequencer clobbers the mover/store configuration on its way
+     through; later commands observe the clobbered values. *)
+  t.dataflow <- `WS;
+  t.sys_shift <- 0;
+  t.a_t <- false;
+  t.b_t <- false;
+  t.ld.(0) <- { ld_stride = strides.Isa.lw_a_stride; ld_scale = 1.0; ld_shrunk = false };
+  t.ld.(1) <- { ld_stride = strides.Isa.lw_b_stride; ld_scale = 1.0; ld_shrunk = false };
+  t.ld.(2) <- { ld_stride = 0; ld_scale = 1.0; ld_shrunk = false };
+  t.st_stride <- strides.Isa.lw_c_stride;
+  t.st_act <- bounds.Isa.lw_activation;
+  t.st_scale <- strides.Isa.lw_scale;
+  t.preload <- None;
+  t.resident_b <- None
+
+(* --- dispatch ------------------------------------------------------------- *)
+
+let exec t cmd =
+  try
+    precheck t cmd;
+    (match cmd with
+    | Isa.Config_ex c ->
+        t.dataflow <- c.Isa.dataflow;
+        t.sys_shift <- c.Isa.sys_shift;
+        t.a_t <- c.Isa.a_transpose;
+        t.b_t <- c.Isa.b_transpose
+    | Isa.Config_ld c ->
+        t.ld.(c.Isa.ld_id) <-
+          { ld_stride = c.Isa.ld_stride_bytes; ld_scale = c.Isa.ld_scale; ld_shrunk = c.Isa.ld_shrunk }
+    | Isa.Config_st c ->
+        t.st_stride <- c.Isa.st_stride_bytes;
+        t.st_act <- c.Isa.st_activation;
+        t.st_scale <- c.Isa.st_scale
+    | Isa.Mvin (mv, id) -> do_mvin t mv id
+    | Isa.Mvout mv -> do_mvout t mv
+    | Isa.Preload { b; c; b_cols; b_rows; c_cols; c_rows } ->
+        do_preload t ~b ~c ~b_rows ~b_cols ~c_rows ~c_cols
+    | Isa.Compute_preloaded args -> do_compute t args ~preloaded:true
+    | Isa.Compute_accumulated args -> do_compute t args ~preloaded:false
+    | Isa.Loop_ws_bounds b -> t.loop_bounds <- Some b
+    | Isa.Loop_ws_addrs a -> t.loop_addrs <- Some a
+    | Isa.Loop_ws_outs o -> t.loop_outs <- Some o
+    | Isa.Loop_ws strides -> do_loop_ws t strides
+    | Isa.Flush -> () (* TLB-only: no architectural data moves *)
+    | Isa.Fence -> flush_os t);
+    Ok ()
+  with Trap_c cause -> Error cause
+
+let run t program =
+  let rec go i = function
+    | [] -> None
+    | cmd :: rest -> (
+        match exec t cmd with
+        | Ok () -> go (i + 1) rest
+        | Error cause -> Some (i, cause))
+  in
+  go 0 program
+
+(* --- accessors ------------------------------------------------------------ *)
+
+let sp_row t row = Array.sub t.sp (row * t.dim) t.dim
+let acc_row t row = Array.sub t.acc (row * t.dim) t.dim
+let macs t = t.macs
+let bytes_in t = t.bytes_in
+let bytes_out t = t.bytes_out
+let compute_shapes t = List.rev t.shapes_rev
+let saw_loop t = t.saw_loop

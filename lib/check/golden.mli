@@ -1,0 +1,83 @@
+(** An independent golden architectural model of the accelerator.
+
+    A pure, cycle-free interpreter of {!Gemmini.Isa.t} programs used as the
+    oracle for differential fuzzing: flat scratchpad/accumulator arrays, a
+    byte-addressed host-memory image, and a naive saturating matmul written
+    directly from the [Pe.ws_step]/[os_step] semantics. It deliberately
+    shares {e no} execution code with the cycle-accurate path
+    ([Controller]/[Mesh]/[Scratchpad]/[Dma]): saturation, round-half-even
+    scaling, activation, rounding shifts, byte packing and even command
+    validation are re-implemented here from the documented contracts, so a
+    bug in either implementation shows up as a divergence instead of being
+    shared by both sides.
+
+    Known intentional deviation: [Loop_ws] is interpreted as the pure
+    linear-algebra operation it architecturally promises (C = act(scale *
+    (A*B + bias)) written straight to host memory) rather than by
+    replaying the hardware sequencer, so after a [Loop_ws] the golden
+    scratchpad/accumulator contents and compute staging state are
+    unspecified. {!Diff} accounts for this by comparing only host memory
+    and the exact invariants that survive tiling (total MACs, bytes
+    stored). *)
+
+(** Deliberate bugs for the harness self-test: a mutated golden model must
+    make the differential harness report divergences, proving it has the
+    power to catch real ones. *)
+type mutation =
+  | No_saturation  (** drop every saturation/clamp (MACs, scaling, widening) *)
+  | Transposed_b  (** transpose the stationary operand before the matmul *)
+  | Stride_off_by_one  (** mvin reads host rows one byte further apart *)
+  | Dropped_activation  (** ignore the store-path activation function *)
+
+val mutations : mutation list
+val mutation_name : mutation -> string
+
+type t
+
+val create : ?mutate:mutation -> Gemmini.Params.t -> t
+(** A fresh machine: zeroed local memories, empty host image, reset
+    configuration state (mirroring the controller's reset values). *)
+
+val write_host : t -> addr:int -> int array -> unit
+(** Write raw bytes (values masked to 0..255) at a byte address. *)
+
+val read_host_i8 : t -> addr:int -> n:int -> int array
+(** Read [n] sign-extended bytes; unwritten locations read as 0, matching
+    the SoC's functional main memory. *)
+
+val sp_row : t -> int -> int array
+(** Scratchpad row contents, [dim] elements. *)
+
+val acc_row : t -> int -> int array
+
+val exec : t -> Gemmini.Isa.t -> (unit, Gem_sim.Fault.cause) result
+(** Execute one command. [Error cause] is the architectural trap the
+    cycle-accurate controller must also raise for this command (compared
+    by {!Gem_sim.Fault.cause_label}). A validation-stage trap leaves no
+    side effects; an execution-stage trap may leave partial state, so
+    {!Diff} compares only trap parity (index and cause) on trapping
+    runs, mirroring the real controller's contract. *)
+
+val run : t -> Gemmini.Isa.t list -> (int * Gem_sim.Fault.cause) option
+(** Execute until the first trap; [Some (index, cause)] identifies the
+    trapping command, [None] is a clean run. *)
+
+(* Invariant oracles for {!Diff}. *)
+
+val macs : t -> int
+(** Total multiply-accumulates, counted exactly as the controller does
+    (from command fields, before any transpose). *)
+
+val bytes_in : t -> int
+(** Total DMA bytes loaded (rows * row_bytes per mvin). *)
+
+val bytes_out : t -> int
+(** Total DMA bytes stored. *)
+
+val compute_shapes : t -> ([ `WS | `OS ] * int * int * int * bool) list
+(** (dataflow, rows, k, cols, preloaded) of every discrete compute
+    executed, in order — the shapes the mesh pipe was occupied with, for
+    the cycle lower-bound oracle. Empty contribution from [Loop_ws]. *)
+
+val saw_loop : t -> bool
+(** Whether a [Loop_ws] executed (limits what {!Diff} may compare). *)

@@ -1,0 +1,39 @@
+(* ddmin-style greedy minimization. The predicate re-runs both executors
+   per candidate, so the loop bounds matter: each pass tries O(n/chunk)
+   removals, chunk halves each round, and the outer loop restarts only
+   after a successful shrink — O(n^2) predicate calls worst case on
+   programs that are a few dozen commands long. *)
+
+let drop_range lst ~lo ~len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) lst
+
+let minimize still_fails program =
+  let current = ref program in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let chunk = ref (max 1 (List.length !current / 2)) in
+    let continue = ref true in
+    while !continue do
+      let lo = ref 0 in
+      while !lo < List.length !current do
+        let cand = drop_range !current ~lo:!lo ~len:!chunk in
+        if List.length cand < List.length !current && still_fails cand then begin
+          current := cand;
+          progress := true
+          (* keep [lo]: the next chunk slid into its place *)
+        end
+        else lo := !lo + !chunk
+      done;
+      if !chunk = 1 then continue := false else chunk := max 1 (!chunk / 2)
+    done
+  done;
+  !current
+
+let minimize_case ?mutate (case : Gen.case) =
+  let fails program =
+    let report = Diff.run_case ?mutate { case with Gen.program } in
+    report.Diff.divergences <> []
+  in
+  if not (fails case.Gen.program) then case
+  else { case with Gen.program = minimize fails case.Gen.program }

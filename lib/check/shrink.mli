@@ -1,0 +1,14 @@
+(** Greedy delta-debugging minimizer for failing fuzz cases: repeatedly
+    drops chunks of the program (halving chunk size down to single
+    commands) while the failure predicate still holds, until a fixpoint.
+    The result is 1-minimal — removing any single remaining command makes
+    the divergence disappear. *)
+
+val minimize : (Gemmini.Isa.t list -> bool) -> Gemmini.Isa.t list -> Gemmini.Isa.t list
+(** [minimize still_fails program] assumes [still_fails program] is
+    [true] and returns a minimal sub-program preserving it. *)
+
+val minimize_case : ?mutate:Golden.mutation -> Gen.case -> Gen.case
+(** Shrinks a diverging case's program under {!Diff.run_case} (with the
+    same golden mutation, if any). Returns the case unchanged if it does
+    not actually diverge. *)

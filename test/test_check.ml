@@ -1,0 +1,390 @@
+(* The differential-fuzzing harness (lib/check): the golden interpreter
+   against a plain reference matmul, hand-written programs through the
+   full sim-vs-golden pipeline (WS, OS, residual add, LOOP_WS, trap
+   parity on an invalid program), mutated-golden detection power,
+   shrinker convergence to a 1-minimal counterexample, and generator
+   seed determinism. *)
+
+open Gem_util
+module Golden = Gem_check.Golden
+module Gen = Gem_check.Gen
+module Diff = Gem_check.Diff
+module Shrink = Gem_check.Shrink
+module Isa = Gemmini.Isa
+module La = Gemmini.Local_addr
+module P = Gemmini.Peripheral
+module Kernels = Gem_sw.Kernels
+
+let small_params =
+  {
+    Gemmini.Params.default with
+    mesh_rows = 4;
+    mesh_cols = 4;
+    sp_capacity_bytes = 4 * 1024;
+    sp_banks = 4;
+    acc_capacity_bytes = 2 * 1024;
+    acc_banks = 2;
+  }
+
+let base = Gen.arena_base
+let clamp8 v = if v < -128 then -128 else if v > 127 then 127 else v
+
+let hand_case ?(invalid = false) ~init ~arena_bytes program =
+  { Gen.seed = 0; invalid; params = small_params; program; init; arena_bytes }
+
+let check_clean name (r : Diff.report) =
+  Alcotest.(check (list string)) name [] r.Diff.divergences
+
+(* A dense 4x4 matmul: A into scratchpad rows 0..3, B into 4..7, WS
+   compute into accumulator row 0, store back as int8. *)
+let ws_program ~a_off ~b_off ~out_off =
+  [
+    Isa.Config_ex
+      {
+        dataflow = `WS;
+        activation = P.No_activation;
+        sys_shift = 0;
+        a_transpose = false;
+        b_transpose = false;
+      };
+    Isa.Config_ld
+      { ld_stride_bytes = 4; ld_scale = 1.0; ld_shrunk = false; ld_id = 0 };
+    Isa.Mvin
+      ( { dram_addr = base + a_off; local = La.scratchpad ~row:0; cols = 4; rows = 4 },
+        0 );
+    Isa.Mvin
+      ( { dram_addr = base + b_off; local = La.scratchpad ~row:4; cols = 4; rows = 4 },
+        0 );
+    Isa.Preload
+      {
+        b = La.scratchpad ~row:4;
+        c = La.accumulator ~row:0 ();
+        b_cols = 4;
+        b_rows = 4;
+        c_cols = 4;
+        c_rows = 4;
+      };
+    Isa.Compute_preloaded
+      {
+        a = La.scratchpad ~row:0;
+        bd = La.garbage;
+        a_cols = 4;
+        a_rows = 4;
+        bd_cols = 4;
+        bd_rows = 4;
+      };
+    Isa.Config_st
+      {
+        st_stride_bytes = 4;
+        st_activation = P.No_activation;
+        st_scale = 1.0;
+        st_pool = None;
+      };
+    Isa.Mvout
+      { dram_addr = base + out_off; local = La.accumulator ~row:0 (); cols = 4; rows = 4 };
+    Isa.Fence;
+  ]
+
+let random_mat rng ~rows ~cols ~lo ~hi =
+  Array.init rows (fun _ ->
+      Array.init cols (fun _ -> Rng.int_in rng ~lo ~hi))
+
+let mat_bytes m = Array.concat (Array.to_list m)
+
+(* The golden model alone, against a matmul written with no knowledge of
+   either executor: the oracle itself has an oracle. *)
+let test_golden_matches_reference () =
+  let rng = Rng.create ~seed:7 in
+  let a = random_mat rng ~rows:4 ~cols:4 ~lo:(-128) ~hi:127 in
+  let b = random_mat rng ~rows:4 ~cols:4 ~lo:(-128) ~hi:127 in
+  let g = Golden.create small_params in
+  Golden.write_host g ~addr:base (mat_bytes a);
+  Golden.write_host g ~addr:(base + 16) (mat_bytes b);
+  (match Golden.run g (ws_program ~a_off:0 ~b_off:16 ~out_off:32) with
+  | None -> ()
+  | Some (i, c) ->
+      Alcotest.failf "golden trapped at %d: %s" i (Gem_sim.Fault.cause_label c));
+  let got = Golden.read_host_i8 g ~addr:(base + 32) ~n:16 in
+  let expect =
+    Array.init 16 (fun idx ->
+        let i = idx / 4 and j = idx mod 4 in
+        let acc = ref 0 in
+        for kk = 0 to 3 do
+          acc := !acc + (a.(i).(kk) * b.(kk).(j))
+        done;
+        clamp8 !acc)
+  in
+  Alcotest.(check (array int)) "C = clamp8(A.B)" expect got
+
+let test_diff_handwritten_ws () =
+  let rng = Rng.create ~seed:21 in
+  let init =
+    mat_bytes (random_mat rng ~rows:8 ~cols:4 ~lo:(-128) ~hi:127)
+  in
+  let case =
+    hand_case ~init ~arena_bytes:48 (ws_program ~a_off:0 ~b_off:16 ~out_off:32)
+  in
+  check_clean "WS divergences" (Diff.run_case case)
+
+(* OS dataflow: the product forms in the mesh's accumulators and is
+   flushed to the local accumulator by the fence. *)
+let test_diff_handwritten_os () =
+  let rng = Rng.create ~seed:22 in
+  let init =
+    mat_bytes (random_mat rng ~rows:8 ~cols:4 ~lo:(-128) ~hi:127)
+  in
+  let program =
+    [
+      Isa.Config_ex
+        {
+          dataflow = `OS;
+          activation = P.No_activation;
+          sys_shift = 2;
+          a_transpose = false;
+          b_transpose = false;
+        };
+      Isa.Config_ld
+        { ld_stride_bytes = 4; ld_scale = 1.0; ld_shrunk = false; ld_id = 0 };
+      Isa.Mvin
+        ( { dram_addr = base; local = La.scratchpad ~row:0; cols = 4; rows = 4 },
+          0 );
+      Isa.Mvin
+        ( { dram_addr = base + 16; local = La.scratchpad ~row:4; cols = 4; rows = 4 },
+          0 );
+      Isa.Preload
+        {
+          b = La.garbage;
+          c = La.accumulator ~row:0 ();
+          b_cols = 4;
+          b_rows = 4;
+          c_cols = 4;
+          c_rows = 4;
+        };
+      Isa.Compute_preloaded
+        {
+          a = La.scratchpad ~row:0;
+          bd = La.scratchpad ~row:4;
+          a_cols = 4;
+          a_rows = 4;
+          bd_cols = 4;
+          bd_rows = 4;
+        };
+      Isa.Fence;
+      Isa.Config_st
+        {
+          st_stride_bytes = 4;
+          st_activation = P.Relu;
+          st_scale = 1.0;
+          st_pool = None;
+        };
+      Isa.Mvout
+        { dram_addr = base + 32; local = La.accumulator ~row:0 (); cols = 4; rows = 4 };
+      Isa.Fence;
+    ]
+  in
+  let case = hand_case ~init ~arena_bytes:48 program in
+  check_clean "OS divergences" (Diff.run_case case)
+
+(* Residual addition: two widening (shrunk) mvins into the same
+   accumulator rows, the second with the accumulate flag. *)
+let test_diff_resadd () =
+  let rng = Rng.create ~seed:23 in
+  let init =
+    mat_bytes (random_mat rng ~rows:8 ~cols:4 ~lo:(-128) ~hi:127)
+  in
+  let program =
+    [
+      Isa.Config_ld
+        { ld_stride_bytes = 4; ld_scale = 1.0; ld_shrunk = true; ld_id = 0 };
+      Isa.Mvin
+        ( { dram_addr = base; local = La.accumulator ~row:0 (); cols = 4; rows = 4 },
+          0 );
+      Isa.Mvin
+        ( {
+            dram_addr = base + 16;
+            local = La.accumulator ~accumulate:true ~row:0 ();
+            cols = 4;
+            rows = 4;
+          },
+          0 );
+      Isa.Config_st
+        {
+          st_stride_bytes = 4;
+          st_activation = P.Relu;
+          st_scale = 1.0;
+          st_pool = None;
+        };
+      Isa.Mvout
+        { dram_addr = base + 32; local = La.accumulator ~row:0 (); cols = 4; rows = 4 };
+      Isa.Fence;
+    ]
+  in
+  let case = hand_case ~init ~arena_bytes:48 program in
+  check_clean "resadd divergences" (Diff.run_case case)
+
+(* LOOP_WS is never emitted by the random generator, and the golden model
+   interprets it as pure linear algebra instead of replaying the
+   sequencer — so this hand-written case is the one place the two
+   interpretations meet. *)
+let test_diff_loop_ws () =
+  let m, k, n = (6, 5, 7) in
+  let a_off = 0 and b_off = 64 and bias_off = 128 and out_off = 192 in
+  let rng = Rng.create ~seed:11 in
+  let init = Array.make (out_off + (m * n)) 0 in
+  let fill off bytes = Array.blit bytes 0 init off (Array.length bytes) in
+  fill a_off (mat_bytes (random_mat rng ~rows:m ~cols:k ~lo:(-128) ~hi:127));
+  fill b_off (mat_bytes (random_mat rng ~rows:k ~cols:n ~lo:(-128) ~hi:127));
+  for j = 0 to n - 1 do
+    let v = Rng.int_in rng ~lo:(-3000) ~hi:3000 in
+    for byte = 0 to 3 do
+      init.(bias_off + (4 * j) + byte) <- (v asr (8 * byte)) land 0xFF
+    done
+  done;
+  let ops =
+    Kernels.matmul_loop_ws_ops small_params ~bias:(base + bias_off) ~act:P.Relu
+      ~scale:0.0625 ~a:(base + a_off) ~b:(base + b_off) ~out:(base + out_off)
+      ~m ~k ~n ()
+    @ [ Kernels.fence ]
+  in
+  let program =
+    List.filter_map
+      (function Gem_soc.Soc.Insn i -> Some i | _ -> None)
+      ops
+  in
+  let case = hand_case ~init ~arena_bytes:(Array.length init) program in
+  check_clean "LOOP_WS divergences" (Diff.run_case case)
+
+(* An invalid program must trap in both executors at the same command
+   index with the same cause. *)
+let test_invalid_trap_parity () =
+  let sp_rows =
+    small_params.Gemmini.Params.sp_capacity_bytes / 4 (* dim=4, int8 *)
+  in
+  let program =
+    [
+      Isa.Config_ld
+        { ld_stride_bytes = 4; ld_scale = 1.0; ld_shrunk = false; ld_id = 0 };
+      Isa.Mvin
+        ( {
+            dram_addr = base;
+            local = La.scratchpad ~row:(sp_rows - 1);
+            cols = 4;
+            rows = 2;
+          },
+          0 );
+      Isa.Fence;
+    ]
+  in
+  let case = hand_case ~invalid:true ~init:(Array.make 8 1) ~arena_bytes:8 program in
+  let r = Diff.run_case case in
+  check_clean "trap-parity divergences" r;
+  (match r.Diff.sim_trap with
+  | Some (1, "local-oob") -> ()
+  | Some (i, l) -> Alcotest.failf "sim trapped at %d with %s" i l
+  | None -> Alcotest.fail "sim did not trap");
+  Alcotest.(check bool)
+    "golden trap matches" true
+    (r.Diff.gold_trap = r.Diff.sim_trap)
+
+(* The self-test that gives the whole harness its teeth: each deliberate
+   golden-model bug must be caught within a small seed budget. *)
+let detection_seed mutate =
+  let rec go seed =
+    if seed > 60 then None
+    else
+      let case = Gen.case ~force_invalid:false ~seed () in
+      let r = Diff.run_case ~mutate case in
+      if r.Diff.divergences <> [] then Some (seed, case) else go (seed + 1)
+  in
+  go 1
+
+let test_mutation_detection () =
+  List.iter
+    (fun mutate ->
+      match detection_seed mutate with
+      | Some _ -> ()
+      | None ->
+          Alcotest.failf "mutation %s not detected in seeds 1..60"
+            (Golden.mutation_name mutate))
+    Golden.mutations
+
+(* Shrinking a mutated-golden counterexample must converge to a
+   1-minimal program: still diverging, and no single command removable. *)
+let test_shrinker_converges () =
+  let mutate = Golden.Dropped_activation in
+  match detection_seed mutate with
+  | None -> Alcotest.fail "no counterexample to shrink"
+  | Some (_, case) ->
+      let shrunk = Shrink.minimize_case ~mutate case in
+      let n0 = List.length case.Gen.program in
+      let n1 = List.length shrunk.Gen.program in
+      Alcotest.(check bool) "no growth" true (n1 <= n0);
+      Alcotest.(check bool)
+        "still diverges" true
+        ((Diff.run_case ~mutate shrunk).Diff.divergences <> []);
+      List.iteri
+        (fun drop _ ->
+          let program =
+            List.filteri (fun i _ -> i <> drop) shrunk.Gen.program
+          in
+          let r = Diff.run_case ~mutate { shrunk with Gen.program } in
+          Alcotest.(check (list string))
+            (Printf.sprintf "1-minimal: dropping command %d passes" drop)
+            [] r.Diff.divergences)
+        shrunk.Gen.program
+
+let test_seed_determinism () =
+  let c1 = Gen.case ~seed:123 () and c2 = Gen.case ~seed:123 () in
+  Alcotest.(check bool)
+    "same program" true
+    (List.length c1.Gen.program = List.length c2.Gen.program
+    && List.for_all2 Isa.equal c1.Gen.program c2.Gen.program);
+  Alcotest.(check (array int)) "same init" c1.Gen.init c2.Gen.init;
+  Alcotest.(check bool) "same mode" c1.Gen.invalid c2.Gen.invalid;
+  Alcotest.(check int) "same arena" c1.Gen.arena_bytes c2.Gen.arena_bytes
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_repro_line () =
+  let line = Diff.repro (Gen.case ~seed:5 ()) in
+  Alcotest.(check bool) "repro names the seed" true (contains ~sub:"--seed 5" line)
+
+(* A fresh batch of seeds, disjoint from the CI fuzz budget. *)
+let test_clean_batch () =
+  let invalid = ref 0 in
+  for seed = 1001 to 1040 do
+    let case = Gen.case ~seed () in
+    if case.Gen.invalid then incr invalid;
+    let r = Diff.run_case case in
+    if r.Diff.divergences <> [] then
+      Alcotest.failf "seed %d diverged: %s" seed
+        (String.concat " | " r.Diff.divergences)
+  done;
+  Alcotest.(check bool) "batch exercises invalid mode" true (!invalid > 0)
+
+let suite =
+  [
+    Alcotest.test_case "golden WS matmul matches plain reference" `Quick
+      test_golden_matches_reference;
+    Alcotest.test_case "diff: hand-written WS program agrees" `Quick
+      test_diff_handwritten_ws;
+    Alcotest.test_case "diff: hand-written OS program agrees" `Quick
+      test_diff_handwritten_os;
+    Alcotest.test_case "diff: residual-add program agrees" `Quick
+      test_diff_resadd;
+    Alcotest.test_case "diff: LOOP_WS program agrees" `Quick test_diff_loop_ws;
+    Alcotest.test_case "invalid program traps identically" `Quick
+      test_invalid_trap_parity;
+    Alcotest.test_case "mutated golden is detected (all mutations)" `Quick
+      test_mutation_detection;
+    Alcotest.test_case "shrinker converges to a 1-minimal program" `Quick
+      test_shrinker_converges;
+    Alcotest.test_case "equal seeds give equal cases" `Quick
+      test_seed_determinism;
+    Alcotest.test_case "repro line replays the seed" `Quick test_repro_line;
+    Alcotest.test_case "40 fresh seeds: zero divergences" `Quick
+      test_clean_batch;
+  ]

@@ -1,0 +1,163 @@
+(* The two codegen artifacts that previously had no unit tests: the
+   generated C header (gemmini_params.h, paper Section III-B) and the
+   Fig. 6 area-breakdown / floorplan rendering. *)
+
+module Params = Gemmini.Params
+module Header_gen = Gemmini.Header_gen
+module Floorplan = Gemmini.Floorplan
+module Synthesis = Gemmini.Synthesis
+module Table = Gem_util.Table
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let lookup defines key =
+  match List.assoc_opt key defines with
+  | Some v -> v
+  | None -> Alcotest.failf "missing #define %s" key
+
+let test_defines_consistency () =
+  let p = Params.validate_exn Params.default in
+  let d = Header_gen.defines p in
+  Alcotest.(check string) "DIM" (string_of_int (Params.dim p)) (lookup d "DIM");
+  Alcotest.(check string)
+    "BANK_NUM" (string_of_int p.Params.sp_banks) (lookup d "BANK_NUM");
+  Alcotest.(check string)
+    "BANK_ROWS"
+    (string_of_int (Params.sp_rows_per_bank p))
+    (lookup d "BANK_ROWS");
+  Alcotest.(check string)
+    "ACC_ROWS" (string_of_int (Params.acc_rows p)) (lookup d "ACC_ROWS");
+  Alcotest.(check string)
+    "MAX_BLOCK_LEN"
+    (string_of_int (max 1 (64 / Params.sp_row_bytes p)))
+    (lookup d "MAX_BLOCK_LEN");
+  (* The default instance supports both dataflows and 8-bit inputs. *)
+  Alcotest.(check string) "DATAFLOW_WS" "1" (lookup d "DATAFLOW_WS");
+  Alcotest.(check string) "DATAFLOW_OS" "1" (lookup d "DATAFLOW_OS");
+  Alcotest.(check string) "INPUT_BITS" "8" (lookup d "INPUT_BITS");
+  Alcotest.(check string) "ACC_BITS" "32" (lookup d "ACC_BITS")
+
+let test_generate_guard () =
+  let p = Params.default in
+  let header = Header_gen.generate p in
+  Alcotest.(check bool)
+    "default guard opens" true
+    (contains ~sub:"#ifndef GEMMINI_PARAMS_H" header);
+  Alcotest.(check bool)
+    "default guard defined" true
+    (contains ~sub:"#define GEMMINI_PARAMS_H" header);
+  let custom = Header_gen.generate ~guard:"MY_INSTANCE_H" p in
+  Alcotest.(check bool)
+    "custom guard used" true
+    (contains ~sub:"#ifndef MY_INSTANCE_H" custom);
+  Alcotest.(check bool)
+    "custom guard closes" true
+    (contains ~sub:"#endif // MY_INSTANCE_H" custom)
+
+let test_elem_t_range_int8_only () =
+  let int8 = Header_gen.generate Params.default in
+  Alcotest.(check bool)
+    "int8 has ELEM_T_MAX 127" true
+    (contains ~sub:"#define ELEM_T_MAX 127" int8);
+  Alcotest.(check bool)
+    "int8 has ELEM_T_MIN -128" true
+    (contains ~sub:"#define ELEM_T_MIN -128" int8);
+  let fp =
+    Header_gen.generate
+      {
+        Params.default with
+        Params.input_type = Gemmini.Dtype.Fp32;
+        acc_type = Gemmini.Dtype.Fp32;
+      }
+  in
+  Alcotest.(check bool)
+    "float type has no ELEM_T_MAX" false
+    (contains ~sub:"ELEM_T_MAX" fp);
+  Alcotest.(check bool)
+    "float elem_t" true
+    (contains ~sub:"typedef float elem_t;" fp)
+
+let test_edge_vs_cloud_differ () =
+  let edge = Header_gen.defines Params.edge
+  and cloud = Header_gen.defines Params.cloud in
+  Alcotest.(check bool)
+    "edge and cloud headers differ" false
+    (lookup edge "DIM" = lookup cloud "DIM"
+    && lookup edge "SP_CAPACITY_BYTES" = lookup cloud "SP_CAPACITY_BYTES")
+
+let report () = Synthesis.estimate ~host:Synthesis.Rocket Params.default
+
+let test_breakdown_table () =
+  let r = report () in
+  let rendered = Table.render (Floorplan.breakdown_table r) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "table lists %s" c.Synthesis.comp_name)
+        true
+        (contains ~sub:c.Synthesis.comp_name rendered))
+    r.Synthesis.components;
+  Alcotest.(check bool) "total row" true (contains ~sub:"total" rendered);
+  Alcotest.(check bool) "100% row" true (contains ~sub:"100.0%" rendered);
+  (* Shares are a partition of the total area. *)
+  let sum =
+    List.fold_left
+      (fun acc c -> acc +. c.Synthesis.share)
+      0. r.Synthesis.components
+  in
+  Alcotest.(check bool) "shares sum to 1" true (Float.abs (sum -. 1.0) < 1e-6)
+
+let test_layout_sketch_geometry () =
+  let r = report () in
+  let width = 40 in
+  let sketch = Floorplan.layout_sketch ~width r in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' sketch)
+  in
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "uniform line width" (width + 2) (String.length l))
+    lines;
+  (* One separator above each component stack plus one per component. *)
+  let seps =
+    List.length (List.filter (fun l -> l.[0] = '-') lines)
+  in
+  Alcotest.(check int)
+    "separator per component + top"
+    (List.length r.Synthesis.components + 1)
+    seps;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sketch labels %s" c.Synthesis.comp_name)
+        true
+        (contains ~sub:c.Synthesis.comp_name sketch))
+    r.Synthesis.components
+
+let test_render_composition () =
+  let r = report () in
+  let rendered = Floorplan.render r in
+  Alcotest.(check bool)
+    "render = table + sketch" true
+    (contains ~sub:(Table.render (Floorplan.breakdown_table r)) rendered
+    && contains ~sub:(Floorplan.layout_sketch r) rendered)
+
+let suite =
+  [
+    Alcotest.test_case "header defines agree with Params accessors" `Quick
+      test_defines_consistency;
+    Alcotest.test_case "include guard (default and custom)" `Quick
+      test_generate_guard;
+    Alcotest.test_case "ELEM_T_MAX/MIN only for integer types" `Quick
+      test_elem_t_range_int8_only;
+    Alcotest.test_case "edge and cloud instances get different headers"
+      `Quick test_edge_vs_cloud_differ;
+    Alcotest.test_case "Fig. 6 breakdown table" `Quick test_breakdown_table;
+    Alcotest.test_case "floorplan sketch geometry" `Quick
+      test_layout_sketch_geometry;
+    Alcotest.test_case "render composes table and sketch" `Quick
+      test_render_composition;
+  ]

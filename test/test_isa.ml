@@ -145,11 +145,190 @@ let test_bad_decode () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected bad config selector error"
 
+(* One random instance of EVERY constructor per iteration, so the fuzz
+   cannot silently lose coverage when the command set grows. Scales are
+   drawn from fp32-exact values — the packed formats carry 32-bit floats. *)
+let qcheck_all_constructors =
+  let open Gem_util in
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"every constructor roundtrips" ~count:200 gen
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let i ~lo ~hi = Rng.int_in rng ~lo ~hi in
+      let scale () = Rng.pick rng [| 1.0; 0.5; 0.25; 0.0625; 2.0; -1.5; 0.0 |] in
+      let activation () =
+        match i ~lo:0 ~hi:2 with
+        | 0 -> Peripheral.No_activation
+        | 1 -> Peripheral.Relu
+        | _ -> Peripheral.Relu6 { shift = i ~lo:0 ~hi:63 }
+      in
+      let local () =
+        match i ~lo:0 ~hi:2 with
+        | 0 -> L.garbage
+        | 1 -> L.scratchpad ~row:(i ~lo:0 ~hi:((1 lsl 29) - 1))
+        | _ ->
+            L.accumulator ~accumulate:(Rng.bool rng)
+              ~full_width:(Rng.bool rng)
+              ~row:(i ~lo:0 ~hi:((1 lsl 29) - 1))
+              ()
+      in
+      let mv () =
+        {
+          Isa.dram_addr = i ~lo:0 ~hi:((1 lsl 48) - 1);
+          local = local ();
+          cols = i ~lo:1 ~hi:0xFFFF;
+          rows = i ~lo:1 ~hi:0xFFFF;
+        }
+      in
+      let compute () =
+        {
+          Isa.a = local ();
+          bd = local ();
+          a_cols = i ~lo:0 ~hi:0xFFFF;
+          a_rows = i ~lo:0 ~hi:0xFFFF;
+          bd_cols = i ~lo:0 ~hi:0xFFFF;
+          bd_rows = i ~lo:0 ~hi:0xFFFF;
+        }
+      in
+      let every_constructor =
+        [
+          Isa.Config_ex
+            {
+              dataflow = (if Rng.bool rng then `WS else `OS);
+              activation = activation ();
+              sys_shift = i ~lo:0 ~hi:63;
+              a_transpose = Rng.bool rng;
+              b_transpose = Rng.bool rng;
+            };
+          Isa.Config_ld
+            {
+              ld_stride_bytes = i ~lo:0 ~hi:0xFFFF_FFFF;
+              ld_scale = scale ();
+              ld_shrunk = Rng.bool rng;
+              ld_id = i ~lo:0 ~hi:2;
+            };
+          Isa.Config_st
+            {
+              st_stride_bytes = i ~lo:0 ~hi:0xFFFF_FFFF;
+              st_activation = activation ();
+              st_scale = scale ();
+              st_pool =
+                (if Rng.bool rng then None
+                 else
+                   Some
+                     {
+                       Isa.window = i ~lo:1 ~hi:15;
+                       stride = i ~lo:1 ~hi:15;
+                       padding = i ~lo:0 ~hi:15;
+                     });
+            };
+          Isa.Mvin (mv (), i ~lo:0 ~hi:2);
+          Isa.Mvout (mv ());
+          Isa.Preload
+            {
+              b = local ();
+              c = local ();
+              b_cols = i ~lo:0 ~hi:0xFFFF;
+              b_rows = i ~lo:0 ~hi:0xFFFF;
+              c_cols = i ~lo:0 ~hi:0xFFFF;
+              c_rows = i ~lo:0 ~hi:0xFFFF;
+            };
+          Isa.Compute_preloaded (compute ());
+          Isa.Compute_accumulated (compute ());
+          Isa.Loop_ws_bounds
+            {
+              lw_m = i ~lo:1 ~hi:0xFFFF;
+              lw_k = i ~lo:1 ~hi:0xFFFF;
+              lw_n = i ~lo:1 ~hi:0xFFFF;
+              lw_has_bias = Rng.bool rng;
+              lw_activation = activation ();
+            };
+          Isa.Loop_ws_addrs
+            {
+              lw_a = i ~lo:0 ~hi:((1 lsl 48) - 1);
+              lw_b = i ~lo:0 ~hi:((1 lsl 48) - 1);
+            };
+          Isa.Loop_ws_outs
+            {
+              lw_bias = i ~lo:0 ~hi:((1 lsl 48) - 1);
+              lw_c = i ~lo:0 ~hi:((1 lsl 48) - 1);
+            };
+          Isa.Loop_ws
+            {
+              lw_a_stride = i ~lo:0 ~hi:0xFF_FFFF;
+              lw_b_stride = i ~lo:0 ~hi:0xFF_FFFF;
+              lw_c_stride = i ~lo:0 ~hi:0xFF_FFFF;
+              lw_scale = scale ();
+            };
+          Isa.Flush;
+          Isa.Fence;
+        ]
+      in
+      List.iter check_roundtrip every_constructor;
+      true)
+
+let check_rejected name insn =
+  match Isa.decode insn with
+  | Error _ -> ()
+  | Ok cmd ->
+      Alcotest.failf "%s decoded to %s instead of an error" name
+        (Isa.to_string cmd)
+
+let test_corrupted_encodings () =
+  (* Unknown functs: the gaps in the opcode map and beyond it. *)
+  List.iter
+    (fun funct ->
+      check_rejected
+        (Printf.sprintf "funct %d" funct)
+        { Isa.funct; rs1 = 0L; rs2 = 0L })
+    [ 12; 13; 16; 99; 127 ];
+  (* Config with the unused selector value. *)
+  check_rejected "config selector 3" { Isa.funct = 0; rs1 = 3L; rs2 = 0L };
+  (* Reserved activation code 3, in both places it is encoded. *)
+  let ex_good = Isa.encode (List.hd sample_cmds) in
+  check_rejected "config_ex activation code 3"
+    { ex_good with Isa.rs1 = Int64.logor ex_good.Isa.rs1 0b11000L };
+  let lwb_good =
+    Isa.encode
+      (Isa.Loop_ws_bounds
+         {
+           lw_m = 4;
+           lw_k = 4;
+           lw_n = 4;
+           lw_has_bias = false;
+           lw_activation = Peripheral.No_activation;
+         })
+  in
+  check_rejected "loop_ws_bounds activation code 3"
+    { lwb_good with Isa.rs2 = Int64.logor lwb_good.Isa.rs2 0b110L }
+
+let test_local_addr_invalid () =
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "negative row" (fun () -> L.scratchpad ~row:(-1));
+  expect_invalid "row = 2^29" (fun () -> L.scratchpad ~row:(1 lsl 29));
+  expect_invalid "accumulator row overflow" (fun () ->
+      L.accumulator ~row:(1 lsl 30) ());
+  expect_invalid "add_rows overflow" (fun () ->
+      L.add_rows (L.scratchpad ~row:((1 lsl 29) - 1)) 1);
+  (* add_rows on garbage stays garbage instead of raising. *)
+  Alcotest.(check bool)
+    "garbage + rows = garbage" true
+    (L.is_garbage (L.add_rows L.garbage 1000))
+
 let suite =
   [
     Alcotest.test_case "sample command roundtrips" `Quick test_samples;
     Alcotest.test_case "local address flags" `Quick test_local_addr;
     Alcotest.test_case "bad decodes rejected" `Quick test_bad_decode;
+    Alcotest.test_case "corrupted encodings rejected" `Quick
+      test_corrupted_encodings;
+    Alcotest.test_case "local address invalid rows raise" `Quick
+      test_local_addr_invalid;
     QCheck_alcotest.to_alcotest qcheck_mv_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_config_ld_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_all_constructors;
   ]

@@ -17,4 +17,6 @@ let () =
       ("fault", Test_fault.suite);
       ("dse", Test_dse.suite);
       ("experiments", Test_experiments.suite);
+      ("check", Test_check.suite);
+      ("codegen", Test_codegen.suite);
     ]

@@ -116,6 +116,76 @@ let qcheck_matmul =
       run_one params ~dataflow:df ~i ~k ~j ~seed ~with_bias:(seed mod 2 = 0) ();
       true)
 
+(* The two dataflows are different schedules of the same arithmetic: for
+   any operands that fit a single block in both (OS limits output rows to
+   the array height), WS and OS must produce bit-identical results. *)
+let qcheck_ws_os_equivalence =
+  let gen =
+    QCheck2.Gen.(
+      let* i = int_range 1 4 in
+      let* k = int_range 1 4 in
+      let* j = int_range 1 4 in
+      let* seed = int_range 0 1_000_000 in
+      let* with_bias = bool in
+      let* cfg = int_range 0 (List.length mesh_configs - 1) in
+      return (i, k, j, seed, with_bias, cfg))
+  in
+  QCheck2.Test.make ~name:"WS == OS on shared-domain blocks (all configs)"
+    ~count:100 gen (fun (i, k, j, seed, with_bias, cfg) ->
+      let _, params = List.nth mesh_configs cfg in
+      let rng = Rng.create ~seed in
+      let a = Matrix.random rng ~rows:i ~cols:k ~lo:(-128) ~hi:127 in
+      let b = Matrix.random rng ~rows:k ~cols:j ~lo:(-128) ~hi:127 in
+      let d =
+        if with_bias then
+          Some (Matrix.random rng ~rows:i ~cols:j ~lo:(-128) ~hi:127)
+        else None
+      in
+      let run dataflow =
+        let mesh = Mesh.create params in
+        (Mesh.run_matmul mesh ~dataflow ~a ~b ?d ()).Mesh.out
+      in
+      Matrix.equal (run `WS) (run `OS))
+
+(* Negative paths of the local memories: structured traps, never silent
+   corruption or an unstructured exception. *)
+let sp4 () = Gemmini.Scratchpad.create { P.default with mesh_rows = 4; mesh_cols = 4 }
+
+let check_trap name expect f =
+  match f () with
+  | _ -> Alcotest.failf "%s: no trap raised" name
+  | exception Gem_sim.Fault.Trap fault ->
+      Alcotest.(check string)
+        name expect
+        (Gem_sim.Fault.cause_label fault.Gem_sim.Fault.cause)
+
+let test_scratchpad_oob () =
+  let sp = sp4 () in
+  let last = Gemmini.Scratchpad.sp_rows sp - 1 in
+  check_trap "read_block past the end" "local-oob" (fun () ->
+      Gemmini.Scratchpad.read_block sp
+        (Gemmini.Local_addr.scratchpad ~row:last)
+        ~rows:2 ~cols:4);
+  check_trap "write_block past the end" "local-oob" (fun () ->
+      Gemmini.Scratchpad.write_block sp
+        (Gemmini.Local_addr.scratchpad ~row:last)
+        (Matrix.init ~rows:2 ~cols:4 (fun _ _ -> 1)));
+  let acc_last = Gemmini.Scratchpad.acc_rows sp - 1 in
+  check_trap "accumulator read_block past the end" "local-oob" (fun () ->
+      Gemmini.Scratchpad.read_block sp
+        (Gemmini.Local_addr.accumulator ~row:acc_last ())
+        ~rows:2 ~cols:4)
+
+let test_scratchpad_illegal () =
+  let sp = sp4 () in
+  check_trap "garbage dereference" "illegal-inst" (fun () ->
+      Gemmini.Scratchpad.read_row sp Gemmini.Local_addr.garbage ~offset:0);
+  check_trap "accumulate flag on a scratchpad address" "illegal-inst"
+    (fun () ->
+      Gemmini.Scratchpad.write_row sp
+        (Gemmini.Local_addr.of_bits (0x4000_0000 lor 3))
+        ~offset:0 (Array.make 4 1))
+
 let suite =
   matmul_cases
   @ [
@@ -123,4 +193,9 @@ let suite =
       Alcotest.test_case "WS preload cost is dim rows" `Quick test_ws_weights_resident;
       Alcotest.test_case "combinational tiles shorten schedule" `Quick test_pipelining_cost;
       QCheck_alcotest.to_alcotest qcheck_matmul;
+      QCheck_alcotest.to_alcotest qcheck_ws_os_equivalence;
+      Alcotest.test_case "scratchpad blocks trap out-of-bounds" `Quick
+        test_scratchpad_oob;
+      Alcotest.test_case "scratchpad traps garbage / misplaced flags" `Quick
+        test_scratchpad_illegal;
     ]
