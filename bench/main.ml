@@ -162,6 +162,39 @@ let run_trace_overhead () =
         failwith "trace overhead: collected run changed the cycle count";
       if spans = 0 then failwith "trace overhead: collector recorded no spans")
 
+(* Analytic-backend throughput: estimate every zoo network (full scale)
+   repeatedly and report design points per second — the number that makes
+   10k-point sweeps tractable. Wall-clock only (wall_s entries): the
+   figures are machine-dependent, so they stay out of the gated metrics. *)
+let run_analytic_bench () =
+  timed "Analytic backend: full-zoo estimation throughput" (fun () ->
+      let jobs =
+        List.map
+          (fun m -> (m, Gem_sw.Runtime.Accel { im2col_on_accel = true }))
+          Gem_dnn.Model_zoo.all
+      in
+      let rounds = 20 in
+      let checksum = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to rounds do
+        List.iter
+          (fun job ->
+            let rq =
+              Gem_sw.Backend.request ~config:Gem_soc.Soc_config.default
+                [| job |]
+            in
+            let r = Gem_sw.Backend_analytic.run rq in
+            checksum := !checksum + r.(0).Gem_sw.Runtime.r_total_cycles)
+          jobs
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let points = rounds * List.length jobs in
+      let pps = float_of_int points /. dt in
+      walls := ("analytic.points_per_s", pps) :: !walls;
+      Printf.printf
+        "  %d full-scale network estimates in %.3fs (%.0f points/s, checksum %d)\n"
+        points dt pps !checksum)
+
 (* --- bechamel microbenchmarks of simulator hot paths ----------------------- *)
 
 let micro () =
@@ -286,6 +319,7 @@ let () =
   if all || has "fig9" then run_fig9 ~quick ();
   if all || has "ablations" then run_ablations ~quick ();
   if all || has "trace" then run_trace_overhead ();
+  if all || has "analytic" then run_analytic_bench ();
   if all || has "micro" then micro ();
   write_results ~quick "BENCH_results.json";
   Printf.printf "\nDone.\n"

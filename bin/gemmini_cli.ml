@@ -90,6 +90,29 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Analytical synthesis: area, fmax, power, floorplan.")
     Term.(const run $ params_term)
 
+let backend_conv =
+  let parse s =
+    match Gem_sw.Backend.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %S (available: %s)" s
+               (String.concat ", " Gem_sw.Backends.names)))
+  in
+  let print fmt k = Format.fprintf fmt "%s" (Gem_sw.Backend.kind_name k) in
+  Arg.conv (parse, print)
+
+let backend_term =
+  Arg.(
+    value
+    & opt backend_conv Gem_sw.Backend.Cycle
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend: cycle (event-driven cycle-accurate \
+           simulation, the default) or analytic (closed-form latency \
+           estimator, orders of magnitude faster, cross-validated in CI).")
+
 let policy_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -102,14 +125,70 @@ let policy_conv =
   Arg.conv (parse, print)
 
 let run_cmd =
-  let run p model scale im2col_on_accel profile inject_seed inject_rate policy
-      watchdog cores trace_out trace_format =
+  let run p backend model scale im2col_on_accel profile inject_seed inject_rate
+      policy watchdog cores trace_out trace_format =
     let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
     let core_cfg = { Soc_config.default_core with accel = p } in
-    let soc =
-      Soc.create
-        { Soc_config.default with cores = List.init cores (fun _ -> core_cfg) }
+    let config =
+      { Soc_config.default with cores = List.init cores (fun _ -> core_cfg) }
     in
+    let mode = Runtime.Accel { im2col_on_accel } in
+    let print_header () =
+      Printf.printf "%s on %s%s%s\n" model.Gem_dnn.Layer.model_name
+        (Gemmini.Params.describe p)
+        (if cores > 1 then Printf.sprintf " x %d cores" cores else "")
+        (match backend with
+        | Gem_sw.Backend.Cycle -> ""
+        | k -> Printf.sprintf " [%s backend]" (Gem_sw.Backend.kind_name k))
+    in
+    let print_results results =
+      let horizon = ref 0 in
+      Array.iter
+        (fun r ->
+          horizon := max !horizon r.Runtime.r_total_cycles;
+          (* Dual-core runs label every row with its core so the outputs
+             line up with the core-prefixed component names below. *)
+          let tag =
+            if cores > 1 then Printf.sprintf "core%d: " r.Runtime.r_core else ""
+          in
+          Printf.printf "%stotal %s cycles = %.2f FPS at 1 GHz\n" tag
+            (Gem_util.Table.fmt_int r.Runtime.r_total_cycles)
+            (Gem_sim.Time.fps ~freq_ghz:1.0
+               ~cycles_per_item:r.Runtime.r_total_cycles);
+          List.iter
+            (fun (k, c) ->
+              Printf.printf "  %s%-12s %s cycles\n" tag
+                (Gem_dnn.Layer.class_name k)
+                (Gem_util.Table.fmt_int c))
+            (Runtime.cycles_by_class r);
+          if r.Runtime.r_faults <> [] then begin
+            Printf.printf "%sfaults handled (%s policy): %d\n" tag
+              (Runtime.policy_desc policy)
+              (List.length r.Runtime.r_faults);
+            List.iter
+              (fun fr ->
+                Printf.printf "  %s%-8s %-24s %s\n" tag fr.Runtime.fr_action
+                  fr.Runtime.fr_layer
+                  (Gem_sim.Fault.to_string fr.Runtime.fr_fault))
+              r.Runtime.r_faults
+          end)
+        results;
+      !horizon
+    in
+    match backend with
+    | Gem_sw.Backend.Analytic ->
+        if inject_seed <> None || trace_out <> None || profile then
+          prerr_endline
+            "[run] note: --inject-seed/--trace-out/--profile are \
+             cycle-engine features; the analytic backend ignores them";
+        let rq =
+          Gem_sw.Backend.request ~policy ?watchdog ~config
+            (Array.init cores (fun _ -> (model, mode)))
+        in
+        print_header ();
+        ignore (print_results (Gem_sw.Backend_analytic.run rq))
+    | Gem_sw.Backend.Cycle ->
+    let soc = Soc.create config in
     (match inject_seed with
     | Some seed -> Soc.arm_injection soc ~seed ~rate:inject_rate
     | None -> ());
@@ -120,47 +199,13 @@ let run_cmd =
         Some (Gem_sim.Export.attach (Soc.engine soc))
       else None
     in
-    let mode = Runtime.Accel { im2col_on_accel } in
-    let results =
-      if cores = 1 then [| Runtime.run ~policy ?watchdog soc ~core:0 model ~mode |]
-      else
-        Runtime.run_parallel ~policy ?watchdog soc
-          (Array.init cores (fun _ -> (model, mode)))
+    let rq =
+      Gem_sw.Backend.request ~policy ?watchdog ~config
+        (Array.init cores (fun _ -> (model, mode)))
     in
-    Printf.printf "%s on %s%s\n" model.Gem_dnn.Layer.model_name
-      (Gemmini.Params.describe p)
-      (if cores > 1 then Printf.sprintf " x %d cores" cores else "");
-    let horizon = ref 0 in
-    Array.iter
-      (fun r ->
-        horizon := max !horizon r.Runtime.r_total_cycles;
-        (* Dual-core runs label every row with its core so the outputs
-           line up with the core-prefixed component names below. *)
-        let tag =
-          if cores > 1 then Printf.sprintf "core%d: " r.Runtime.r_core else ""
-        in
-        Printf.printf "%stotal %s cycles = %.2f FPS at 1 GHz\n" tag
-          (Gem_util.Table.fmt_int r.Runtime.r_total_cycles)
-          (Gem_sim.Time.fps ~freq_ghz:1.0
-             ~cycles_per_item:r.Runtime.r_total_cycles);
-        List.iter
-          (fun (k, c) ->
-            Printf.printf "  %s%-12s %s cycles\n" tag
-              (Gem_dnn.Layer.class_name k)
-              (Gem_util.Table.fmt_int c))
-          (Runtime.cycles_by_class r);
-        if r.Runtime.r_faults <> [] then begin
-          Printf.printf "%sfaults handled (%s policy): %d\n" tag
-            (Runtime.policy_desc policy)
-            (List.length r.Runtime.r_faults);
-          List.iter
-            (fun fr ->
-              Printf.printf "  %s%-8s %-24s %s\n" tag fr.Runtime.fr_action
-                fr.Runtime.fr_layer
-                (Gem_sim.Fault.to_string fr.Runtime.fr_fault))
-            r.Runtime.r_faults
-        end)
-      results;
+    let results = Gem_sw.Backend_cycle.run_on soc rq in
+    print_header ();
+    let horizon = ref (print_results results) in
     match collector with
     | None -> ()
     | Some c ->
@@ -248,14 +293,14 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a DNN inference on an SoC.")
     Term.(
-      const run $ params_term $ model_term $ scale_term $ im2col $ profile
-      $ inject_seed $ inject_rate $ policy $ watchdog $ cores $ trace_out
-      $ trace_format)
+      const run $ params_term $ backend_term $ model_term $ scale_term
+      $ im2col $ profile $ inject_seed $ inject_rate $ policy $ watchdog
+      $ cores $ trace_out $ trace_format)
 
 let sweep_cmd =
-  let run model scale jobs cache_dir no_cache out =
+  let run model scale backend jobs cache_dir no_cache out =
     let name = model.Gem_dnn.Layer.model_name in
-    let base = Gem_dse.Point.make ~model:name ~scale () in
+    let base = Gem_dse.Point.make ~model:name ~scale ~backend () in
     let dim_axis =
       Gem_dse.Sweep.ints "dim"
         (fun dim p ->
@@ -335,7 +380,8 @@ let sweep_cmd =
          "Sweep spatial-array sizes for a workload (parallel, cached: see \
           --jobs and --cache-dir).")
     Term.(
-      const run $ model_term $ scale_term $ jobs $ cache_dir $ no_cache $ out)
+      const run $ model_term $ scale_term $ backend_term $ jobs $ cache_dir
+      $ no_cache $ out)
 
 (* --- fuzz: differential testing against the golden model -------------------- *)
 
@@ -415,6 +461,97 @@ let fuzz_cmd =
           SoC vs an independent golden architectural model.")
     Term.(const run $ seed $ count $ shrink $ self_test)
 
+(* --- xval: analytic backend vs cycle-accurate engine ------------------------- *)
+
+let xval_cmd =
+  let run models scale budget_file out =
+    let models =
+      match models with
+      | [] -> Gem_dse.Xval.default_models
+      | l -> l
+    in
+    let report = Gem_dse.Xval.validate ~models ~scale () in
+    let t =
+      Gem_util.Table.create
+        ~title:(Printf.sprintf "Backend cross-validation (scale %d)" scale)
+        [ "Model"; "Cycle"; "Analytic"; "Err"; "Speedup" ]
+    in
+    List.iter (fun i -> Gem_util.Table.set_align t i Gem_util.Table.Right) [ 1; 2; 3; 4 ];
+    List.iter
+      (fun (n : Gem_dse.Xval.network_report) ->
+        Gem_util.Table.add_row t
+          [
+            n.Gem_dse.Xval.xn_model;
+            Gem_util.Table.fmt_int n.Gem_dse.Xval.xn_cycle_total;
+            Gem_util.Table.fmt_int n.Gem_dse.Xval.xn_analytic_total;
+            Printf.sprintf "%+.1f%%" (100. *. n.Gem_dse.Xval.xn_rel_err);
+            Printf.sprintf "%.0fx" n.Gem_dse.Xval.xn_speedup;
+          ])
+      report.Gem_dse.Xval.x_networks;
+    Gem_util.Table.print t;
+    Printf.printf "max |err| %.1f%%  mean |err| %.1f%%  min speedup %.0fx\n"
+      (100. *. report.Gem_dse.Xval.x_max_abs_err)
+      (100. *. report.Gem_dse.Xval.x_mean_abs_err)
+      report.Gem_dse.Xval.x_min_speedup;
+    (match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc
+              (Gem_util.Jsonx.to_string ~pretty:true
+                 (Gem_dse.Xval.report_to_json report));
+            output_char oc '\n');
+        Printf.eprintf "[xval] wrote %s\n%!" file);
+    match budget_file with
+    | None -> ()
+    | Some file -> (
+        match Gem_dse.Xval.load_budget file with
+        | Error msg ->
+            Printf.eprintf "[xval] cannot load budget %s: %s\n%!" file msg;
+            exit 2
+        | Ok budget -> (
+            match Gem_dse.Xval.check report budget with
+            | Ok () -> Printf.printf "budget check: PASS (%s)\n" file
+            | Error failures ->
+                Printf.printf "budget check: FAIL (%s)\n" file;
+                List.iter (Printf.printf "  %s\n") failures;
+                exit 1))
+  in
+  let models =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "models" ]
+          ~doc:
+            "Comma-separated model-zoo networks to validate (default: all \
+             of them).")
+  in
+  let budget_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budget-file" ] ~docv:"FILE"
+          ~doc:
+            "Check the report against this committed error budget and exit \
+             non-zero when any network is over it.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the full per-layer JSON report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "xval"
+       ~doc:
+         "Cross-validate the analytic backend against the cycle-accurate \
+          engine on the model zoo.")
+    Term.(const run $ models $ scale_term $ budget_file $ out)
+
 let experiment_cmd =
   let run id quick =
     match String.lowercase_ascii id with
@@ -446,6 +583,7 @@ let () =
             synth_cmd;
             run_cmd;
             sweep_cmd;
+            xval_cmd;
             experiment_cmd;
             fuzz_cmd;
           ]))

@@ -1,7 +1,9 @@
 (* Bump whenever a behavioral change anywhere in the simulator or the
    synthesis model alters measured numbers; see README "Parallel sweeps &
    caching". *)
-let sim_version = "1"
+(* "2": backend seam — outcomes carry backend provenance and points hash
+   the backend kind. *)
+let sim_version = "2"
 
 type t = { root : string; version_dir : string }
 

@@ -22,6 +22,60 @@ let all_classes =
     Layer.Class_elementwise;
   ]
 
+(* Evaluation with the analytic backend: no SoC elaboration at all — the
+   estimator prices the lowering closed-form and supplies its own
+   TLB/utilization tallies in place of the engine observers. *)
+let evaluate_analytic (p : Point.t) base model : Outcome.t =
+  let ncores = List.length p.Point.soc.Soc_config.cores in
+  let jobs = Array.make ncores (model, p.Point.mode) in
+  let rq = Gem_sw.Backend.request ~config:p.Point.soc jobs in
+  let details = Gem_sw.Backend_analytic.estimate rq in
+  let results = Array.map (fun d -> d.Gem_sw.Backend_analytic.d_result) details in
+  let total =
+    Array.fold_left (fun acc r -> max acc r.Runtime.r_total_cycles) 0 results
+  in
+  let sum f = Array.fold_left (fun acc d -> acc + f d) 0 details in
+  let tlb_requests = sum (fun d -> d.Gem_sw.Backend_analytic.d_tlb_requests) in
+  let tlb_walks = sum (fun d -> d.Gem_sw.Backend_analytic.d_tlb_walks) in
+  let tlb_shared = sum (fun d -> d.Gem_sw.Backend_analytic.d_tlb_shared) in
+  let class_cycles =
+    List.map
+      (fun klass ->
+        let cycles =
+          Array.fold_left
+            (fun acc r ->
+              acc
+              + Option.value ~default:0
+                  (List.assoc_opt klass (Runtime.cycles_by_class r)))
+            0 results
+        in
+        (Layer.class_name klass, cycles))
+      all_classes
+  in
+  let comp_util =
+    let horizon = float_of_int (max 1 total) in
+    Array.to_list
+      (Array.mapi
+         (fun core d ->
+           ( Printf.sprintf "core%d/mesh" core,
+             float_of_int d.Gem_sw.Backend_analytic.d_mesh_busy /. horizon ))
+         details)
+  in
+  {
+    base with
+    Outcome.backend = Gem_sw.Backend.kind_name Gem_sw.Backend.Analytic;
+    total_cycles = total;
+    per_core_cycles = Array.map (fun r -> r.Runtime.r_total_cycles) results;
+    class_cycles;
+    tlb_requests;
+    tlb_walks;
+    tlb_shared_hits = tlb_shared;
+    tlb_hit_rate =
+      (if tlb_requests = 0 then 0.
+       else 1. -. (float_of_int tlb_walks /. float_of_int tlb_requests));
+    comp_util;
+  }
+
 let evaluate (p : Point.t) : Outcome.t =
   let accel =
     match p.Point.soc.Soc_config.cores with
@@ -52,6 +106,9 @@ let evaluate (p : Point.t) : Outcome.t =
       if p.Point.scale = 1 then model
       else Gem_dnn.Model_zoo.scale_model ~factor:p.Point.scale model
     in
+    match p.Point.backend with
+    | Gem_sw.Backend.Analytic -> evaluate_analytic p base model
+    | Gem_sw.Backend.Cycle ->
     let soc = Soc.create p.Point.soc in
     (* Histograms and series only — span recording would churn memory for
        hundreds of thousands of spans per point with no reader. *)
@@ -75,11 +132,11 @@ let evaluate (p : Point.t) : Outcome.t =
                Gem_util.Stats.Series.add s ~time:(float_of_int now) miss)))
       series;
     let ncores = List.length p.Point.soc.Soc_config.cores in
-    let results =
-      if ncores = 1 then
-        [| Runtime.run soc ~core:0 model ~mode:p.Point.mode |]
-      else Runtime.run_parallel soc (Array.make ncores (model, p.Point.mode))
+    let rq =
+      Gem_sw.Backend.request ~config:p.Point.soc
+        (Array.make ncores (model, p.Point.mode))
     in
+    let results = Gem_sw.Backend_cycle.run_on soc rq in
     Option.iter (fun _ -> H.set_observer hierarchy None) series;
     let total =
       Array.fold_left (fun acc r -> max acc r.Runtime.r_total_cycles) 0 results
@@ -121,7 +178,8 @@ let evaluate (p : Point.t) : Outcome.t =
     in
     {
       base with
-      Outcome.total_cycles = total;
+      Outcome.backend = Gem_sw.Backend.kind_name Gem_sw.Backend.Cycle;
+      total_cycles = total;
       per_core_cycles =
         Array.map (fun r -> r.Runtime.r_total_cycles) results;
       class_cycles;

@@ -1,6 +1,7 @@
 module J = Gem_util.Jsonx
 
 type t = {
+  backend : string;
   total_cycles : int;
   per_core_cycles : int array;
   class_cycles : (string * int) list;
@@ -24,6 +25,7 @@ type t = {
 
 let empty =
   {
+    backend = "";
     total_cycles = 0;
     per_core_cycles = [||];
     class_cycles = [];
@@ -47,6 +49,7 @@ let empty =
 let to_json t =
   J.Obj
     [
+      ("backend", J.String t.backend);
       ("total_cycles", J.Int t.total_cycles);
       ( "per_core_cycles",
         J.List (Array.to_list (Array.map (fun c -> J.Int c) t.per_core_cycles))
@@ -84,6 +87,9 @@ let of_json json =
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "outcome: bad or missing field %S" name)
   in
+  (* Provenance is mandatory: entries written before the backend seam
+     existed must read as cache misses, not as cycle-accurate results. *)
+  let* backend = field "backend" J.to_str in
   let* total_cycles = field "total_cycles" J.to_int in
   let* per_core =
     let* l = field "per_core_cycles" J.to_list in
@@ -136,6 +142,7 @@ let of_json json =
   let* comp_p95_lat = assoc "comp_p95_lat" J.to_float "float" in
   Ok
     {
+      backend;
       total_cycles;
       per_core_cycles = per_core;
       class_cycles;

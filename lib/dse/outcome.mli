@@ -6,6 +6,10 @@
     enough digits to reconstruct the same double. *)
 
 type t = {
+  backend : string;
+      (** provenance: which execution backend produced the timing numbers
+          (["cycle"] or ["analytic"]; [""] only in {!empty}). Mandatory in
+          the JSON round-trip so pre-seam cache entries read as misses. *)
   (* Timing simulation (zeroed when the point is synthesis-only). *)
   total_cycles : int;  (** max over cores *)
   per_core_cycles : int array;

@@ -7,6 +7,7 @@ type t = {
   model : string;
   scale : int;
   mode : Runtime.mode;
+  backend : Gem_sw.Backend.kind;
   simulate : bool;
   synth_host : Gemmini.Synthesis.host_cpu;
   tlb_window : float option;
@@ -14,13 +15,15 @@ type t = {
 
 let make ?(label = "") ?(soc = Soc_config.default) ?(model = "resnet50")
     ?(scale = 1) ?(mode = Runtime.Accel { im2col_on_accel = true })
-    ?(simulate = true) ?(synth_host = Gemmini.Synthesis.Rocket) ?tlb_window ()
-    =
-  { label; soc; model; scale; mode; simulate; synth_host; tlb_window }
+    ?(backend = Gem_sw.Backend.Cycle) ?(simulate = true)
+    ?(synth_host = Gemmini.Synthesis.Rocket) ?tlb_window () =
+  { label; soc; model; scale; mode; backend; simulate; synth_host; tlb_window }
 
 let with_accel accel t =
   let accel = Gemmini.Params.validate_exn accel in
   { t with soc = Soc_config.map_accel (fun _ -> accel) t.soc }
+
+let with_backend backend t = { t with backend }
 
 (* --- canonical serialization ------------------------------------------------ *)
 
@@ -94,6 +97,7 @@ let canonical t =
     ([
        ("model", t.model);
        ("scale", string_of_int t.scale);
+       ("backend", Gem_sw.Backend.kind_name t.backend);
        ("simulate", string_of_bool t.simulate);
        ("synth_host", host_name t.synth_host);
        ( "tlb_window",

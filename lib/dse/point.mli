@@ -16,6 +16,9 @@ type t = {
   model : string;  (** {!Gem_dnn.Model_zoo} name *)
   scale : int;  (** channel-scale divisor; 1 = full size *)
   mode : Gem_sw.Runtime.mode;
+  backend : Gem_sw.Backend.kind;
+      (** which execution backend prices the workload; distinct backends
+          hash to distinct cache entries *)
   simulate : bool;
       (** when false, only the analytic synthesis estimate is computed
           (e.g. the Fig. 3 area/fmax/power sweep) *)
@@ -31,17 +34,21 @@ val make :
   ?model:string ->
   ?scale:int ->
   ?mode:Gem_sw.Runtime.mode ->
+  ?backend:Gem_sw.Backend.kind ->
   ?simulate:bool ->
   ?synth_host:Gemmini.Synthesis.host_cpu ->
   ?tlb_window:float ->
   unit ->
   t
 (** Defaults: empty label, {!Gem_soc.Soc_config.default}, ResNet50 at full
-    scale, accelerated mode with hardware im2col, timing simulation on,
-    Rocket host for the synthesis estimate, no TLB time series. *)
+    scale, accelerated mode with hardware im2col, the cycle-accurate
+    backend, timing simulation on, Rocket host for the synthesis
+    estimate, no TLB time series. *)
 
 val with_accel : Gemmini.Params.t -> t -> t
 (** Replaces the accelerator of every core (validated). *)
+
+val with_backend : Gem_sw.Backend.kind -> t -> t
 
 val canonical : t -> string
 (** Canonical serialization of every measurement-relevant field. Floats

@@ -11,6 +11,15 @@ let ints axis_name apply values =
     axis_values = List.map (fun v -> (string_of_int v, apply v)) values;
   }
 
+let backends ?(kinds = Gem_sw.Backend.all_kinds) () =
+  {
+    axis_name = "backend";
+    axis_values =
+      List.map
+        (fun k -> (Gem_sw.Backend.kind_name k, Point.with_backend k))
+        kinds;
+  }
+
 let cartesian ?(sep = "/") ~base axes =
   let rec expand labels point = function
     | [] ->

@@ -17,6 +17,12 @@ val axis : string -> (string * (Point.t -> Point.t)) list -> axis
 val ints : string -> (int -> Point.t -> Point.t) -> int list -> axis
 (** Convenience: integer-valued axis labeled with the integers. *)
 
+val backends : ?kinds:Gem_sw.Backend.kind list -> unit -> axis
+(** Execution-backend axis (default: every registered backend). Each
+    value re-prices the same design points with a different backend;
+    cache entries stay distinct because the backend is part of the point
+    hash. *)
+
 val cartesian : ?sep:string -> base:Point.t -> axis list -> Point.t array
 (** Product of all axes over [base]; each point's label is the value
     labels joined by [sep] (default ["/"]), appended to the base label

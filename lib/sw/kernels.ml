@@ -15,9 +15,9 @@ let max_block_len = 4
 
 type conv_im2col = Im2col_on_cpu | Im2col_on_accel | Im2col_preexpanded of int
 
-let matmul_ops p ?tiling ?bias ?bias_column ?(act = Peripheral.No_activation)
-    ?(scale = 1.0) ?a_row_stride ?b_row_stride ?c_row_stride
-    ?(a_condense = 1.0) ~a ~b ~out ~m ~k ~n () =
+let matmul_ops p ?tiling ?schedule ?bias ?bias_column
+    ?(act = Peripheral.No_activation) ?(scale = 1.0) ?a_row_stride
+    ?b_row_stride ?c_row_stride ?(a_condense = 1.0) ~a ~b ~out ~m ~k ~n () =
   if m <= 0 || k <= 0 || n <= 0 then invalid_arg "Kernels.matmul: empty problem";
   if Option.is_some bias && Option.is_some bias_column then
     invalid_arg "Kernels.matmul: bias and bias_column are exclusive";
@@ -25,14 +25,19 @@ let matmul_ops p ?tiling ?bias ?bias_column ?(act = Peripheral.No_activation)
     invalid_arg "Kernels.matmul: bias_column requires n <= DIM";
   let p = Params.validate_exn p in
   let dim = Params.dim p in
-  let tl =
-    match tiling with
-    | Some t ->
+  let sched =
+    match (schedule, tiling) with
+    | Some s, _ ->
+        if not (Schedule.fits p s) then
+          invalid_arg "Kernels.matmul: schedule tiling does not fit the memories";
+        s
+    | None, Some t ->
         if not (Tiling.fits p t) then
           invalid_arg "Kernels.matmul: manual tiling does not fit the memories";
-        t
-    | None -> Tiling.choose p ~m ~k ~n
+        Schedule.of_tiling p t
+    | None, None -> Schedule.choose p ~m ~k ~n
   in
+  let tl = sched.Schedule.tiling in
   let bi, bk, bj = Tiling.blocks p ~m ~k ~n in
   let a_stride = Option.value a_row_stride ~default:k in
   let b_stride = Option.value b_row_stride ~default:n in
@@ -52,7 +57,7 @@ let matmul_ops p ?tiling ?bias ?bias_column ?(act = Peripheral.No_activation)
   emit
     (Isa.Config_ex
        {
-         dataflow = `WS;
+         dataflow = sched.Schedule.dataflow;
          activation = Peripheral.No_activation;
          sys_shift = 0;
          a_transpose = false;

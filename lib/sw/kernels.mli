@@ -15,6 +15,7 @@ type op = Gem_soc.Soc.op
 val matmul_ops :
   Gemmini.Params.t ->
   ?tiling:Tiling.t ->
+  ?schedule:Schedule.t ->
   ?bias:int ->
   ?bias_column:int ->
   ?act:Gemmini.Peripheral.activation ->
@@ -32,6 +33,10 @@ val matmul_ops :
   unit ->
   op list
 (** C = act(scale * (A.B + bias)), int8 in/out, int32 accumulate.
+    [schedule] fixes tile sizes, loop order and dataflow (it subsumes and
+    wins over [tiling], which wraps legacy manual tile sizes in the
+    default schedule); when neither is given the kernel runs
+    {!Schedule.choose}.
     [bias] is the VA of an int32 per-output-column vector, broadcast to
     every row with a stride-0 mvin. [bias_column] instead biases per
     output {e row} (each accumulator row loads its own int32 word; used by

@@ -1,0 +1,212 @@
+open Gem_dnn
+module Cpu = Gem_cpu.Cpu_model
+
+(* Backend-agnostic lowering: everything both execution backends must
+   agree on — execution mode, per-layer software-fallback costs, the
+   im2col placement decision, and the abstract per-layer kernel shapes
+   (matmul dimensions, schedules, operand strides) — lives here. The
+   cycle-accurate emitter ([Runtime] / [Kernels]) turns these decisions
+   into RoCC commands; the analytic backend prices the same decisions in
+   closed form. *)
+
+type mode = Accel of { im2col_on_accel : bool } | Cpu_only
+
+let mode_desc = function
+  | Accel { im2col_on_accel = true } -> "accel+im2col"
+  | Accel { im2col_on_accel = false } -> "accel(cpu-im2col)"
+  | Cpu_only -> "cpu-only"
+
+(* --- software-fallback costs -------------------------------------------------- *)
+
+let cpu_layer_cycles cpu layer =
+  let macs = Layer.macs layer in
+  match layer with
+  | Layer.Conv { depthwise = true; _ } -> Cpu.depthwise_macs_cycles cpu ~macs
+  | Layer.Conv _ -> Cpu.conv_macs_cycles cpu ~macs
+  | Layer.Matmul _ -> Cpu.matmul_macs_cycles cpu ~macs
+  | Layer.Residual_add _ ->
+      Cpu.elementwise_cycles cpu ~elems:(Layer.out_bytes layer)
+  | Layer.Max_pool p ->
+      Cpu.pooling_cycles cpu ~elems:(Layer.out_bytes layer) ~window:p.Layer.window
+  | Layer.Global_avg_pool { g_h; g_w; g_ch } ->
+      Cpu.elementwise_cycles cpu ~elems:(g_h * g_w * g_ch)
+  | Layer.Elementwise { e_elems; _ } -> Cpu.elementwise_cycles cpu ~elems:e_elems
+
+let cpu_only_cycles cpu model =
+  Gem_util.Mathx.sum_list
+    (List.map (fun (_, l) -> cpu_layer_cycles cpu l) model.Layer.layers)
+
+(* --- shared lowering decisions ------------------------------------------------- *)
+
+(* Batch-1 GEMMs are emitted transposed (C^T = W^T . x) so the big weight
+   operand streams through pages sequentially instead of page-strided. *)
+let swapped_matmul (l : Layer.t) =
+  match l with Layer.Matmul { m = 1; _ } -> true | _ -> false
+
+type im2col_choice = Im_cpu | Im_accel | Im_pre
+
+(* Functional runs must materialize the patch matrix (real data); timing
+   runs use the hardware block when the mode asks for it and the instance
+   has one, else fall back to a host im2col pass. *)
+let resolve_im2col p ~mode ~functional =
+  if functional then Im_pre
+  else
+    match mode with
+    | Cpu_only -> Im_cpu
+    | Accel { im2col_on_accel } ->
+        if im2col_on_accel && p.Gemmini.Params.has_im2col then Im_accel
+        else Im_cpu
+
+(* --- abstract kernel shapes ---------------------------------------------------- *)
+
+type matmul_shape = {
+  ms_m : int;
+  ms_k : int;
+  ms_n : int;
+  ms_schedule : Schedule.t;
+  ms_bias : [ `Broadcast | `Column | `None ];
+  ms_a_stride : int;  (** A row stride in DRAM, bytes *)
+  ms_b_stride : int;
+  ms_c_stride : int;
+  ms_a_condense : float;  (** on-the-fly im2col fetch-footprint ratio *)
+}
+
+type host_work = { hw_cycles : int; hw_tag : string }
+
+type kernel =
+  | K_host of host_work
+  | K_matmul of { prep : host_work option; insts : (matmul_shape * int) list }
+      (** each shape runs [count] times (batched GEMM instances,
+          depthwise per-channel matmuls) *)
+  | K_resadd of { elems : int }
+  | K_maxpool of { spec : Layer.pool_spec }
+
+type layer_plan = {
+  lp_name : string;
+  lp_class : Layer.klass;
+  lp_macs : int;
+  lp_span : string option;
+      (** kernel span name; [None] for un-spanned CPU-only layers *)
+  lp_kernel : kernel;
+  lp_cpu_cycles : int;  (** software cost (Degrade fallback / baseline) *)
+}
+
+let matmul_shape p ?(bias = `Broadcast) ?a_stride ?c_stride
+    ?(a_condense = 1.0) ~m ~k ~n () =
+  {
+    ms_m = m;
+    ms_k = k;
+    ms_n = n;
+    ms_schedule = Schedule.choose p ~m ~k ~n;
+    ms_bias = bias;
+    ms_a_stride = Option.value a_stride ~default:k;
+    ms_b_stride = n;
+    ms_c_stride = Option.value c_stride ~default:n;
+    ms_a_condense = a_condense;
+  }
+
+let plan_layer p ~cpu ~mode layer =
+  let host cycles tag = K_host { hw_cycles = cycles; hw_tag = tag } in
+  match (mode, layer) with
+  | Cpu_only, l -> (None, host (cpu_layer_cycles cpu l) "cpu-layer")
+  | Accel _, Layer.Elementwise { e_elems; e_name } ->
+      (Some e_name, host (Cpu.elementwise_cycles cpu ~elems:e_elems) e_name)
+  | Accel _, Layer.Global_avg_pool { g_h; g_w; g_ch } ->
+      (Some "gap", host (Cpu.elementwise_cycles cpu ~elems:(g_h * g_w * g_ch)) "gap")
+  | Accel _, Layer.Max_pool spec ->
+      if p.Gemmini.Params.has_pooling then (Some "maxpool", K_maxpool { spec })
+      else
+        let out_h =
+          ((spec.Layer.p_in_h + (2 * spec.Layer.p_padding) - spec.Layer.window)
+           / spec.Layer.p_stride)
+          + 1
+        in
+        let out_w =
+          ((spec.Layer.p_in_w + (2 * spec.Layer.p_padding) - spec.Layer.window)
+           / spec.Layer.p_stride)
+          + 1
+        in
+        ( Some "maxpool",
+          host
+            (Cpu.pooling_cycles cpu
+               ~elems:(out_h * out_w * spec.Layer.p_ch)
+               ~window:spec.Layer.window)
+            "maxpool(cpu)" )
+  | Accel _, Layer.Residual_add { r_h; r_w; r_ch; _ } ->
+      (Some "resadd", K_resadd { elems = r_h * r_w * r_ch })
+  | Accel _, Layer.Conv spec ->
+      let im2col = resolve_im2col p ~mode ~functional:false in
+      let oh, ow = Layer.conv_out_dims spec in
+      if spec.Layer.depthwise then begin
+        let m = oh * ow and k = spec.Layer.kernel * spec.Layer.kernel in
+        let prep =
+          match im2col with
+          | Im_cpu ->
+              Some
+                {
+                  hw_cycles =
+                    Cpu.im2col_cycles cpu ~patch_elems:(m * k * spec.Layer.in_ch);
+                  hw_tag = "im2col(cpu,dw)";
+                }
+          | Im_accel | Im_pre -> None
+        in
+        let a_condense =
+          match im2col with
+          | Im_accel ->
+              min 1.0
+                (float_of_int (spec.Layer.in_h * spec.Layer.in_w)
+                /. float_of_int (m * k))
+          | Im_cpu | Im_pre -> 1.0
+        in
+        let shape =
+          matmul_shape p ~a_stride:k ~c_stride:spec.Layer.in_ch ~a_condense ~m
+            ~k ~n:1 ()
+        in
+        (Some "conv", K_matmul { prep; insts = [ (shape, spec.Layer.in_ch) ] })
+      end
+      else begin
+        let m = oh * ow
+        and k = spec.Layer.kernel * spec.Layer.kernel * spec.Layer.in_ch
+        and n = spec.Layer.out_ch in
+        let prep =
+          match im2col with
+          | Im_cpu ->
+              Some
+                {
+                  hw_cycles = Cpu.im2col_cycles cpu ~patch_elems:(m * k);
+                  hw_tag = "im2col(cpu)";
+                }
+          | Im_accel | Im_pre -> None
+        in
+        let a_condense =
+          match im2col with
+          | Im_accel ->
+              min 1.0
+                (float_of_int (spec.Layer.in_h * spec.Layer.in_w * spec.Layer.in_ch)
+                /. float_of_int (m * k))
+          | Im_cpu | Im_pre -> 1.0
+        in
+        let shape = matmul_shape p ~a_condense ~m ~k ~n () in
+        (Some "conv", K_matmul { prep; insts = [ (shape, 1) ] })
+      end
+  | Accel _, (Layer.Matmul mm as l) ->
+      let shape =
+        if swapped_matmul l then
+          matmul_shape p ~bias:`Column ~m:mm.Layer.n ~k:mm.Layer.k ~n:1 ()
+        else matmul_shape p ~m:mm.Layer.m ~k:mm.Layer.k ~n:mm.Layer.n ()
+      in
+      (Some "matmul", K_matmul { prep = None; insts = [ (shape, mm.Layer.count) ] })
+
+let plan p ~cpu ~mode model =
+  List.map
+    (fun (name, layer) ->
+      let span, kernel = plan_layer p ~cpu ~mode layer in
+      {
+        lp_name = name;
+        lp_class = Layer.class_of layer;
+        lp_macs = Layer.macs layer;
+        lp_span = span;
+        lp_kernel = kernel;
+        lp_cpu_cycles = cpu_layer_cycles cpu layer;
+      })
+    model.Layer.layers

@@ -1,0 +1,78 @@
+(** Backend-agnostic lowering decisions.
+
+    Everything both execution backends must agree on lives here: the
+    execution mode, per-layer software-fallback costs, im2col placement,
+    and the abstract per-layer kernel shapes (matmul dimensions,
+    {!Schedule.t}, operand strides). {!Runtime} turns these decisions
+    into the cycle-accurate command stream; {!Backend_analytic} prices
+    the same decisions in closed form. A conformance test asserts the
+    emitted command stream matches the shapes predicted here. *)
+
+type mode =
+  | Accel of { im2col_on_accel : bool }
+  | Cpu_only  (** the Fig. 7 baseline: every layer in software *)
+
+val mode_desc : mode -> string
+
+val cpu_layer_cycles : Gem_cpu.Cpu_model.kind -> Gem_dnn.Layer.t -> int
+(** Software cost of one layer on the host (Fig. 7 baselines, the
+    Degrade-policy fallback charge). *)
+
+val cpu_only_cycles :
+  Gem_cpu.Cpu_model.kind -> Gem_dnn.Layer.model -> Gem_sim.Time.cycles
+(** Whole-model software baseline. *)
+
+val swapped_matmul : Gem_dnn.Layer.t -> bool
+(** Batch-1 GEMMs run transposed (C^T = W^T . x) so the weight operand
+    streams page-sequentially. *)
+
+type im2col_choice =
+  | Im_cpu  (** host materializes the patch matrix *)
+  | Im_accel  (** the hardware im2col block expands on the fly *)
+  | Im_pre  (** patch matrix pre-expanded in DRAM (functional mode) *)
+
+val resolve_im2col :
+  Gemmini.Params.t -> mode:mode -> functional:bool -> im2col_choice
+
+(** Abstract shape of one tiled matmul invocation. *)
+type matmul_shape = {
+  ms_m : int;
+  ms_k : int;
+  ms_n : int;
+  ms_schedule : Schedule.t;
+  ms_bias : [ `Broadcast | `Column | `None ];
+  ms_a_stride : int;  (** A row stride in DRAM, bytes *)
+  ms_b_stride : int;
+  ms_c_stride : int;
+  ms_a_condense : float;  (** on-the-fly im2col fetch-footprint ratio *)
+}
+
+type host_work = { hw_cycles : int; hw_tag : string }
+
+type kernel =
+  | K_host of host_work
+  | K_matmul of { prep : host_work option; insts : (matmul_shape * int) list }
+      (** each shape runs [count] times (batched GEMM instances,
+          depthwise per-channel matmuls) *)
+  | K_resadd of { elems : int }
+  | K_maxpool of { spec : Gem_dnn.Layer.pool_spec }
+
+type layer_plan = {
+  lp_name : string;
+  lp_class : Gem_dnn.Layer.klass;
+  lp_macs : int;
+  lp_span : string option;
+      (** kernel span name; [None] for un-spanned CPU-only layers *)
+  lp_kernel : kernel;
+  lp_cpu_cycles : int;
+}
+
+val plan :
+  Gemmini.Params.t ->
+  cpu:Gem_cpu.Cpu_model.kind ->
+  mode:mode ->
+  Gem_dnn.Layer.model ->
+  layer_plan list
+(** One plan entry per model layer, in execution order. Timing-mode
+    semantics (functional runs always pre-expand patches and are planned
+    by {!Runtime} directly). *)

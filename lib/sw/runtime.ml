@@ -4,12 +4,12 @@ module Soc = Gem_soc.Soc
 module Cpu = Gem_cpu.Cpu_model
 module Fault = Gem_sim.Fault
 
-type mode = Accel of { im2col_on_accel : bool } | Cpu_only
+(* The mode (and every other backend-agnostic lowering decision) lives in
+   [Lower]; re-exported here so existing [Runtime.Accel]/[Runtime.Cpu_only]
+   users keep working. *)
+type mode = Lower.mode = Accel of { im2col_on_accel : bool } | Cpu_only
 
-let mode_desc = function
-  | Accel { im2col_on_accel = true } -> "accel+im2col"
-  | Accel { im2col_on_accel = false } -> "accel(cpu-im2col)"
-  | Cpu_only -> "cpu-only"
+let mode_desc = Lower.mode_desc
 
 type policy = Abort | Retry_map | Degrade
 
@@ -64,24 +64,10 @@ let gen_bias ~seed ~idx ~n =
   let rng = Rng.create ~seed:((seed * 104729) + idx + 1) in
   Array.init n (fun _ -> Rng.int_in rng ~lo:(-128) ~hi:128)
 
-(* --- CPU-only costs -------------------------------------------------------- *)
+(* --- CPU-only costs (shared with the analytic backend via Lower) ------------ *)
 
-let cpu_layer_cycles cpu layer =
-  let macs = Layer.macs layer in
-  match layer with
-  | Layer.Conv { depthwise = true; _ } -> Cpu.depthwise_macs_cycles cpu ~macs
-  | Layer.Conv _ -> Cpu.conv_macs_cycles cpu ~macs
-  | Layer.Matmul _ -> Cpu.matmul_macs_cycles cpu ~macs
-  | Layer.Residual_add _ ->
-      Cpu.elementwise_cycles cpu ~elems:(Layer.out_bytes layer)
-  | Layer.Max_pool p ->
-      Cpu.pooling_cycles cpu ~elems:(Layer.out_bytes layer) ~window:p.Layer.window
-  | Layer.Global_avg_pool { g_h; g_w; g_ch } ->
-      Cpu.elementwise_cycles cpu ~elems:(g_h * g_w * g_ch)
-  | Layer.Elementwise { e_elems; _ } -> Cpu.elementwise_cycles cpu ~elems:e_elems
-
-let cpu_only_cycles cpu model =
-  Mathx.sum_list (List.map (fun (_, l) -> cpu_layer_cycles cpu l) model.Layer.layers)
+let cpu_layer_cycles = Lower.cpu_layer_cycles
+let cpu_only_cycles = Lower.cpu_only_cycles
 
 (* --- fault policies ---------------------------------------------------------- *)
 
@@ -236,11 +222,9 @@ let allocate_tensors soc core model ~functional =
 
 (* Functional-mode data staging helpers. *)
 
-(* Batch-1 GEMMs are emitted transposed (C^T = W^T . x) so the big weight
-   operand streams through pages sequentially instead of page-strided; the
+(* Batch-1 GEMMs are emitted transposed (see Lower.swapped_matmul); the
    weights of such layers are therefore stored transposed. *)
-let swapped_matmul (l : Layer.t) =
-  match l with Layer.Matmul { m = 1; _ } -> true | _ -> false
+let swapped_matmul = Lower.swapped_matmul
 
 let write_weights soc core tensors ~seed model =
   List.iteri
@@ -396,10 +380,13 @@ let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
         else []
       in
       let im2col : Kernels.conv_im2col =
-        if functional then Kernels.Im2col_preexpanded patch_va
-        else if im2col_on_accel && params.Gemmini.Params.has_im2col then
-          Kernels.Im2col_on_accel
-        else Kernels.Im2col_on_cpu
+        match
+          Lower.resolve_im2col params ~mode:(Accel { im2col_on_accel })
+            ~functional
+        with
+        | Lower.Im_pre -> Kernels.Im2col_preexpanded patch_va
+        | Lower.Im_accel -> Kernels.Im2col_on_accel
+        | Lower.Im_cpu -> Kernels.Im2col_on_cpu
       in
       prep
       @ kernel_span "conv"

@@ -15,7 +15,7 @@
       cycle-accurate mesh; validated against {!reference_inference} in the
       integration tests. *)
 
-type mode =
+type mode = Lower.mode =
   | Accel of { im2col_on_accel : bool }
   | Cpu_only  (** the Fig. 7 baseline: every layer in software *)
 

@@ -76,7 +76,8 @@ let test_digest_keys () =
           p.Point.soc;
     };
   differs "core count"
-    { p with Point.soc = Soc_config.dual_core }
+    { p with Point.soc = Soc_config.dual_core };
+  differs "backend" (Point.with_backend Gem_sw.Backend.Analytic p)
 
 (* --- outcome JSON round-trip ------------------------------------------------ *)
 
@@ -106,6 +107,26 @@ let test_outcome_roundtrip () =
           Alcotest.(check bool)
             "outcome round-trips bit-exactly through JSON" true
             (compare o o' = 0))
+
+(* An outcome without backend provenance (written before the seam
+   existed) must fail to decode — the cache treats it as a miss and
+   re-simulates rather than passing off a result of unknown fidelity. *)
+let test_outcome_requires_backend () =
+  let json = Outcome.to_json { Outcome.empty with Outcome.backend = "cycle" } in
+  (match Outcome.of_json json with
+  | Ok o ->
+      Alcotest.(check string) "backend survives round-trip" "cycle" o.Outcome.backend
+  | Error e -> Alcotest.fail ("outcome with backend failed to decode: " ^ e));
+  let stripped =
+    match json with
+    | Gem_util.Jsonx.Obj fields ->
+        Gem_util.Jsonx.Obj
+          (List.filter (fun (k, _) -> k <> "backend") fields)
+    | _ -> Alcotest.fail "outcome JSON is not an object"
+  in
+  match Outcome.of_json stripped with
+  | Ok _ -> Alcotest.fail "outcome without backend provenance decoded"
+  | Error _ -> ()
 
 (* --- cache hit / miss / invalidation ---------------------------------------- *)
 
@@ -209,6 +230,8 @@ let suite =
     Alcotest.test_case "digest: canonical keys" `Quick test_digest_keys;
     Alcotest.test_case "outcome: exact JSON round-trip" `Quick
       test_outcome_roundtrip;
+    Alcotest.test_case "outcome: backend provenance is mandatory" `Quick
+      test_outcome_requires_backend;
     Alcotest.test_case "cache: hit/miss/invalidation" `Quick
       test_cache_hit_miss_invalidation;
     Alcotest.test_case "exec: jobs 1 = jobs 4" `Quick test_jobs_equality;

@@ -12,6 +12,7 @@ let () =
       ("dnn", Test_dnn.suite);
       ("sw", Test_sw.suite);
       ("runtime", Test_runtime.suite);
+      ("backend", Test_backend.suite);
       ("soc", Test_soc.suite);
       ("loop_ws", Test_loop_ws.suite);
       ("fault", Test_fault.suite);
