@@ -195,6 +195,52 @@ let run_analytic_bench () =
         "  %d full-scale network estimates in %.3fs (%.0f points/s, checksum %d)\n"
         points dt pps !checksum)
 
+(* Checkpoint cost: serialize/deserialize wall time and snapshot size for
+   MobileNetV2. Wall-clock only (wall_s entries): machine-dependent, so
+   deliberately outside the gated metrics; the snapshot byte count rides
+   along in wall_s for the same reason. *)
+let run_persist_bench () =
+  timed "Persist: checkpoint serialize/deserialize (mobilenetv2)" (fun () ->
+      let model =
+        Gem_dnn.Model_zoo.scale_model ~factor:8 Gem_dnn.Model_zoo.mobilenetv2
+      in
+      let mode = Gem_sw.Runtime.Accel { im2col_on_accel = true } in
+      let soc = Gem_soc.Soc.create Gem_soc.Soc_config.default in
+      let r = Gem_sw.Runtime.run soc ~core:0 model ~mode in
+      let ck =
+        {
+          Gem_persist.Persist.ck_model = model.Gem_dnn.Layer.model_name;
+          ck_mode = Gem_sw.Runtime.mode_desc mode;
+          ck_core = 0;
+          ck_next_layer = List.length model.Gem_dnn.Layer.layers;
+          ck_last_finish = r.Gem_sw.Runtime.r_total_cycles;
+          ck_records = r.Gem_sw.Runtime.r_layers;
+          ck_soc = Gem_soc.Soc.snapshot soc;
+        }
+      in
+      let path = Filename.temp_file "gem_bench_persist" ".ckpt" in
+      let rounds = 10 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to rounds do
+        Gem_persist.Persist.save_checkpoint ~path ck
+      done;
+      let ser = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
+      let bytes = (Unix.stat path).Unix.st_size in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to rounds do
+        match Gem_persist.Persist.load_checkpoint ~path with
+        | Ok _ -> ()
+        | Error msg -> failwith ("persist bench: reload failed: " ^ msg)
+      done;
+      let de = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
+      Sys.remove path;
+      walls := ("persist.serialize_s", ser) :: !walls;
+      walls := ("persist.deserialize_s", de) :: !walls;
+      walls := ("persist.snapshot_bytes", float_of_int bytes) :: !walls;
+      Printf.printf
+        "  snapshot %s bytes; serialize %.1f ms, deserialize %.1f ms (avg of %d)\n"
+        (Gem_util.Table.fmt_int bytes) (ser *. 1e3) (de *. 1e3) rounds)
+
 (* --- bechamel microbenchmarks of simulator hot paths ----------------------- *)
 
 let micro () =
@@ -320,6 +366,7 @@ let () =
   if all || has "ablations" then run_ablations ~quick ();
   if all || has "trace" then run_trace_overhead ();
   if all || has "analytic" then run_analytic_bench ();
+  if all || has "persist" then run_persist_bench ();
   if all || has "micro" then micro ();
   write_results ~quick "BENCH_results.json";
   Printf.printf "\nDone.\n"

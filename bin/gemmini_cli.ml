@@ -119,6 +119,7 @@ let policy_conv =
     | "abort" -> Ok Runtime.Abort
     | "retry" | "retry-map" -> Ok Runtime.Retry_map
     | "degrade" -> Ok Runtime.Degrade
+    | "resume" | "resume-checkpoint" -> Ok Runtime.Resume_checkpoint
     | other -> Error (`Msg (Printf.sprintf "unknown fault policy %S" other))
   in
   let print fmt p = Format.fprintf fmt "%s" (Runtime.policy_desc p) in
@@ -126,7 +127,8 @@ let policy_conv =
 
 let run_cmd =
   let run p backend model scale im2col_on_accel profile inject_seed inject_rate
-      policy watchdog cores trace_out trace_format =
+      policy watchdog cores trace_out trace_format checkpoint_every
+      checkpoint_out restore max_replays =
     let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
     let core_cfg = { Soc_config.default_core with accel = p } in
     let config =
@@ -175,18 +177,68 @@ let run_cmd =
         results;
       !horizon
     in
+    let persisting =
+      checkpoint_every <> None || checkpoint_out <> None || restore <> None
+      || policy = Runtime.Resume_checkpoint
+    in
     match backend with
     | Gem_sw.Backend.Analytic ->
         if inject_seed <> None || trace_out <> None || profile then
           prerr_endline
             "[run] note: --inject-seed/--trace-out/--profile are \
              cycle-engine features; the analytic backend ignores them";
+        if persisting then begin
+          prerr_endline
+            "[run] checkpoint/restore needs the cycle backend (the \
+             analytic estimator has no simulation state to snapshot)";
+          exit 2
+        end;
         let rq =
           Gem_sw.Backend.request ~policy ?watchdog ~config
             (Array.init cores (fun _ -> (model, mode)))
         in
         print_header ();
         ignore (print_results (Gem_sw.Backend_analytic.run rq))
+    | Gem_sw.Backend.Cycle when persisting ->
+        if cores > 1 then begin
+          prerr_endline "[run] checkpoint/restore is single-core for now";
+          exit 2
+        end;
+        if trace_out <> None || profile then
+          prerr_endline
+            "[run] note: --trace-out/--profile attach before the run; the \
+             checkpointing driver builds its own SoC, so they are ignored \
+             here";
+        let restore_ck =
+          match restore with
+          | None -> None
+          | Some path -> (
+              match Gem_persist.Persist.load_checkpoint ~path with
+              | Ok ck -> Some ck
+              | Error msg ->
+                  Printf.eprintf "[persist] cannot restore: %s\n%!" msg;
+                  exit 2)
+        in
+        let outcome =
+          Gem_persist.Persist.run ~policy ?watchdog
+            ?inject:(Option.map (fun s -> (s, inject_rate)) inject_seed)
+            ?checkpoint_every ?checkpoint_out ?restore:restore_ck
+            ~max_replays ~config ~core:0 model ~mode
+        in
+        print_header ();
+        ignore (print_results [| outcome.Gem_persist.Persist.o_result |]);
+        Option.iter
+          (Printf.eprintf "[persist] resumed at layer %d\n%!")
+          outcome.Gem_persist.Persist.o_resumed_at;
+        if outcome.Gem_persist.Persist.o_checkpoints > 0 then
+          Printf.eprintf "[persist] %d checkpoint(s)%s\n%!"
+            outcome.Gem_persist.Persist.o_checkpoints
+            (match checkpoint_out with
+            | Some f -> Printf.sprintf " -> %s" f
+            | None -> " (in-memory)");
+        if outcome.Gem_persist.Persist.o_replays > 0 then
+          Printf.eprintf "[persist] recovered via %d replay(s)\n%!"
+            outcome.Gem_persist.Persist.o_replays
     | Gem_sw.Backend.Cycle ->
     let soc = Soc.create config in
     (match inject_seed with
@@ -291,14 +343,49 @@ let run_cmd =
             "Trace format: chrome (Perfetto-loadable Trace Event JSON, the \
              default) or report (plain-text hierarchical profile).")
   in
+  let checkpoint_every =
+    Arg.(
+      value & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot the full simulation state after every $(docv)-th \
+             layer (cycle backend, single core).")
+  in
+  let checkpoint_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint-out" ] ~docv:"FILE"
+          ~doc:
+            "Persist each snapshot to $(docv) (atomic write; the file \
+             always holds the latest complete checkpoint).")
+  in
+  let restore =
+    Arg.(
+      value & opt (some string) None
+      & info [ "restore" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by --checkpoint-out. The \
+             resumed run's remaining cycles, profile and trace are \
+             byte-identical to the uninterrupted run's.")
+  in
+  let max_replays =
+    Arg.(
+      value & opt int 3
+      & info [ "max-replays" ]
+          ~doc:
+            "With --fault-policy resume-checkpoint: recovery replays \
+             allowed before the trap propagates.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a DNN inference on an SoC.")
     Term.(
       const run $ params_term $ backend_term $ model_term $ scale_term
       $ im2col $ profile $ inject_seed $ inject_rate $ policy $ watchdog
-      $ cores $ trace_out $ trace_format)
+      $ cores $ trace_out $ trace_format $ checkpoint_every $ checkpoint_out
+      $ restore $ max_replays)
 
 let sweep_cmd =
-  let run model scale backend jobs cache_dir no_cache out =
+  let run model scale backend jobs cache_dir no_cache out journal resume
+      retries backoff_ms deadline =
     let name = model.Gem_dnn.Layer.model_name in
     let base = Gem_dse.Point.make ~model:name ~scale ~backend () in
     let dim_axis =
@@ -313,10 +400,30 @@ let sweep_cmd =
     let cache =
       if no_cache then None else Some (Gem_dse.Cache.create ~dir:cache_dir ())
     in
-    let rr = Gem_dse.Exec.run ~jobs ~cache points in
+    if resume && journal = None then begin
+      prerr_endline "[dse] --resume needs --journal FILE";
+      exit 2
+    end;
+    let rr =
+      Gem_dse.Exec.run ~jobs ~cache ~retries ~backoff_ms ?deadline ?journal
+        ~resume points
+    in
     Printf.eprintf "[dse] %d point(s): %d simulated, %d cached (jobs %d)\n%!"
       (Array.length points) rr.Gem_dse.Exec.simulated rr.Gem_dse.Exec.cached
       jobs;
+    (* Provenance goes to stderr, never into report rows: a resumed
+       sweep's stdout stays byte-identical to an uninterrupted run's. *)
+    if rr.Gem_dse.Exec.salvaged > 0 then
+      Printf.eprintf "[dse] resume: %d outcome(s) salvaged from %s\n%!"
+        rr.Gem_dse.Exec.salvaged
+        (Option.value ~default:"journal" journal);
+    List.iter
+      (fun (f : Gem_dse.Exec.failure) ->
+        Printf.eprintf
+          "[dse] QUARANTINED point %d (%s) after %d attempt(s): %s\n%!"
+          f.Gem_dse.Exec.f_index f.Gem_dse.Exec.f_point.Gem_dse.Point.label
+          f.Gem_dse.Exec.f_attempts f.Gem_dse.Exec.f_reason)
+      rr.Gem_dse.Exec.quarantined;
     match out with
     | `Json -> print_string (Gem_dse.Report.json_string rr.Gem_dse.Exec.results)
     | `Csv -> print_string (Gem_dse.Report.csv rr.Gem_dse.Exec.results)
@@ -374,14 +481,55 @@ let sweep_cmd =
       value & opt fmt `Table
       & info [ "out" ] ~doc:"Output format: table (default), json or csv.")
   in
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Atomically record every completed outcome in $(docv); a \
+             killed sweep can be salvaged with --resume.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Salvage completed outcomes from the --journal file of a \
+             previous (killed) sweep instead of re-simulating them. The \
+             final report is byte-identical to an uninterrupted run's.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:
+            "Retries per failing point (exponential backoff) before it is \
+             quarantined. 0 (the default) keeps the historical behavior: \
+             the first failure re-raises.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt int 100
+      & info [ "backoff-ms" ]
+          ~doc:"First retry backoff in milliseconds; doubles per attempt.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per point evaluation (checked after the \
+             evaluation returns); an over-budget point is retried, then \
+             quarantined.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
-         "Sweep spatial-array sizes for a workload (parallel, cached: see \
-          --jobs and --cache-dir).")
+         "Sweep spatial-array sizes for a workload (parallel, cached, \
+          crash-safe: see --jobs, --cache-dir and --journal).")
     Term.(
       const run $ model_term $ scale_term $ backend_term $ jobs $ cache_dir
-      $ no_cache $ out)
+      $ no_cache $ out $ journal $ resume $ retries $ backoff_ms $ deadline)
 
 (* --- fuzz: differential testing against the golden model -------------------- *)
 

@@ -875,6 +875,217 @@ let utilization t =
     float_of_int t.s.macs
     /. (float_of_int total *. float_of_int (Params.pes t.p))
 
+(* --- snapshot / restore ----------------------------------------------------
+
+   Everything the next command's timing or decode depends on: the issue
+   cursor and data-landing high-water marks, the reorder window, the staged
+   configuration state, and the counters. The three pipes are engine-owned
+   and travel with the engine snapshot. Functional tile state (resident_b /
+   os_acc) is serialized when present; at a fenced layer boundary — the
+   only place the runtime checkpoints — os_acc is always None. *)
+
+module J = Jsonx
+
+let activation_to_json = function
+  | Peripheral.No_activation -> J.String "none"
+  | Peripheral.Relu -> J.String "relu"
+  | Peripheral.Relu6 { shift } -> J.List [ J.String "relu6"; J.Int shift ]
+
+let activation_of_json = function
+  | J.String "none" -> Peripheral.No_activation
+  | J.String "relu" -> Peripheral.Relu
+  | J.List [ J.String "relu6"; s ] -> Peripheral.Relu6 { shift = Snap.int s }
+  | _ -> Snap.fail "bad activation"
+
+let matrix_to_json (m : Matrix.t) =
+  J.List (Array.to_list (Array.map Snap.of_int_array m))
+
+let matrix_of_json j =
+  Array.of_list (List.map Snap.int_array (Snap.list j))
+
+let opt_to_json f = function None -> J.Null | Some v -> f v
+let opt_of_json f = function J.Null -> None | j -> Some (f j)
+
+let snapshot t =
+  let ex_cfg_json =
+    J.Obj
+      [ ("dataflow", J.String (match t.ex_cfg.dataflow with `WS -> "ws" | `OS -> "os"));
+        ("activation", activation_to_json t.ex_cfg.activation);
+        ("sys_shift", J.Int t.ex_cfg.sys_shift);
+        ("a_transpose", J.Bool t.ex_cfg.a_transpose);
+        ("b_transpose", J.Bool t.ex_cfg.b_transpose) ]
+  in
+  let ld_cfg_json (c : ld_cfg) =
+    J.Obj
+      [ ("stride", J.Int c.stride); ("scale", J.Float c.scale);
+        ("shrunk", J.Bool c.shrunk) ]
+  in
+  let st_cfg_json =
+    J.Obj
+      [ ("stride", J.Int t.st_cfg.st_stride);
+        ("act", activation_to_json t.st_cfg.st_act);
+        ("scale", J.Float t.st_cfg.st_scale);
+        ( "pool",
+          opt_to_json
+            (fun (p : Isa.pool_cfg) ->
+              Snap.of_int_list [ p.Isa.window; p.Isa.stride; p.Isa.padding ])
+            t.st_cfg.st_pool ) ]
+  in
+  let preload_json pl =
+    Snap.of_int_list
+      [ Local_addr.to_bits pl.pl_bd; Local_addr.to_bits pl.pl_c;
+        pl.pl_bd_rows; pl.pl_bd_cols; pl.pl_c_rows; pl.pl_c_cols ]
+  in
+  let bounds_json (b : Isa.loop_bounds) =
+    J.Obj
+      [ ("m", J.Int b.Isa.lw_m); ("k", J.Int b.Isa.lw_k); ("n", J.Int b.Isa.lw_n);
+        ("bias", J.Bool b.Isa.lw_has_bias);
+        ("act", activation_to_json b.Isa.lw_activation) ]
+  in
+  J.Obj
+    [ ("issue", J.Int t.issue);
+      ("last_ld_finish", J.Int t.last_ld_finish);
+      ("last_st_finish", J.Int t.last_st_finish);
+      ("cmd_finish", J.Int t.cmd_finish);
+      ("rob", Snap.of_int_list (List.of_seq (Queue.to_seq t.rob)));
+      ( "stats",
+        Snap.of_int_list
+          [ t.s.insns; t.s.loop_micro_ops; t.s.loads; t.s.stores; t.s.computes;
+            t.s.macs; t.s.host_cycles; t.s.flushes ] );
+      ("ex_cfg", ex_cfg_json);
+      ("ld_cfgs", J.List (Array.to_list (Array.map ld_cfg_json t.ld_cfgs)));
+      ("st_cfg", st_cfg_json);
+      ("preload", opt_to_json preload_json t.preload);
+      ("loop_bounds", opt_to_json bounds_json t.loop_bounds);
+      ( "loop_addrs",
+        opt_to_json
+          (fun (a : Isa.loop_addrs) ->
+            Snap.of_int_list [ a.Isa.lw_a; a.Isa.lw_b ])
+          t.loop_addrs );
+      ( "loop_outs",
+        opt_to_json
+          (fun (o : Isa.loop_outs) ->
+            Snap.of_int_list [ o.Isa.lw_bias; o.Isa.lw_c ])
+          t.loop_outs );
+      ("resident_b", opt_to_json matrix_to_json t.resident_b);
+      ( "os_acc",
+        opt_to_json
+          (fun { os_data; os_dest } ->
+            J.Obj
+              [ ("data", matrix_to_json os_data);
+                ("dest", J.Int (Local_addr.to_bits os_dest)) ])
+          t.os_acc );
+      ("spad", Scratchpad.snapshot ~with_data:t.functional t.spad);
+      ("dma", Dma.snapshot t.dma) ]
+
+let restore t j =
+  t.issue <- Snap.get_int "issue" j;
+  t.last_ld_finish <- Snap.get_int "last_ld_finish" j;
+  t.last_st_finish <- Snap.get_int "last_st_finish" j;
+  t.cmd_finish <- Snap.get_int "cmd_finish" j;
+  Queue.clear t.rob;
+  List.iter (fun c -> Queue.push c t.rob) (Snap.int_list (Snap.member "rob" j));
+  (match Snap.int_list (Snap.member "stats" j) with
+  | [ insns; loop_micro_ops; loads; stores; computes; macs; host_cycles; flushes ] ->
+      t.s.insns <- insns;
+      t.s.loop_micro_ops <- loop_micro_ops;
+      t.s.loads <- loads;
+      t.s.stores <- stores;
+      t.s.computes <- computes;
+      t.s.macs <- macs;
+      t.s.host_cycles <- host_cycles;
+      t.s.flushes <- flushes
+  | _ -> Snap.fail "controller stats: expected 8 counters");
+  let ex = Snap.member "ex_cfg" j in
+  t.ex_cfg <-
+    {
+      dataflow =
+        (match Snap.get_str "dataflow" ex with
+        | "ws" -> `WS
+        | "os" -> `OS
+        | s -> Snap.fail "bad dataflow %S" s);
+      activation = activation_of_json (Snap.member "activation" ex);
+      sys_shift = Snap.get_int "sys_shift" ex;
+      a_transpose = Snap.get_bool "a_transpose" ex;
+      b_transpose = Snap.get_bool "b_transpose" ex;
+    };
+  let lds = Snap.get_list "ld_cfgs" j in
+  Snap.check ~what:"ld channel count" (List.length lds = 3);
+  List.iteri
+    (fun i c ->
+      t.ld_cfgs.(i) <-
+        {
+          stride = Snap.get_int "stride" c;
+          scale = Snap.get_float "scale" c;
+          shrunk = Snap.get_bool "shrunk" c;
+        })
+    lds;
+  let st = Snap.member "st_cfg" j in
+  t.st_cfg <-
+    {
+      st_stride = Snap.get_int "stride" st;
+      st_act = activation_of_json (Snap.member "act" st);
+      st_scale = Snap.get_float "scale" st;
+      st_pool =
+        opt_of_json
+          (fun p ->
+            match Snap.int_list p with
+            | [ window; stride; padding ] -> { Isa.window; stride; padding }
+            | _ -> Snap.fail "bad pool cfg")
+          (Snap.member "pool" st);
+    };
+  t.preload <-
+    opt_of_json
+      (fun p ->
+        match Snap.int_list p with
+        | [ bd; c; bd_rows; bd_cols; c_rows; c_cols ] ->
+            {
+              pl_bd = Local_addr.of_bits bd;
+              pl_c = Local_addr.of_bits c;
+              pl_bd_rows = bd_rows;
+              pl_bd_cols = bd_cols;
+              pl_c_rows = c_rows;
+              pl_c_cols = c_cols;
+            }
+        | _ -> Snap.fail "bad preload state")
+      (Snap.member "preload" j);
+  t.loop_bounds <-
+    opt_of_json
+      (fun b ->
+        {
+          Isa.lw_m = Snap.get_int "m" b;
+          lw_k = Snap.get_int "k" b;
+          lw_n = Snap.get_int "n" b;
+          lw_has_bias = Snap.get_bool "bias" b;
+          lw_activation = activation_of_json (Snap.member "act" b);
+        })
+      (Snap.member "loop_bounds" j);
+  t.loop_addrs <-
+    opt_of_json
+      (fun a ->
+        match Snap.int_list a with
+        | [ lw_a; lw_b ] -> { Isa.lw_a; lw_b }
+        | _ -> Snap.fail "bad loop addrs")
+      (Snap.member "loop_addrs" j);
+  t.loop_outs <-
+    opt_of_json
+      (fun o ->
+        match Snap.int_list o with
+        | [ lw_bias; lw_c ] -> { Isa.lw_bias; lw_c }
+        | _ -> Snap.fail "bad loop outs")
+      (Snap.member "loop_outs" j);
+  t.resident_b <- opt_of_json matrix_of_json (Snap.member "resident_b" j);
+  t.os_acc <-
+    opt_of_json
+      (fun o ->
+        {
+          os_data = matrix_of_json (Snap.member "data" o);
+          os_dest = Local_addr.of_bits (Snap.get_int "dest" o);
+        })
+      (Snap.member "os_acc" j);
+  Scratchpad.restore t.spad (Snap.member "spad" j);
+  Dma.restore t.dma (Snap.member "dma" j)
+
 let reset_time t =
   t.issue <- 0;
   (* Only this controller's own pipes rewind: the engine may be shared

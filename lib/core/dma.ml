@@ -218,3 +218,19 @@ let reset_stats t =
   t.bytes_in := 0;
   t.bytes_out := 0;
   t.row_requests <- 0
+
+let inject t = t.inject
+
+(* The bus resource is engine-owned, the injection plan is shared with
+   the TLB hierarchy and snapshotted once at the SoC level — only the
+   byte/row counters live here. *)
+let snapshot t =
+  Jsonx.Obj
+    [ ("bytes_in", Jsonx.Int !(t.bytes_in));
+      ("bytes_out", Jsonx.Int !(t.bytes_out));
+      ("row_requests", Jsonx.Int t.row_requests) ]
+
+let restore t j =
+  t.bytes_in := Snap.get_int "bytes_in" j;
+  t.bytes_out := Snap.get_int "bytes_out" j;
+  t.row_requests <- Snap.get_int "row_requests" j

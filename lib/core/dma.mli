@@ -97,3 +97,13 @@ val bytes_out : t -> int
 val row_requests : t -> int
 val busy_cycles : t -> Gem_sim.Time.cycles
 val reset_stats : t -> unit
+
+val inject : t -> Gem_sim.Inject.t option
+(** The armed injection plan, if any — the SoC snapshots it once (it is
+    the same instance the TLB hierarchy rolls). *)
+
+val snapshot : t -> Gem_util.Jsonx.t
+(** Byte/row counters only; bus timing is engine-owned and the injection
+    plan is serialized at the SoC level. *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit

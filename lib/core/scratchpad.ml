@@ -104,3 +104,12 @@ let acc_accesses t = Sram.reads t.acc + Sram.writes t.acc
 let reset_stats t =
   Sram.reset_stats t.sp;
   Sram.reset_stats t.acc
+
+let snapshot ?(with_data = false) t =
+  Gem_util.Jsonx.Obj
+    [ ("sp", Sram.snapshot ~with_data t.sp);
+      ("acc", Sram.snapshot ~with_data t.acc) ]
+
+let restore t j =
+  Sram.restore t.sp (Gem_util.Snap.member "sp" j);
+  Sram.restore t.acc (Gem_util.Snap.member "acc" j)

@@ -36,3 +36,9 @@ val sp_accesses : t -> int
 
 val acc_accesses : t -> int
 val reset_stats : t -> unit
+
+val snapshot : ?with_data:bool -> t -> Gem_util.Jsonx.t
+(** Both SRAMs' counters; [~with_data:true] includes contents (functional
+    mode). *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit

@@ -44,8 +44,14 @@ let rec mkdir_p path =
 let store t point outcome =
   mkdir_p t.version_dir;
   let path = path_of t point in
+  (* Same-directory temp + atomic rename: a crash mid-write leaves a
+     stray temp, never a truncated entry under the real name (a reader
+     that does hit garbage treats it as a miss — see [find]). The pid
+     keeps concurrent *processes* apart, the domain id concurrent
+     workers within one process. *)
   let tmp =
-    Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
   in
   let oc = open_out_bin tmp in
   Fun.protect

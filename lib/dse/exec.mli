@@ -8,10 +8,22 @@
     results structurally equal to a serial run, and a warm-cache run
     reproduces a cold run bit-for-bit. *)
 
+(** A point the executor gave up on after its retry budget. *)
+type failure = {
+  f_point : Point.t;
+  f_index : int;  (** index in the input array *)
+  f_attempts : int;  (** evaluations attempted (1 + retries) *)
+  f_reason : string;  (** last exception text or deadline report *)
+}
+
 type run_result = {
-  results : (Point.t * Outcome.t) array;  (** in input order *)
+  results : (Point.t * Outcome.t) array;
+      (** in input order; quarantined points are absent (they are
+          reported in [quarantined], never silently dropped) *)
   simulated : int;  (** points evaluated this run *)
   cached : int;  (** points served from the cache *)
+  salvaged : int;  (** points served from a resumed journal *)
+  quarantined : failure list;  (** points that exhausted their retries *)
 }
 
 val evaluate : Point.t -> Outcome.t
@@ -32,8 +44,33 @@ val default_cache : unit -> Cache.t option
 (** A cache at [GEMMINI_DSE_CACHE] when that variable is set, else none. *)
 
 val run :
-  ?jobs:int -> ?cache:Cache.t option -> Point.t array -> run_result
+  ?jobs:int ->
+  ?cache:Cache.t option ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?deadline:float ->
+  ?journal:string ->
+  ?resume:bool ->
+  Point.t array ->
+  run_result
 (** [jobs] defaults to {!default_jobs}; [cache] to {!default_cache}.
-    [jobs = 0] means [Domain.recommended_domain_count ()]. A worker
-    exception is re-raised (lowest point index wins) after the pool
-    drains. *)
+    [jobs = 0] means [Domain.recommended_domain_count ()].
+
+    Failure handling: with the defaults ([retries = 0], no [deadline]) a
+    worker exception is re-raised (lowest point index wins) after the
+    pool drains — the historical contract. Setting [retries > 0] or a
+    [deadline] switches to quarantine semantics: a failing or
+    over-deadline evaluation is retried up to [retries] times with
+    exponential backoff (first wait [backoff_ms], default 100, doubling
+    per attempt), then the point lands in [quarantined] instead of
+    raising. [deadline] is wall-clock seconds per evaluation, enforced
+    post-hoc — domains cannot be killed mid-simulation, so an
+    over-budget result is discarded and the point retried/quarantined.
+
+    Crash safety: [journal] names a file atomically rewritten after
+    every completed point (digest-keyed outcomes). [resume] salvages a
+    journal left by a killed sweep — salvaged points are not
+    re-evaluated and are tallied in [salvaged]; a truncated journal
+    salvages nothing and the sweep simply re-simulates. The journal
+    records real outcomes only, so a resumed sweep's report is
+    byte-identical to an uninterrupted run's. *)

@@ -51,3 +51,14 @@ let reset t =
   Resource.reset t.channel;
   t.bytes_read := 0;
   t.bytes_written := 0
+
+(* The channel resource itself is engine-owned and travels with the
+   engine snapshot; only the byte counters live here. *)
+let snapshot t =
+  Gem_util.Jsonx.Obj
+    [ ("bytes_read", Gem_util.Jsonx.Int !(t.bytes_read));
+      ("bytes_written", Gem_util.Jsonx.Int !(t.bytes_written)) ]
+
+let restore t j =
+  t.bytes_read := Gem_util.Snap.get_int "bytes_read" j;
+  t.bytes_written := Gem_util.Snap.get_int "bytes_written" j

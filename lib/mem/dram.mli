@@ -32,3 +32,9 @@ val bytes_written : t -> int
 val requests : t -> int
 val busy_cycles : t -> Gem_sim.Time.cycles
 val reset : t -> unit
+
+val snapshot : t -> Gem_util.Jsonx.t
+(** Byte counters only — the channel's timing state is engine-owned and
+    travels with {!Gem_sim.Engine.snapshot}. *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit

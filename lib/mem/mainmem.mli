@@ -32,3 +32,10 @@ val read_i32_array : t -> addr:int -> n:int -> int array
 val write_i32_array : t -> addr:int -> int array -> unit
 
 val touched_pages : t -> int
+
+val snapshot : t -> Gem_util.Jsonx.t
+(** Every touched page as [[key, hex-bytes]], sorted by page key for
+    deterministic output. *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit
+(** Replaces the full contents with a {!snapshot}'s pages. *)

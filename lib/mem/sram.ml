@@ -81,3 +81,41 @@ let writes t = t.writes
 let reset_stats t =
   t.reads <- 0;
   t.writes <- 0
+
+module J = Gem_util.Jsonx
+module Snap = Gem_util.Snap
+
+let snapshot ?(with_data = false) t =
+  let base =
+    [ ("banks", J.Int t.banks);
+      ("rows_per_bank", J.Int t.rows_per_bank);
+      ("elems_per_row", J.Int t.elems_per_row);
+      ("reads", J.Int t.reads);
+      ("writes", J.Int t.writes) ]
+  in
+  let fields =
+    if with_data then
+      base
+      @ [ ("data", J.List (Array.to_list (Array.map Snap.of_int_array t.data))) ]
+    else base
+  in
+  J.Obj fields
+
+let restore t j =
+  Snap.check ~what:"sram geometry"
+    (Snap.get_int "banks" j = t.banks
+    && Snap.get_int "rows_per_bank" j = t.rows_per_bank
+    && Snap.get_int "elems_per_row" j = t.elems_per_row);
+  t.reads <- Snap.get_int "reads" j;
+  t.writes <- Snap.get_int "writes" j;
+  match Gem_util.Jsonx.member "data" j with
+  | None -> ()
+  | Some d ->
+      let banks = List.map Snap.int_array (Snap.list d) in
+      Snap.check ~what:"sram bank count" (List.length banks = t.banks);
+      List.iteri
+        (fun i bank ->
+          Snap.check ~what:"sram bank size"
+            (Array.length bank = Array.length t.data.(i));
+          Array.blit bank 0 t.data.(i) 0 (Array.length bank))
+        banks

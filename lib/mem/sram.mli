@@ -39,3 +39,12 @@ val fill : t -> int -> unit
 val reads : t -> int
 val writes : t -> int
 val reset_stats : t -> unit
+
+val snapshot : ?with_data:bool -> t -> Gem_util.Jsonx.t
+(** Geometry + access counters; [~with_data:true] additionally serializes
+    the full contents (functional mode — timing-only runs never write
+    data, so the default skips the arrays). *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit
+(** Restores counters (and contents when present) from a {!snapshot} of an
+    identically-shaped SRAM; raises {!Gem_util.Snap.Malformed} otherwise. *)

@@ -307,6 +307,156 @@ let utilization_table t ?horizon:h () =
     (stats t);
   tbl
 
+(* --- snapshot / restore ----------------------------------------------------
+
+   The engine's mutable state is the chip-wide timing substrate: the clock,
+   every owned resource's arbitration counters, the fault attribution
+   table, and the retained event ring. All of it serializes to
+   deterministic JSON (owned resources keyed by their unique registered
+   names, fault counts sorted) so a snapshot of a quiesced SoC is
+   byte-stable. Probes are excluded: the components they sample snapshot
+   their own state. *)
+
+module J = Gem_util.Jsonx
+module Snap = Gem_util.Snap
+
+let dir_token = function `Read -> "r" | `Write -> "w"
+
+let dir_of_token = function
+  | "r" -> `Read
+  | "w" -> `Write
+  | s -> Snap.fail "bad transfer direction %S" s
+
+let event_to_json = function
+  | Acquire { component; time; start; finish } ->
+      J.Obj
+        [ ("t", J.String "acq"); ("c", J.String component); ("at", J.Int time);
+          ("s", J.Int start); ("f", J.Int finish) ]
+  | Transfer { component; time; dir; bytes } ->
+      J.Obj
+        [ ("t", J.String "xfer"); ("c", J.String component); ("at", J.Int time);
+          ("d", J.String (dir_token dir)); ("b", J.Int bytes) ]
+  | Translate { component; time; level } ->
+      J.Obj
+        [ ("t", J.String "xlat"); ("c", J.String component); ("at", J.Int time);
+          ("l", J.String level) ]
+  | Note { component; time; detail } ->
+      J.Obj
+        [ ("t", J.String "note"); ("c", J.String component); ("at", J.Int time);
+          ("n", J.String detail) ]
+  | Fault { component; time; kind; detail } ->
+      J.Obj
+        [ ("t", J.String "fault"); ("c", J.String component); ("at", J.Int time);
+          ("k", J.String kind); ("n", J.String detail) ]
+  | Span_open { component; time; name; cat; args } ->
+      J.Obj
+        [ ("t", J.String "open"); ("c", J.String component); ("at", J.Int time);
+          ("n", J.String name); ("k", J.String cat);
+          ( "a",
+            J.List
+              (List.map
+                 (fun (k, v) -> J.List [ J.String k; J.String v ])
+                 args) ) ]
+  | Span_close { component; time; name } ->
+      J.Obj
+        [ ("t", J.String "close"); ("c", J.String component);
+          ("at", J.Int time); ("n", J.String name) ]
+
+let event_of_json j =
+  let component = Snap.get_str "c" j and time = Snap.get_int "at" j in
+  match Snap.get_str "t" j with
+  | "acq" ->
+      Acquire
+        { component; time; start = Snap.get_int "s" j;
+          finish = Snap.get_int "f" j }
+  | "xfer" ->
+      Transfer
+        { component; time; dir = dir_of_token (Snap.get_str "d" j);
+          bytes = Snap.get_int "b" j }
+  | "xlat" -> Translate { component; time; level = Snap.get_str "l" j }
+  | "note" -> Note { component; time; detail = Snap.get_str "n" j }
+  | "fault" ->
+      Fault
+        { component; time; kind = Snap.get_str "k" j;
+          detail = Snap.get_str "n" j }
+  | "open" ->
+      let args =
+        List.map
+          (fun p ->
+            match Snap.list p with
+            | [ k; v ] -> (Snap.str k, Snap.str v)
+            | _ -> Snap.fail "bad span arg pair")
+          (Snap.get_list "a" j)
+      in
+      Span_open
+        { component; time; name = Snap.get_str "n" j;
+          cat = Snap.get_str "k" j; args }
+  | "close" -> Span_close { component; time; name = Snap.get_str "n" j }
+  | tag -> Snap.fail "unknown event tag %S" tag
+
+let snapshot t =
+  let resources =
+    List.rev
+      (List.filter_map
+         (fun e ->
+           match e.e_impl with
+           | Probe _ -> None
+           | Owned { res; _ } ->
+               Some
+                 ( e.e_name,
+                   Snap.of_int_list
+                     [ Resource.busy_until res; Resource.busy_cycles res;
+                       Resource.requests res; Resource.wait_cycles res ] ))
+         t.entries)
+  in
+  let fault_counts =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, J.Int v) :: acc) t.fault_counts [])
+  in
+  J.Obj
+    [ ("clock", J.Int t.clock);
+      ("resources", J.Obj resources);
+      ("fault_counts", J.Obj fault_counts);
+      ("total_faults", J.Int t.total_faults);
+      ("event_total", J.Int t.total);
+      ("events", J.List (List.map event_to_json (events t))) ]
+
+let restore t j =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.e_impl with
+      | Owned { res; _ } -> Hashtbl.replace by_name e.e_name res
+      | Probe _ -> ())
+    t.entries;
+  let saved = Snap.obj (Snap.member "resources" j) in
+  Snap.check ~what:"engine resource registry size"
+    (List.length saved = Hashtbl.length by_name);
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt by_name name with
+      | None -> Snap.fail "snapshot resource %S not in this engine" name
+      | Some res -> (
+          match Snap.int_list v with
+          | [ busy_until; busy_cycles; requests; wait_cycles ] ->
+              Resource.force_state res ~busy_until ~busy_cycles ~requests
+                ~wait_cycles
+          | _ -> Snap.fail "resource %S: expected 4 counters" name))
+    saved;
+  t.clock <- Snap.get_int "clock" j;
+  Hashtbl.reset t.fault_counts;
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.fault_counts k (Snap.int v))
+    (Snap.obj (Snap.member "fault_counts" j));
+  t.total_faults <- Snap.get_int "total_faults" j;
+  let evs = List.map event_of_json (Snap.get_list "events" j) in
+  let n = List.length evs in
+  Snap.check ~what:"trace ring capacity" (n <= t.capacity);
+  Array.fill t.ring 0 t.capacity None;
+  List.iteri (fun i e -> t.ring.(i) <- Some e) evs;
+  t.next <- n mod t.capacity;
+  t.total <- Snap.get_int "event_total" j
+
 let reset t =
   t.clock <- Time.zero;
   Array.fill t.ring 0 t.capacity None;

@@ -194,3 +194,24 @@ val reset : t -> unit
 (** Rewind the clock, clear the ring, zero the fault counters and reset
     every owned resource. Registrations, sinks and probe targets
     survive. *)
+
+(* --- snapshot / restore ------------------------------------------------- *)
+
+val event_to_json : event -> Gem_util.Jsonx.t
+(** Deterministic tagged encoding; inverse of {!event_of_json}. *)
+
+val event_of_json : Gem_util.Jsonx.t -> event
+(** Raises {!Gem_util.Snap.Malformed} on shape mismatch. *)
+
+val snapshot : t -> Gem_util.Jsonx.t
+(** The engine's full mutable state: clock, every owned resource's
+    arbitration counters (keyed by unique registered name), fault
+    attribution, and the retained event ring (oldest first). Probes are
+    excluded — the components they sample serialize their own state. *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit
+(** Overwrites the engine's mutable state from a {!snapshot}. The target
+    engine must carry the same resource registry (same names, elaborated
+    from the same SoC config); any mismatch raises
+    {!Gem_util.Snap.Malformed}. Tracing/sink configuration is an observer
+    setting and is left untouched. *)

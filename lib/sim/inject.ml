@@ -44,6 +44,30 @@ let count t = function
 
 let total t = t.dma_fired + t.tlb_fired + t.unmap_fired
 
+module J = Gem_util.Jsonx
+module Snap = Gem_util.Snap
+
+let to_json t =
+  J.Obj
+    [ ("seed", J.Int t.seed);
+      ("rate", J.Float t.rate);
+      ("dma", Snap.of_i64 (Gem_util.Rng.state t.dma));
+      ("tlb", Snap.of_i64 (Gem_util.Rng.state t.tlb));
+      ("unmap", Snap.of_i64 (Gem_util.Rng.state t.unmap));
+      ("dma_fired", J.Int t.dma_fired);
+      ("tlb_fired", J.Int t.tlb_fired);
+      ("unmap_fired", J.Int t.unmap_fired) ]
+
+let of_json j =
+  let t = create ~seed:(Snap.get_int "seed" j) ~rate:(Snap.get_float "rate" j) () in
+  Gem_util.Rng.set_state t.dma (Snap.get_i64 "dma" j);
+  Gem_util.Rng.set_state t.tlb (Snap.get_i64 "tlb" j);
+  Gem_util.Rng.set_state t.unmap (Snap.get_i64 "unmap" j);
+  t.dma_fired <- Snap.get_int "dma_fired" j;
+  t.tlb_fired <- Snap.get_int "tlb_fired" j;
+  t.unmap_fired <- Snap.get_int "unmap_fired" j;
+  t
+
 let describe t =
   Printf.sprintf
     "inject seed=%d rate=%g: %d dma errors, %d tlb drops, %d unmaps" t.seed

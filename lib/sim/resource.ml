@@ -51,3 +51,9 @@ let reset t =
   t.busy_cycles <- 0;
   t.requests <- 0;
   t.wait_cycles <- 0
+
+let force_state t ~busy_until ~busy_cycles ~requests ~wait_cycles =
+  t.busy_until <- busy_until;
+  t.busy_cycles <- busy_cycles;
+  t.requests <- requests;
+  t.wait_cycles <- wait_cycles

@@ -43,3 +43,13 @@ val utilization : t -> horizon:Time.cycles -> float
 (** Fraction of [horizon] the resource spent busy. *)
 
 val reset : t -> unit
+
+val force_state :
+  t ->
+  busy_until:Time.cycles ->
+  busy_cycles:Time.cycles ->
+  requests:int ->
+  wait_cycles:Time.cycles ->
+  unit
+(** Overwrite all four arbitration counters at once — the checkpoint
+    restore path. Not for use during simulation. *)

@@ -203,17 +203,89 @@ let map_page t c ~vaddr =
   in
   Gem_vm.Page_table.map c.page_table ~vpn ~ppn
 
+(* One plan instance is shared between a core's DMA (bus-error rolls) and
+   its TLB hierarchy (drop/unmap rolls): the snapshot serializes it once
+   and the restore re-shares one rebuilt instance the same way. *)
+let wire_inject t c plan =
+  Gemmini.Dma.set_inject (Gemmini.Controller.dma c.controller) plan;
+  Gem_vm.Hierarchy.set_inject c.hierarchy ~plan
+    ~unmap:(fun ~vaddr -> ignore (unmap_page t c ~vaddr))
+    ()
+
 let arm_injection t ~seed ~rate =
   Array.iteri
     (fun i c ->
       (* Distinct per-core seeds: each core's plan is an independent but
          reproducible stream. *)
       let plan = Inject.create ~seed:(seed + (i * 0x9E3779B9)) ~rate () in
-      Gemmini.Dma.set_inject (Gemmini.Controller.dma c.controller) plan;
-      Gem_vm.Hierarchy.set_inject c.hierarchy ~plan
-        ~unmap:(fun ~vaddr -> ignore (unmap_page t c ~vaddr))
-        ())
+      wire_inject t c plan)
     t.cores_arr
+
+(* --- snapshot / restore ---------------------------------------------------- *)
+
+module J = Jsonx
+
+let core_snapshot c =
+  let swapped =
+    Hashtbl.fold (fun vpn ppn acc -> (vpn, ppn) :: acc) c.swapped []
+    |> List.sort compare
+    |> List.map (fun (vpn, ppn) -> Snap.of_int_list [ vpn; ppn ])
+  in
+  J.Obj
+    [ ("id", J.Int c.id);
+      ("controller", Gemmini.Controller.snapshot c.controller);
+      ("tlb", Gem_vm.Hierarchy.snapshot c.hierarchy);
+      ("pt", Gem_vm.Page_table.snapshot c.page_table);
+      ("next_vaddr", J.Int c.next_vaddr);
+      ("swapped", J.List swapped);
+      ( "inject",
+        match Gemmini.Dma.inject (Gemmini.Controller.dma c.controller) with
+        | None -> J.Null
+        | Some plan -> Inject.to_json plan ) ]
+
+let snapshot t =
+  J.Obj
+    [ ("engine", Engine.snapshot t.engine);
+      ("l2", Cache.snapshot t.l2);
+      ("dram", Dram.snapshot t.dram);
+      ( "mainmem",
+        match t.mainmem with
+        | None -> J.Null
+        | Some mm -> Mainmem.snapshot mm );
+      ("next_paddr", J.Int t.next_paddr);
+      ("cores", J.List (Array.to_list (Array.map core_snapshot t.cores_arr))) ]
+
+let core_restore t c j =
+  Snap.check ~what:"core id" (Snap.get_int "id" j = c.id);
+  Gemmini.Controller.restore c.controller (Snap.member "controller" j);
+  Gem_vm.Hierarchy.restore c.hierarchy (Snap.member "tlb" j);
+  Gem_vm.Page_table.restore c.page_table (Snap.member "pt" j);
+  c.next_vaddr <- Snap.get_int "next_vaddr" j;
+  Hashtbl.reset c.swapped;
+  List.iter
+    (fun pair ->
+      match Snap.int_list pair with
+      | [ vpn; ppn ] -> Hashtbl.replace c.swapped vpn ppn
+      | _ -> Snap.fail "bad swapped-page entry")
+    (Snap.get_list "swapped" j);
+  match Snap.member "inject" j with
+  | J.Null -> ()
+  | pj -> wire_inject t c (Inject.of_json pj)
+
+let restore t j =
+  Engine.restore t.engine (Snap.member "engine" j);
+  Cache.restore t.l2 (Snap.member "l2" j);
+  Dram.restore t.dram (Snap.member "dram" j);
+  (match (t.mainmem, Snap.member "mainmem" j) with
+  | None, J.Null -> ()
+  | Some _, J.Null -> Snap.fail "snapshot lacks main memory (functional SoC)"
+  | Some mm, mj -> Mainmem.restore mm mj
+  | None, _ -> Snap.fail "snapshot has main memory but SoC is timing-only");
+  t.next_paddr <- Snap.get_int "next_paddr" j;
+  let cores_j = Snap.get_list "cores" j in
+  Snap.check ~what:"core count"
+    (List.length cores_j = Array.length t.cores_arr);
+  List.iteri (fun i cj -> core_restore t t.cores_arr.(i) cj) cores_j
 
 
 (* --- host-side data access (functional mode) ----------------------------- *)

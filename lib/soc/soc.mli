@@ -61,6 +61,22 @@ val arm_injection : t -> seed:int -> rate:float -> unit
     each DMA (bus errors) and TLB hierarchy (drops and page unmaps).
     Equal seeds replay identical fault traces. *)
 
+val snapshot : t -> Gem_util.Jsonx.t
+(** The full mutable state of the chip: engine clock + resource registry
+    + trace ring, L2 tags/dirty/LRU, DRAM counters, main-memory pages
+    (functional mode), the physical-page bump allocator, and per core the
+    controller (nested scratchpad/DMA), TLB hierarchy, page-table tree,
+    virtual-address allocator, swap table and armed injection plan (with
+    its RNG cursors). Deterministic: equal states serialize to equal
+    JSON. *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit
+(** Restores into a freshly-created SoC of the {e same}
+    {!Soc_config.t}. Re-arms each core's injection hooks when the
+    snapshot carries a plan. Raises {!Gem_util.Snap.Malformed} when the
+    snapshot does not match this SoC's shape (resource registry, core
+    count, memory geometry). *)
+
 (* Host-side (zero-simulated-cost) data access, functional mode only. *)
 
 val host_write_i8 : t -> core -> vaddr:int -> int array -> unit

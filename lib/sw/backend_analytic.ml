@@ -631,7 +631,9 @@ let estimate_core (cfg : Soc_config.t) ~core ~cores model ~(mode : Lower.mode)
                 :: !faults;
               host_work c ~cycles:lp.Lower.lp_cpu_cycles;
               fence c
-          | Runtime.Abort | Runtime.Retry_map ->
+          | Runtime.Abort | Runtime.Retry_map | Runtime.Resume_checkpoint ->
+              (* The analytic estimator has no snapshot to resume from;
+                 a watchdog trip unwinds as Abort does. *)
               faults :=
                 {
                   Runtime.fr_fault = fault;

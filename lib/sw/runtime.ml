@@ -11,12 +11,13 @@ type mode = Lower.mode = Accel of { im2col_on_accel : bool } | Cpu_only
 
 let mode_desc = Lower.mode_desc
 
-type policy = Abort | Retry_map | Degrade
+type policy = Abort | Retry_map | Degrade | Resume_checkpoint
 
 let policy_desc = function
   | Abort -> "abort"
   | Retry_map -> "retry-map"
   | Degrade -> "degrade"
+  | Resume_checkpoint -> "resume-checkpoint"
 
 type fault_record = {
   fr_fault : Fault.t;
@@ -158,6 +159,12 @@ and handle_trap soc guard core op (f : Fault.t) =
       guard.g_skip <- true;
       Gemmini.Controller.host_work (Soc.controller core)
         ~cycles:guard.g_layer_cpu
+  | Resume_checkpoint, _ ->
+      (* Recovery happens above the runtime: the checkpointing driver
+         (Gem_persist) catches the escaping trap and replays from the
+         last snapshot. Here we only record and unwind. *)
+      record "resume-checkpoint";
+      raise (Fault.Trap f)
 
 (* --- planning --------------------------------------------------------------- *)
 
@@ -428,12 +435,17 @@ let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
       in
       List.concat (List.init mm.Layer.count instance)
 
-let plan_ops_with soc core model ~mode ~records ~guard =
+let plan_ops_with ?(start_layer = 0) ?(resume_finish = 0) ?on_layer soc core
+    model ~mode ~records ~guard =
   let functional = Option.is_some (Soc.mainmem soc) in
+  (* Tensor allocation always covers the WHOLE network, even when
+     execution starts mid-way: the bump allocators are deterministic, so
+     a resumed run recomputes the exact addresses of the interrupted one
+     and the restored snapshot's mappings line up. *)
   let tensors = allocate_tensors soc core model ~functional in
   let layers = Array.of_list model.Layer.layers in
   let cpu = Soc.cpu core in
-  let last_finish = ref 0 in
+  let last_finish = ref resume_finish in
   let emit_layer idx =
     let name, layer = layers.(idx) in
     let input_va = if idx = 0 then tensors.t_input else tensors.t_out.(idx - 1) in
@@ -461,7 +473,12 @@ let plan_ops_with soc core model ~mode ~records ~guard =
               lr_macs = Layer.macs layer;
             }
             :: !records;
-          last_finish := f)
+          last_finish := f;
+          (* The fence just ran, so the pipeline is quiesced: this is the
+             one point where a snapshot of the SoC is meaningful. *)
+          match on_layer with
+          | None -> ()
+          | Some cb -> cb ~layer:idx ~records:(List.rev !records) ~finish:f)
     in
     let ops = ops @ [ Kernels.fence ] in
     match guard with
@@ -494,13 +511,19 @@ let plan_ops_with soc core model ~mode ~records ~guard =
   let body =
     Seq.concat_map
       (fun idx -> List.to_seq (emit_layer idx))
-      (Seq.init n (fun i -> i))
+      (Seq.init (max 0 (n - start_layer)) (fun i -> start_layer + i))
   in
-  (* The whole program sits under one network-level span. *)
-  Seq.append
-    (Seq.return
-       (span_open_marker ~cat:"network" ~name:net_name
-          Gemmini.Controller.finish_time))
+  (* The whole program sits under one network-level span. A resumed run
+     does not re-open it: the open event is already in the restored trace
+     ring, so re-emitting would double it and break byte-identity. *)
+  let head =
+    if start_layer = 0 then
+      Seq.return
+        (span_open_marker ~cat:"network" ~name:net_name
+           Gemmini.Controller.finish_time)
+    else Seq.empty
+  in
+  Seq.append head
     (Seq.append body
        (Seq.return
           (span_close_marker ~name:net_name Gemmini.Controller.finish_time)))
@@ -519,15 +542,49 @@ let make_result soc core_id model mode records total ~faults =
     r_faults = List.rev faults;
   }
 
-let run ?(policy = Abort) ?watchdog ?prepare soc ~core:core_idx model ~mode =
+(* When a trap escapes the fault policy, the op stream is abandoned past
+   its layer/network close markers. Emit those closes here so every abort
+   path leaves a well-formed span tree (the network span in particular
+   always carries an end stamp); a skipping close force-closes any open
+   kernel/command spans underneath, which the recorder counts without
+   orphaning. *)
+let close_spans_on_abort core guard net_name =
+  (* An empty g_layer means no guarded op ever ran on this core — the
+     network span may not have opened yet, so emitting closes could only
+     orphan. Leave whatever is open to Span.finalize. *)
+  if guard.g_layer <> "" then begin
+    let ctrl = Soc.controller core in
+    let engine = Gemmini.Controller.engine ctrl in
+    let component = Gemmini.Controller.host_component ctrl in
+    let time = Gemmini.Controller.finish_time ctrl in
+    Span.emit_close engine ~component ~time guard.g_layer;
+    Span.emit_close engine ~component ~time net_name
+  end
+
+let run ?(policy = Abort) ?watchdog ?prepare ?(start_layer = 0) ?resume
+    ?on_layer soc ~core:core_idx model ~mode =
   let core = Soc.core soc core_idx in
-  let records = ref [] in
+  let prior_records, resume_finish =
+    match resume with None -> ([], 0) | Some (rs, f) -> (rs, f)
+  in
+  (* [records] accumulates most-recent-first; seed it with the salvaged
+     prefix so the final result covers the whole network. *)
+  let records = ref (List.rev prior_records) in
   let guard = make_guard ~policy ~watchdog in
-  let ops = plan_ops_with soc core model ~mode ~records ~guard:(Some guard) in
+  let ops =
+    plan_ops_with ~start_layer ~resume_finish ?on_layer soc core model ~mode
+      ~records ~guard:(Some guard)
+  in
   (* Tensors are allocated by now; [prepare] can perturb the address
-     space (e.g. unmap pages) before the first command issues. *)
+     space (e.g. unmap pages) or restore a snapshot before the first
+     command issues. *)
   (match prepare with Some f -> f core | None -> ());
-  let total = Soc.run_program soc core ops in
+  let total =
+    try Soc.run_program soc core ops
+    with Fault.Trap f ->
+      close_spans_on_abort core guard model.Layer.model_name;
+      raise (Fault.Trap f)
+  in
   make_result soc core_idx model mode !records total ~faults:guard.g_faults
 
 let run_parallel ?(policy = Abort) ?watchdog soc jobs =
@@ -544,7 +601,16 @@ let run_parallel ?(policy = Abort) ?watchdog soc jobs =
       jobs
   in
   let finishes =
-    Soc.run_parallel soc (Array.map (fun (_, _, ops) -> ops) programs)
+    try Soc.run_parallel soc (Array.map (fun (_, _, ops) -> ops) programs)
+    with Fault.Trap f ->
+      (* Close the faulting core's open spans; the other cores' streams
+         were cut mid-flight, so close theirs too. *)
+      Array.iteri
+        (fun i (model, _) ->
+          let _, guard, _ = programs.(i) in
+          close_spans_on_abort (Soc.core soc i) guard model.Layer.model_name)
+        jobs;
+      raise (Fault.Trap f)
   in
   Array.mapi
     (fun i (model, mode) ->

@@ -32,13 +32,18 @@ type policy =
       (** fall back to the CPU kernel for the offending layer: charge the
           host the layer's software cost and drop its remaining
           accelerator ops *)
+  | Resume_checkpoint
+      (** record the fault and unwind; a checkpointing driver above the
+          runtime ({!Gem_persist}) replays from the last snapshot *)
 
 val policy_desc : policy -> string
 
 type fault_record = {
   fr_fault : Gem_sim.Fault.t;
   fr_layer : string;  (** the layer executing when the trap fired *)
-  fr_action : string;  (** ["abort"], ["remap"], ["retry"] or ["degrade"] *)
+  fr_action : string;
+      (** ["abort"], ["remap"], ["retry"], ["degrade"] or
+          ["resume-checkpoint"] *)
 }
 
 type layer_record = {
@@ -81,6 +86,10 @@ val run :
   ?policy:policy ->
   ?watchdog:int ->
   ?prepare:(Gem_soc.Soc.core -> unit) ->
+  ?start_layer:int ->
+  ?resume:layer_record list * Gem_sim.Time.cycles ->
+  ?on_layer:
+    (layer:int -> records:layer_record list -> finish:Gem_sim.Time.cycles -> unit) ->
   Gem_soc.Soc.t ->
   core:int ->
   Gem_dnn.Layer.model ->
@@ -90,9 +99,24 @@ val run :
     the trap-recovery behavior; [watchdog] bounds the cycles any single
     layer may spend before a [Watchdog_timeout] trap fires; [prepare]
     runs after tensor allocation but before the first command issues
-    (e.g. to unmap pages for recovery tests). The guarding is zero-cost:
-    with the default policy a clean run is cycle-identical to older,
-    unguarded runtimes. *)
+    (e.g. to unmap pages for recovery tests, or to restore a snapshot —
+    tensor allocation is deterministic, so a resumed run recomputes the
+    interrupted run's addresses before [prepare] overlays its state).
+
+    Checkpoint/restore hooks: [start_layer] skips execution (not
+    allocation) of layers before it and suppresses the network span-open
+    marker, which a restored trace ring already carries; [resume]
+    [(records, last_finish)] seeds the salvaged per-layer records and the
+    finish horizon the next layer's [lr_cycles] measures from; [on_layer]
+    fires after each layer's fence — the SoC is quiesced, so this is
+    where {!Gem_persist} snapshots.
+
+    When a trap escapes the policy, the still-open layer and network
+    spans are closed at the abort horizon before the exception
+    propagates, so observed aborts leave a well-formed span tree.
+
+    The guarding is zero-cost: with the default policy a clean run is
+    cycle-identical to older, unguarded runtimes. *)
 
 val run_parallel :
   ?policy:policy ->

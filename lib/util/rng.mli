@@ -31,3 +31,10 @@ val pick : t -> 'a array -> 'a
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+val state : t -> int64
+(** The raw generator cursor, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a cursor captured with {!state}: the generator then replays
+    exactly the stream it would have produced from that point. *)

@@ -1,0 +1,52 @@
+exception Malformed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let member key j =
+  match Jsonx.member key j with
+  | Some v -> v
+  | None -> fail "missing field %S" key
+
+let int j =
+  match Jsonx.to_int j with Some n -> n | None -> fail "expected int"
+
+let str j =
+  match Jsonx.to_str j with Some s -> s | None -> fail "expected string"
+
+let float j =
+  match Jsonx.to_float j with Some f -> f | None -> fail "expected float"
+
+let bool j =
+  match Jsonx.to_bool j with Some b -> b | None -> fail "expected bool"
+
+let list j =
+  match Jsonx.to_list j with Some l -> l | None -> fail "expected list"
+
+let obj j =
+  match Jsonx.to_obj j with Some o -> o | None -> fail "expected object"
+
+let get_int key j = int (member key j)
+let get_str key j = str (member key j)
+let get_float key j = float (member key j)
+let get_bool key j = bool (member key j)
+let get_list key j = list (member key j)
+
+let int_list j = List.map int (list j)
+let int_array j = Array.of_list (int_list j)
+let of_int_array a = Jsonx.List (Array.to_list (Array.map (fun n -> Jsonx.Int n) a))
+let of_int_list l = Jsonx.List (List.map (fun n -> Jsonx.Int n) l)
+
+(* Int64 values (RNG cursors) do not fit [Jsonx.Int]'s 63-bit payload, so
+   they travel as decimal strings. *)
+let of_i64 v = Jsonx.String (Int64.to_string v)
+
+let i64 j =
+  let s = str j in
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> fail "expected int64 string, got %S" s
+
+let get_i64 key j = i64 (member key j)
+
+let check ~what cond =
+  if not cond then fail "snapshot mismatch: %s" what

@@ -1,0 +1,39 @@
+(** Raising accessors over {!Jsonx} for snapshot decoding.
+
+    Component [restore] functions parse their snapshot payloads with these
+    helpers; any shape mismatch raises {!Malformed}, which the persistence
+    layer catches at the envelope boundary and converts to a [Result] so a
+    corrupt or mismatched checkpoint can never half-restore silently. *)
+
+exception Malformed of string
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Malformed} with a formatted message. *)
+
+val member : string -> Jsonx.t -> Jsonx.t
+val int : Jsonx.t -> int
+val str : Jsonx.t -> string
+val float : Jsonx.t -> float
+val bool : Jsonx.t -> bool
+val list : Jsonx.t -> Jsonx.t list
+val obj : Jsonx.t -> (string * Jsonx.t) list
+val get_int : string -> Jsonx.t -> int
+val get_str : string -> Jsonx.t -> string
+val get_float : string -> Jsonx.t -> float
+val get_bool : string -> Jsonx.t -> bool
+val get_list : string -> Jsonx.t -> Jsonx.t list
+val int_list : Jsonx.t -> int list
+val int_array : Jsonx.t -> int array
+val of_int_array : int array -> Jsonx.t
+val of_int_list : int list -> Jsonx.t
+
+val of_i64 : int64 -> Jsonx.t
+(** 64-bit values (RNG cursors) as decimal strings — [Jsonx.Int] carries
+    only OCaml's 63-bit payload. *)
+
+val i64 : Jsonx.t -> int64
+val get_i64 : string -> Jsonx.t -> int64
+
+val check : what:string -> bool -> unit
+(** [check ~what cond] raises {!Malformed} when [cond] is false — used to
+    verify a snapshot matches the configuration it is restored into. *)

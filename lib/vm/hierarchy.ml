@@ -244,6 +244,59 @@ let same_page_fraction_writes t =
 
 let translation_stall_cycles t = t.stall_cycles
 
+module J = Gem_util.Jsonx
+module Snap = Gem_util.Snap
+
+(* The hierarchy owns the PTW in the SoC wiring, so its snapshot nests the
+   walker's. Injection plan state is snapshotted at the SoC level (the
+   plan is shared with the DMA); only the translation state lives here. *)
+let snapshot t =
+  J.Obj
+    [ ("private_tlb", Tlb.snapshot t.private_tlb);
+      ("shared_tlb", Tlb.snapshot t.shared_tlb);
+      ("ptw", Ptw.snapshot t.ptw);
+      ("filter_read", Snap.of_int_list [ t.filter_read.vpn; t.filter_read.ppn ]);
+      ( "filter_write",
+        Snap.of_int_list [ t.filter_write.vpn; t.filter_write.ppn ] );
+      ("last_read_vpn", J.Int t.last_read_vpn);
+      ("last_write_vpn", J.Int t.last_write_vpn);
+      ("reads", J.Int t.reads);
+      ("writes", J.Int t.writes);
+      ("same_page_reads", J.Int t.same_page_reads);
+      ("same_page_writes", J.Int t.same_page_writes);
+      ("requests", J.Int t.requests);
+      ("filter_hits", J.Int t.filter_hits);
+      ("private_hits", J.Int t.private_hits);
+      ("shared_hits", J.Int t.shared_hits);
+      ("walks", J.Int t.walks);
+      ("stall_cycles", J.Int t.stall_cycles) ]
+
+let restore t j =
+  Tlb.restore t.private_tlb (Snap.member "private_tlb" j);
+  Tlb.restore t.shared_tlb (Snap.member "shared_tlb" j);
+  Ptw.restore t.ptw (Snap.member "ptw" j);
+  let filter dst key =
+    match Snap.int_list (Snap.member key j) with
+    | [ vpn; ppn ] ->
+        dst.vpn <- vpn;
+        dst.ppn <- ppn
+    | _ -> Snap.fail "bad filter register pair %S" key
+  in
+  filter t.filter_read "filter_read";
+  filter t.filter_write "filter_write";
+  t.last_read_vpn <- Snap.get_int "last_read_vpn" j;
+  t.last_write_vpn <- Snap.get_int "last_write_vpn" j;
+  t.reads <- Snap.get_int "reads" j;
+  t.writes <- Snap.get_int "writes" j;
+  t.same_page_reads <- Snap.get_int "same_page_reads" j;
+  t.same_page_writes <- Snap.get_int "same_page_writes" j;
+  t.requests <- Snap.get_int "requests" j;
+  t.filter_hits <- Snap.get_int "filter_hits" j;
+  t.private_hits <- Snap.get_int "private_hits" j;
+  t.shared_hits <- Snap.get_int "shared_hits" j;
+  t.walks <- Snap.get_int "walks" j;
+  t.stall_cycles <- Snap.get_int "stall_cycles" j
+
 let reset_stats t =
   Tlb.reset_stats t.private_tlb;
   Tlb.reset_stats t.shared_tlb;

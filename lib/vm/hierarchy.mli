@@ -98,3 +98,12 @@ val translation_stall_cycles : t -> Gem_sim.Time.cycles
 (** Total cycles requests spent waiting on translation. *)
 
 val reset_stats : t -> unit
+
+val snapshot : t -> Gem_util.Jsonx.t
+(** Both TLBs, the nested PTW, the filter registers, locality cursors and
+    statistics. Injection plan state is {e not} included — the plan is
+    shared with the DMA and serialized once at the SoC level. *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit
+(** Restores into a hierarchy of identical configuration; raises
+    {!Gem_util.Snap.Malformed} otherwise. *)

@@ -48,3 +48,12 @@ val walk : t -> vpn:int -> int list * int option
 
 val mapped_pages : t -> int
 val node_count : t -> int
+
+val snapshot : t -> Gem_util.Jsonx.t
+(** The complete radix tree with per-node physical addresses (allocation
+    order determines PTE read addresses, hence walk timing) plus the node
+    allocator cursor. *)
+
+val restore : t -> Gem_util.Jsonx.t -> unit
+(** Replaces the tree of a table created with the same
+    [node_region_base]; raises {!Gem_util.Snap.Malformed} otherwise. *)

@@ -164,7 +164,24 @@ let test_cache_hit_miss_invalidation () =
   let repaired = Exec.run ~jobs:1 ~cache:(Some cache) points in
   Alcotest.(check (pair int int))
     "corrupt entry re-simulates" (1, 0)
-    (repaired.Exec.simulated, repaired.Exec.cached)
+    (repaired.Exec.simulated, repaired.Exec.cached);
+  (* A truncated entry — a crash mid-write under a non-atomic writer —
+     must read as a miss too. (The store path writes temp + rename, so
+     this can only come from outside interference, but the reader still
+     must not trust it.) *)
+  let valid =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin path in
+  output_string oc (String.sub valid 0 (String.length valid / 2));
+  close_out oc;
+  let after_truncation = Exec.run ~jobs:1 ~cache:(Some cache) points in
+  Alcotest.(check (pair int int))
+    "truncated entry re-simulates" (1, 0)
+    (after_truncation.Exec.simulated, after_truncation.Exec.cached)
 
 (* --- parallel executor ------------------------------------------------------ *)
 
@@ -208,6 +225,71 @@ let test_worker_exception_propagates () =
   | _ -> Alcotest.fail "unknown model must raise"
   | exception Invalid_argument _ -> ()
 
+(* --- crash-safe sweeps: journal resume and quarantine ------------------------ *)
+
+let test_journal_resume_byte_identity () =
+  let points = tiny_sweep () in
+  let journal = Filename.temp_file "gem_dse_journal" ".json" in
+  (* The uninterrupted reference. *)
+  let full = Exec.run ~jobs:1 ~cache:None points in
+  (* A "killed" sweep: only the first half of the points completed before
+     the journal stopped being appended to. *)
+  let half = Array.sub points 0 (Array.length points / 2) in
+  let _ = Exec.run ~jobs:1 ~cache:None ~journal half in
+  (* Resume salvages the completed half and evaluates only the rest. *)
+  let resumed = Exec.run ~jobs:2 ~cache:None ~journal ~resume:true points in
+  Alcotest.(check int) "completed half salvaged" (Array.length half)
+    resumed.Exec.salvaged;
+  Alcotest.(check int) "only the remainder simulated"
+    (Array.length points - Array.length half)
+    resumed.Exec.simulated;
+  Alcotest.(check string)
+    "resumed report byte-identical to uninterrupted run"
+    (Report.json_string full.Exec.results)
+    (Report.json_string resumed.Exec.results);
+  (* A truncated journal — killed mid-rewrite — salvages nothing and the
+     sweep simply re-simulates. *)
+  let raw =
+    let ic = open_in_bin journal in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin journal in
+  output_string oc (String.sub raw 0 (String.length raw / 2));
+  close_out oc;
+  let from_scratch = Exec.run ~jobs:1 ~cache:None ~journal ~resume:true points in
+  Alcotest.(check int) "truncated journal salvages nothing" 0
+    from_scratch.Exec.salvaged;
+  Alcotest.(check string)
+    "re-simulated report still byte-identical"
+    (Report.json_string full.Exec.results)
+    (Report.json_string from_scratch.Exec.results);
+  Sys.remove journal
+
+let test_quarantine_reports_failures () =
+  let bad =
+    { (tiny_point ()) with Point.model = "no-such-model"; label = "bad" }
+  in
+  let points = Sweep.points [ tiny_point (); bad ] in
+  (* With a retry budget, the failing point is quarantined — reported,
+     not raised and not silently dropped. *)
+  let r = Exec.run ~jobs:2 ~cache:None ~retries:1 ~backoff_ms:1 points in
+  Alcotest.(check int) "healthy point survives" 1 (Array.length r.Exec.results);
+  (match r.Exec.quarantined with
+  | [ f ] ->
+      Alcotest.(check int) "quarantined the right slot" 1 f.Exec.f_index;
+      Alcotest.(check string) "quarantined the right point" "bad"
+        f.Exec.f_point.Point.label;
+      Alcotest.(check int) "1 + retries attempts" 2 f.Exec.f_attempts;
+      Alcotest.(check bool) "reason captured" true
+        (String.length f.Exec.f_reason > 0)
+  | l -> Alcotest.failf "expected 1 quarantined point, got %d" (List.length l));
+  let p, _ = r.Exec.results.(0) in
+  Alcotest.(check string) "surviving outcome belongs to the healthy point"
+    (Point.digest (tiny_point ()))
+    (Point.digest p)
+
 (* --- cached-vs-fresh byte identity ------------------------------------------ *)
 
 let test_cached_report_byte_identity () =
@@ -240,4 +322,8 @@ let suite =
       test_worker_exception_propagates;
     Alcotest.test_case "cache: report byte identity" `Quick
       test_cached_report_byte_identity;
+    Alcotest.test_case "exec: journal resume byte identity" `Quick
+      test_journal_resume_byte_identity;
+    Alcotest.test_case "exec: quarantine reports failures" `Quick
+      test_quarantine_reports_failures;
   ]

@@ -353,6 +353,113 @@ let test_dual_core_injection_determinism () =
   Alcotest.(check (list string)) "dual-core fault traces match" t1 t2;
   Alcotest.(check (list int)) "dual-core finish times match" c1 c2
 
+(* --- injection across checkpoint/restore ------------------------------------ *)
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let test_injection_restore_determinism () =
+  (* A seeded injected run interrupted mid-network and restored into a
+     fresh SoC must trip the exact same faults at the exact same cycles:
+     the plan's RNG cursor rides in the snapshot, so the remaining trace
+     is precisely the uninterrupted run's suffix. *)
+  let soc1 = single_core_soc () in
+  Soc.arm_injection soc1 ~seed:42 ~rate:0.0005;
+  let r1 =
+    Runtime.run ~policy:Runtime.Retry_map soc1 ~core:0 squeezenet8
+      ~mode:accel_mode
+  in
+  let t1 = fault_trace r1 in
+  let snap1 = Jsonx.to_string (Soc.snapshot soc1) in
+  let k = List.length squeezenet8.Gem_dnn.Layer.layers / 2 in
+  let soc2 = single_core_soc () in
+  Soc.arm_injection soc2 ~seed:42 ~rate:0.0005;
+  let mid = ref None in
+  let _ =
+    Runtime.run ~policy:Runtime.Retry_map
+      ~on_layer:(fun ~layer ~records ~finish ->
+        if layer = k then mid := Some (records, finish, Soc.snapshot soc2))
+      soc2 ~core:0 squeezenet8 ~mode:accel_mode
+  in
+  let records, finish, soc_json =
+    match !mid with
+    | Some v -> v
+    | None -> Alcotest.failf "no checkpoint captured at layer %d" k
+  in
+  (* No arm_injection on the fresh SoC: the armed plan (cursor included)
+     is part of the snapshot being restored. *)
+  let soc3 = single_core_soc () in
+  let r3 =
+    Runtime.run ~policy:Runtime.Retry_map
+      ~prepare:(fun _ -> Soc.restore soc3 soc_json)
+      ~start_layer:(k + 1) ~resume:(records, finish) soc3 ~core:0 squeezenet8
+      ~mode:accel_mode
+  in
+  let t3 = fault_trace r3 in
+  Alcotest.(check int) "same final cycle count" r1.Runtime.r_total_cycles
+    r3.Runtime.r_total_cycles;
+  Alcotest.(check bool) "faults fired after the restore point" true
+    (List.length t3 > 0);
+  Alcotest.(check (list string))
+    "restored run trips the same faults at the same cycles"
+    (drop (List.length t1 - List.length t3) t1)
+    t3;
+  Alcotest.(check string) "final SoC state byte-identical" snap1
+    (Jsonx.to_string (Soc.snapshot soc3))
+
+(* --- span hygiene on abort paths --------------------------------------------- *)
+
+module Span = Gem_sim.Span
+
+let network_span rc =
+  List.find_opt (fun s -> s.Span.cat = "network") (Span.to_list rc)
+
+let test_degrade_final_layer_closes_network_span () =
+  (* A watchdog trap fires on every layer — the final one included. The
+     Degrade handler must still emit the network-close marker, and clean
+     span accounting must hold: nothing orphaned, nothing left open. *)
+  let soc = single_core_soc () in
+  let rc = Span.attach (Soc.engine soc) in
+  let r =
+    Runtime.run ~policy:Runtime.Degrade ~watchdog:50 soc ~core:0 squeezenet8
+      ~mode:accel_mode
+  in
+  Alcotest.(check bool) "degraded run completed" true
+    (r.Runtime.r_total_cycles > 0);
+  (match network_span rc with
+  | None -> Alcotest.fail "network span missing"
+  | Some s ->
+      Alcotest.(check bool) "network span closed" true (s.Span.t1 >= 0));
+  Alcotest.(check int) "no orphan closes" 0 (Span.orphan_closes rc);
+  Alcotest.(check int) "no span left open" 0 (Span.open_count rc)
+
+let test_abort_closes_network_span () =
+  (* When a trap escapes the policy entirely, the runtime closes the
+     still-open layer and network spans at the abort horizon before
+     re-raising, so an aborted trace is still a well-formed tree. *)
+  let soc = single_core_soc () in
+  let rc = Span.attach (Soc.engine soc) in
+  (match Runtime.run ~watchdog:50 soc ~core:0 squeezenet8 ~mode:accel_mode with
+  | _ -> Alcotest.fail "watchdog under Abort must raise"
+  | exception Fault.Trap _ -> ());
+  (match network_span rc with
+  | None -> Alcotest.fail "network span missing"
+  | Some s ->
+      Alcotest.(check bool) "network span closed on abort" true
+        (s.Span.t1 >= 0));
+  Alcotest.(check int) "no orphan closes" 0 (Span.orphan_closes rc);
+  Alcotest.(check int) "no span left open" 0 (Span.open_count rc)
+
+let test_clean_run_span_accounting () =
+  (* Guard rails for the abort-path closer: a clean run must not pick up
+     spurious closes from it. *)
+  let soc = single_core_soc () in
+  let rc = Span.attach (Soc.engine soc) in
+  let _ = Runtime.run soc ~core:0 squeezenet8 ~mode:accel_mode in
+  Alcotest.(check int) "no orphan closes" 0 (Span.orphan_closes rc);
+  Alcotest.(check int) "no forced closes" 0 (Span.forced_closes rc);
+  Alcotest.(check int) "no span left open" 0 (Span.open_count rc)
+
 (* --- profile integration ---------------------------------------------------- *)
 
 let test_profile_faults_column () =
@@ -404,5 +511,13 @@ let suite =
       test_injection_determinism;
     Alcotest.test_case "injection determinism (dual core)" `Quick
       test_dual_core_injection_determinism;
+    Alcotest.test_case "injection determinism across restore" `Quick
+      test_injection_restore_determinism;
+    Alcotest.test_case "Degrade on final layer closes network span" `Quick
+      test_degrade_final_layer_closes_network_span;
+    Alcotest.test_case "abort path closes network span" `Quick
+      test_abort_closes_network_span;
+    Alcotest.test_case "clean run span accounting" `Quick
+      test_clean_run_span_accounting;
     Alcotest.test_case "profile faults column" `Quick test_profile_faults_column;
   ]

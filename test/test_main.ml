@@ -16,6 +16,7 @@ let () =
       ("soc", Test_soc.suite);
       ("loop_ws", Test_loop_ws.suite);
       ("fault", Test_fault.suite);
+      ("persist", Test_persist.suite);
       ("dse", Test_dse.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
