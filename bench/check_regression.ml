@@ -47,16 +47,41 @@ let obj_field path json name =
   | Some v -> v
   | None -> malformed path "no %S field" name
 
-let metrics path json =
-  match Gem_util.Jsonx.to_obj (obj_field path json "metrics") with
+let int_section path json name =
+  match Gem_util.Jsonx.to_obj (obj_field path json name) with
   | Some kvs ->
       List.map
         (fun (k, v) ->
           match Gem_util.Jsonx.to_int v with
           | Some n -> (k, n)
-          | None -> malformed path "metric %S is not an integer" k)
+          | None -> malformed path "%s metric %S is not an integer" name k)
         kvs
-  | None -> malformed path "\"metrics\" is not an object"
+  | None -> malformed path "%S is not an object" name
+
+let metrics path json = int_section path json "metrics"
+
+(* The serving section (schema 1 files from before lib/serve existed lack
+   it) gets the same exact-match treatment as the figure metrics. *)
+let serving path json =
+  match Gem_util.Jsonx.member "serving" json with
+  | None -> None
+  | Some _ -> Some (int_section path json "serving")
+
+let diff_section ~label base_m res_m =
+  List.iter
+    (fun (k, bv) ->
+      match List.assoc_opt k res_m with
+      | None -> problem "%s%s: in baseline but missing from results" label k
+      | Some rv when rv <> bv ->
+          problem "%s%s: baseline %d, got %d (%+d)" label k bv rv (rv - bv)
+      | Some _ -> ())
+    base_m;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k base_m) then
+        problem "%s%s: new metric not in baseline (regenerate BENCH_baseline.json)"
+          label k)
+    res_m
 
 let quick_flag path json =
   match Gem_util.Jsonx.to_bool (obj_field path json "quick") with
@@ -81,19 +106,22 @@ let () =
     problem "quick flags differ: baseline quick=%b, results quick=%b" bq rq;
   let base_m = metrics baseline_path baseline in
   let res_m = metrics results_path results in
-  List.iter
-    (fun (k, bv) ->
-      match List.assoc_opt k res_m with
-      | None -> problem "%s: in baseline but missing from results" k
-      | Some rv when rv <> bv ->
-          problem "%s: baseline %d, got %d (%+d)" k bv rv (rv - bv)
-      | Some _ -> ())
-    base_m;
-  List.iter
-    (fun (k, _) ->
-      if not (List.mem_assoc k base_m) then
-        problem "%s: new metric not in baseline (regenerate BENCH_baseline.json)" k)
-    res_m;
+  diff_section ~label:"" base_m res_m;
+  let serving_count =
+    match (serving baseline_path baseline, serving results_path results) with
+    | Some bs, Some rs ->
+        diff_section ~label:"serving/" bs rs;
+        List.length bs
+    | None, Some rs ->
+        problem
+          "serving: results have a serving section but the baseline has none \
+           (regenerate BENCH_baseline.json)";
+        List.length rs
+    | Some _, None ->
+        problem "serving: baseline has a serving section but the results have none";
+        0
+    | None, None -> 0
+  in
   (match
      ( Gem_util.Jsonx.to_obj (obj_field baseline_path baseline "wall_s"),
        Gem_util.Jsonx.to_obj (obj_field results_path results "wall_s") )
@@ -110,7 +138,9 @@ let () =
         rw
   | _ -> ());
   if !fail_count = 0 then (
-    Printf.printf "OK: %d metrics match %s\n" (List.length base_m) baseline_path;
+    Printf.printf "OK: %d metrics match %s\n"
+      (List.length base_m + serving_count)
+      baseline_path;
     exit 0)
   else (
     Printf.printf "%d regression(s) against %s\n" !fail_count baseline_path;

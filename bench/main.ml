@@ -22,6 +22,12 @@ let metrics : (string * int) list ref = ref []
 let walls : (string * float) list ref = ref []
 let metric name v = metrics := (name, v) :: !metrics
 
+(* Serving measurements live in their own gated section: they come from the
+   open-loop serving layer (lib/serve) rather than a paper figure, and the
+   regression gate diffs them with the same exact-match bar. *)
+let serving : (string * int) list ref = ref []
+let serving_metric name v = serving := (name, v) :: !serving
+
 let slug s =
   String.map
     (fun c ->
@@ -49,6 +55,11 @@ let write_results ~quick path =
             (List.sort
                (fun (a, _) (b, _) -> compare a b)
                (List.rev_map (fun (k, v) -> (k, Int v)) !metrics)) );
+        ( "serving",
+          Obj
+            (List.sort
+               (fun (a, _) (b, _) -> compare a b)
+               (List.rev_map (fun (k, v) -> (k, Int v)) !serving)) );
         ( "wall_s",
           Obj (List.rev_map (fun (k, v) -> (k, Float v)) !walls) );
       ]
@@ -241,6 +252,53 @@ let run_persist_bench () =
         "  snapshot %s bytes; serialize %.1f ms, deserialize %.1f ms (avg of %d)\n"
         (Gem_util.Table.fmt_int bytes) (ser *. 1e3) (de *. 1e3) rounds)
 
+(* Serving: open-loop Poisson traffic sharded over 2 Gemmini cores, on both
+   the cycle-accurate SoC and the analytic estimator. Every contributed
+   number is a deterministic function of the seed, so the regression gate
+   holds them to exact equality (the CI serving gate in ci.yml additionally
+   re-runs the CLI twice and compares bytes). *)
+let run_serving_bench () =
+  timed "Serving: 2-core open-loop latency/throughput" (fun () ->
+      let scenario backend =
+        {
+          Gem_serve.Serve.default with
+          Gem_serve.Serve.sv_model = "mobilenetv2";
+          sv_scale = 32;
+          sv_backend = backend;
+          sv_arrival = Gem_serve.Arrival.Poisson { rate_rps = 4000. };
+          sv_batch = Gem_serve.Batch.Fixed 2;
+          sv_duration_ms = 1.5;
+          sv_slos_ms = [ 2.0 ];
+          sv_seed = 42;
+        }
+      in
+      List.iter
+        (fun (tag, backend) ->
+          let r = Gem_serve.Serve.run (scenario backend) in
+          let rp = r.Gem_serve.Serve.sr_report in
+          let lat = rp.Gem_serve.Slo.rp_latency in
+          serving_metric (tag ^ ".offered") rp.Gem_serve.Slo.rp_offered;
+          serving_metric (tag ^ ".completed") rp.Gem_serve.Slo.rp_completed;
+          serving_metric (tag ^ ".horizon_cycles") rp.Gem_serve.Slo.rp_horizon;
+          serving_metric (tag ^ ".p50_cycles")
+            (int_of_float lat.Gem_util.Stats.Histogram.p50);
+          serving_metric (tag ^ ".p95_cycles")
+            (int_of_float lat.Gem_util.Stats.Histogram.p95);
+          serving_metric (tag ^ ".max_cycles")
+            (int_of_float lat.Gem_util.Stats.Histogram.max);
+          serving_metric (tag ^ ".batches")
+            (List.length r.Gem_serve.Serve.sr_dispatches);
+          List.iter
+            (fun (core, n) ->
+              serving_metric (Printf.sprintf "%s.core%d" tag core) n)
+            rp.Gem_serve.Slo.rp_per_core;
+          Printf.printf "  %-8s %d/%d requests, horizon %s cycles, p95 %.3f ms\n"
+            tag rp.Gem_serve.Slo.rp_completed rp.Gem_serve.Slo.rp_offered
+            (Gem_util.Table.fmt_int rp.Gem_serve.Slo.rp_horizon)
+            (Gem_serve.Slo.ms_of_cycles
+               (int_of_float lat.Gem_util.Stats.Histogram.p95)))
+        [ ("cycle", Gem_sw.Backend.Cycle); ("analytic", Gem_sw.Backend.Analytic) ])
+
 (* --- bechamel microbenchmarks of simulator hot paths ----------------------- *)
 
 let micro () =
@@ -367,6 +425,7 @@ let () =
   if all || has "trace" then run_trace_overhead ();
   if all || has "analytic" then run_analytic_bench ();
   if all || has "persist" then run_persist_bench ();
+  if all || has "serving" then run_serving_bench ();
   if all || has "micro" then micro ();
   write_results ~quick "BENCH_results.json";
   Printf.printf "\nDone.\n"

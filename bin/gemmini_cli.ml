@@ -717,6 +717,232 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce a table/figure from the paper.")
     Term.(const run $ id $ quick)
 
+(* --- serve: open-loop multi-core serving ------------------------------------- *)
+
+let serve_cmd =
+  let module Serve = Gem_serve.Serve in
+  let run p model scale backend cores_list arrival seed batch slos duration
+      no_warmup out trace_out warm warm_out rates jobs =
+    let name = model.Gem_dnn.Layer.model_name in
+    let scenario_for ~cores ~arrival =
+      {
+        Serve.sv_model = name;
+        sv_scale = scale;
+        sv_soc = Serve.config_for ~cores p;
+        sv_backend = backend;
+        sv_mode = Runtime.Accel { im2col_on_accel = true };
+        sv_arrival = arrival;
+        sv_seed = seed;
+        sv_batch = batch;
+        sv_slos_ms = slos;
+        sv_duration_ms = duration;
+        sv_warmup = not no_warmup;
+      }
+    in
+    match rates with
+    | None -> (
+        (* Single scenario: full report (or one CSV row) on stdout. *)
+        let cores =
+          match cores_list with
+          | [ n ] -> n
+          | _ ->
+              prerr_endline
+                "[serve] exactly one --cores value without --rates";
+              exit 2
+        in
+        if trace_out <> None && backend <> Gem_sw.Backend.Cycle then begin
+          prerr_endline "[serve] --trace-out needs the cycle backend";
+          exit 2
+        end;
+        let trace = ref None in
+        let attach =
+          if trace_out = None then None
+          else
+            Some (fun soc -> trace := Some (Gem_sim.Export.attach (Soc.engine soc)))
+        in
+        let result =
+          try
+            Serve.run ?attach ?warm_in:warm ?warm_out
+              (scenario_for ~cores ~arrival)
+          with Invalid_argument msg ->
+            Printf.eprintf "[serve] %s\n%!" msg;
+            exit 2
+        in
+        (match out with
+        | `Report -> print_string (Gem_serve.Report.render result)
+        | `Csv ->
+            print_string Gem_serve.Report.csv_header;
+            print_string (Gem_serve.Report.csv_row result));
+        match (trace_out, !trace) with
+        | Some file, Some c ->
+            Gem_sim.Export.finalize c;
+            Gem_sim.Export.write_chrome_file c file;
+            Printf.eprintf "[trace] wrote %s (chrome)\n%!" file
+        | _ -> ())
+    | Some rates ->
+        (* Throughput-vs-latency curve: arrival-rate x cores sweep through
+           the DSE executor (parallelizable with --jobs; results are
+           slotted by point index, so any job count prints identical
+           bytes). *)
+        if warm <> None || warm_out <> None || trace_out <> None then begin
+          prerr_endline
+            "[serve] --warm/--warm-out/--trace-out apply to single \
+             scenarios, not --rates curves";
+          exit 2
+        end;
+        let spec =
+          {
+            Gem_dse.Point.ss_arrival = Gem_serve.Arrival.spec_to_string arrival;
+            ss_batch = Gem_serve.Batch.policy_to_string batch;
+            ss_slo_ms = (match slos with s :: _ -> s | [] -> 10.0);
+            ss_duration_ms = duration;
+            ss_seed = seed;
+          }
+        in
+        let base =
+          Gem_dse.Point.make
+            ~soc:(Serve.config_for ~cores:(List.hd cores_list) p)
+            ~model:name ~scale ~backend ~serve:spec ()
+        in
+        let points =
+          Gem_dse.Sweep.cartesian ~base
+            [ Gem_dse.Sweep.cores cores_list; Gem_dse.Sweep.serve_rates rates ]
+        in
+        let rr = Gem_dse.Exec.run ~jobs ~cache:None points in
+        print_string (Gem_dse.Report.csv rr.Gem_dse.Exec.results)
+  in
+  let arrival_conv =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Gem_serve.Arrival.spec_of_string s)
+    in
+    let print fmt a =
+      Format.fprintf fmt "%s" (Gem_serve.Arrival.spec_to_string a)
+    in
+    Arg.conv (parse, print)
+  in
+  let batch_conv =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Gem_serve.Batch.policy_of_string s)
+    in
+    let print fmt b =
+      Format.fprintf fmt "%s" (Gem_serve.Batch.policy_to_string b)
+    in
+    Arg.conv (parse, print)
+  in
+  let cores =
+    Arg.(
+      value
+      & opt (list int) [ 2 ]
+      & info [ "cores" ]
+          ~doc:
+            "Gemmini cores sharing the L2/DRAM. A single value for one \
+             scenario; a comma-separated list becomes a sweep axis with \
+             --rates.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt arrival_conv (Gem_serve.Arrival.Poisson { rate_rps = 2000. })
+      & info [ "arrival" ]
+          ~doc:
+            "Arrival process: poisson:RATE, bursty:RATE:BURST or \
+             trace:FILE (one arrival cycle per line). Rates are requests \
+             per second at 1 GHz.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Arrival-stream seed; equal seeds give byte-identical runs.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt batch_conv Gem_serve.Batch.No_batch
+      & info [ "batch" ]
+          ~doc:
+            "Admission batching: none, fixed:N (greedy, size-capped) or \
+             deadline:N:WAIT_US (hold the head up to WAIT_US microseconds \
+             to fill a batch of N).")
+  in
+  let slos =
+    Arg.(
+      value
+      & opt (list float) [ 5.0; 10.0 ]
+      & info [ "slo-ms" ]
+          ~doc:"SLO targets in milliseconds (comma-separated).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"MS"
+          ~doc:"Arrival-window length in milliseconds.")
+  in
+  let no_warmup =
+    Arg.(
+      value & flag
+      & info [ "no-warmup" ]
+          ~doc:
+            "Skip the untimed per-core warmup inference (cold-start \
+             effects then land on the first requests).")
+  in
+  let out =
+    let fmt = Arg.enum [ ("report", `Report); ("csv", `Csv) ] in
+    Arg.(
+      value & opt fmt `Report
+      & info [ "out" ] ~doc:"Single-scenario output: report (default) or csv.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace of the serving run (request > network > \
+             layer spans) to $(docv). Cycle backend only.")
+  in
+  let warm =
+    Arg.(
+      value & opt (some string) None
+      & info [ "warm" ] ~docv:"FILE"
+          ~doc:
+            "Warm-start from a post-warmup SoC snapshot saved by \
+             --warm-out (same model/scale/cores), skipping the warmup \
+             re-simulation.")
+  in
+  let warm_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "warm-out" ] ~docv:"FILE"
+          ~doc:"Save the post-warmup SoC snapshot for later --warm runs.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "rates" ]
+          ~doc:
+            "Curve mode: sweep these Poisson arrival rates (req/s, \
+             comma-separated) x --cores through the DSE executor and \
+             print a throughput-vs-latency CSV.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for --rates curves; any value prints \
+             identical bytes.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve an open-loop request stream on a multi-core SoC \
+          (latency percentiles, SLO attainment, throughput curves).")
+    Term.(
+      const run $ params_term $ model_term $ scale_term $ backend_term
+      $ cores $ arrival $ seed $ batch $ slos $ duration $ no_warmup $ out
+      $ trace_out $ warm $ warm_out $ rates $ jobs)
+
 let () =
   let info =
     Cmd.info "gemmini_cli" ~version:"1.0.0"
@@ -730,6 +956,7 @@ let () =
             header_cmd;
             synth_cmd;
             run_cmd;
+            serve_cmd;
             sweep_cmd;
             xval_cmd;
             experiment_cmd;

@@ -186,6 +186,12 @@ let host_work t ~cycles =
   t.issue <- t.issue + cycles;
   t.s.host_cycles <- t.s.host_cycles + cycles
 
+let advance_to t ~cycle =
+  (* Idle time, not work: the issue cursor moves forward but no host
+     cycles are charged and no resource is occupied. A serving core
+     parked between request arrivals burns wall-clock, not utilization. *)
+  if cycle > t.issue then t.issue <- cycle
+
 let retire t finish =
   if finish > t.cmd_finish then t.cmd_finish <- finish;
   Queue.push finish t.rob;

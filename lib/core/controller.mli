@@ -61,6 +61,12 @@ val host_work : t -> cycles:int -> unit
 (** Host-CPU busy time (im2col, data marshalling) that blocks further
     command issue. *)
 
+val advance_to : t -> cycle:Gem_sim.Time.cycles -> unit
+(** Parks the issue cursor at [cycle] (no-op when it is already past):
+    pure idle time, charging no host cycles and no resource occupancy.
+    Used by the serving scheduler to make a core wait for the next
+    request arrival. *)
+
 val now : t -> Gem_sim.Time.cycles
 (** The issue cursor: when the host could dispatch the next command. *)
 

@@ -3,7 +3,9 @@
    caching". *)
 (* "2": backend seam — outcomes carry backend provenance and points hash
    the backend kind. *)
-let sim_version = "2"
+(* "3": serving — outcomes carry the serving measurement block (required
+   in the JSON round-trip, so "2" entries would read as misses anyway). *)
+let sim_version = "3"
 
 type t = { root : string; version_dir : string }
 

@@ -85,6 +85,59 @@ let evaluate_analytic (p : Point.t) base model : Outcome.t =
     comp_util;
   }
 
+(* Serving evaluation: the point's SoC runs the open-loop scenario (on
+   either backend) and the outcome carries the latency/throughput block.
+   total_cycles becomes the serving horizon — the batch-1 fields keep
+   their zeroes so nobody mistakes a serving outcome for an inference
+   outcome. *)
+let evaluate_serve (p : Point.t) base (spec : Point.serve_spec) : Outcome.t =
+  let parsed name = function
+    | Ok v -> v
+    | Error e ->
+        invalid_arg (Printf.sprintf "Gem_dse.Exec: bad %s: %s" name e)
+  in
+  let scenario =
+    {
+      Gem_serve.Serve.sv_model = p.Point.model;
+      sv_scale = p.Point.scale;
+      sv_soc = p.Point.soc;
+      sv_backend = p.Point.backend;
+      sv_mode = p.Point.mode;
+      sv_arrival =
+        parsed "arrival" (Gem_serve.Arrival.spec_of_string spec.Point.ss_arrival);
+      sv_seed = spec.Point.ss_seed;
+      sv_batch =
+        parsed "batch policy"
+          (Gem_serve.Batch.policy_of_string spec.Point.ss_batch);
+      sv_slos_ms = [ spec.Point.ss_slo_ms ];
+      sv_duration_ms = spec.Point.ss_duration_ms;
+      sv_warmup = true;
+    }
+  in
+  let r = Gem_serve.Serve.run scenario in
+  let rp = r.Gem_serve.Serve.sr_report in
+  let sum = rp.Gem_serve.Slo.rp_latency in
+  let ms c = c /. 1e6 in
+  {
+    base with
+    Outcome.backend = Gem_sw.Backend.kind_name p.Point.backend;
+    total_cycles = rp.Gem_serve.Slo.rp_horizon;
+    comp_util = r.Gem_serve.Serve.sr_comp_util;
+    comp_wait = r.Gem_serve.Serve.sr_comp_wait;
+    comp_p95_lat = r.Gem_serve.Serve.sr_comp_p95;
+    serve_offered = rp.Gem_serve.Slo.rp_offered;
+    serve_completed = rp.Gem_serve.Slo.rp_completed;
+    serve_p50_ms = ms sum.Gem_util.Stats.Histogram.p50;
+    serve_p95_ms = ms sum.Gem_util.Stats.Histogram.p95;
+    serve_p99_ms = ms sum.Gem_util.Stats.Histogram.p99;
+    serve_max_ms = ms sum.Gem_util.Stats.Histogram.max;
+    serve_throughput_rps = rp.Gem_serve.Slo.rp_throughput_rps;
+    serve_slo_attainment =
+      (match rp.Gem_serve.Slo.rp_attainment with
+      | (_, a) :: _ -> a
+      | [] -> 1.0);
+  }
+
 let evaluate (p : Point.t) : Outcome.t =
   let accel =
     match p.Point.soc.Soc_config.cores with
@@ -103,6 +156,9 @@ let evaluate (p : Point.t) : Outcome.t =
   in
   if not p.Point.simulate then base
   else begin
+    match p.Point.serve with
+    | Some spec -> evaluate_serve p base spec
+    | None ->
     let model =
       match Gem_dnn.Model_zoo.find p.Point.model with
       | Some m -> m

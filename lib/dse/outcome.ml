@@ -21,6 +21,15 @@ type t = {
   comp_util : (string * float) list;
   comp_wait : (string * int) list;
   comp_p95_lat : (string * float) list;
+  (* Serving scenario (zeroed unless the point carried a serve spec). *)
+  serve_offered : int;
+  serve_completed : int;
+  serve_p50_ms : float;
+  serve_p95_ms : float;
+  serve_p99_ms : float;
+  serve_max_ms : float;
+  serve_throughput_rps : float;
+  serve_slo_attainment : float;
 }
 
 let empty =
@@ -44,6 +53,14 @@ let empty =
     comp_util = [];
     comp_wait = [];
     comp_p95_lat = [];
+    serve_offered = 0;
+    serve_completed = 0;
+    serve_p50_ms = 0.;
+    serve_p95_ms = 0.;
+    serve_p99_ms = 0.;
+    serve_max_ms = 0.;
+    serve_throughput_rps = 0.;
+    serve_slo_attainment = 0.;
   }
 
 let to_json t =
@@ -78,6 +95,14 @@ let to_json t =
       ("comp_wait", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) t.comp_wait));
       ( "comp_p95_lat",
         J.Obj (List.map (fun (k, v) -> (k, J.Float v)) t.comp_p95_lat) );
+      ("serve_offered", J.Int t.serve_offered);
+      ("serve_completed", J.Int t.serve_completed);
+      ("serve_p50_ms", J.Float t.serve_p50_ms);
+      ("serve_p95_ms", J.Float t.serve_p95_ms);
+      ("serve_p99_ms", J.Float t.serve_p99_ms);
+      ("serve_max_ms", J.Float t.serve_max_ms);
+      ("serve_throughput_rps", J.Float t.serve_throughput_rps);
+      ("serve_slo_attainment", J.Float t.serve_slo_attainment);
     ]
 
 let of_json json =
@@ -140,6 +165,16 @@ let of_json json =
   let* comp_util = assoc "comp_util" J.to_float "float" in
   let* comp_wait = assoc "comp_wait" J.to_int "int" in
   let* comp_p95_lat = assoc "comp_p95_lat" J.to_float "float" in
+  (* Required like every other field: pre-serving cache entries must read
+     as misses now that serving points share the cache namespace. *)
+  let* serve_offered = field "serve_offered" J.to_int in
+  let* serve_completed = field "serve_completed" J.to_int in
+  let* serve_p50_ms = field "serve_p50_ms" J.to_float in
+  let* serve_p95_ms = field "serve_p95_ms" J.to_float in
+  let* serve_p99_ms = field "serve_p99_ms" J.to_float in
+  let* serve_max_ms = field "serve_max_ms" J.to_float in
+  let* serve_throughput_rps = field "serve_throughput_rps" J.to_float in
+  let* serve_slo_attainment = field "serve_slo_attainment" J.to_float in
   Ok
     {
       backend;
@@ -161,6 +196,14 @@ let of_json json =
       comp_util;
       comp_wait;
       comp_p95_lat;
+      serve_offered;
+      serve_completed;
+      serve_p50_ms;
+      serve_p95_ms;
+      serve_p99_ms;
+      serve_max_ms;
+      serve_throughput_rps;
+      serve_slo_attainment;
     }
 
 let class_cycles_of t klass =

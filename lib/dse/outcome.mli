@@ -39,6 +39,17 @@ type t = {
   comp_wait : (string * int) list;  (** total stall (wait) cycles *)
   comp_p95_lat : (string * float) list;
       (** p95 queue latency in cycles (request to service start) *)
+  (* Serving scenario measurements (zeroed unless the point carried a
+     {!Point.serve_spec}). *)
+  serve_offered : int;  (** requests in the arrival stream *)
+  serve_completed : int;
+  serve_p50_ms : float;  (** end-to-end latency percentiles *)
+  serve_p95_ms : float;
+  serve_p99_ms : float;
+  serve_max_ms : float;
+  serve_throughput_rps : float;
+  serve_slo_attainment : float;
+      (** fraction of offered requests inside the spec's SLO *)
 }
 
 val empty : t

@@ -1,6 +1,23 @@
 module Soc_config = Gem_soc.Soc_config
 module Runtime = Gem_sw.Runtime
 
+type serve_spec = {
+  ss_arrival : string;
+  ss_batch : string;
+  ss_slo_ms : float;
+  ss_duration_ms : float;
+  ss_seed : int;
+}
+
+let serve_default =
+  {
+    ss_arrival = "poisson:2000";
+    ss_batch = "none";
+    ss_slo_ms = 10.0;
+    ss_duration_ms = 5.0;
+    ss_seed = 42;
+  }
+
 type t = {
   label : string;
   soc : Soc_config.t;
@@ -11,19 +28,33 @@ type t = {
   simulate : bool;
   synth_host : Gemmini.Synthesis.host_cpu;
   tlb_window : float option;
+  serve : serve_spec option;
 }
 
 let make ?(label = "") ?(soc = Soc_config.default) ?(model = "resnet50")
     ?(scale = 1) ?(mode = Runtime.Accel { im2col_on_accel = true })
     ?(backend = Gem_sw.Backend.Cycle) ?(simulate = true)
-    ?(synth_host = Gemmini.Synthesis.Rocket) ?tlb_window () =
-  { label; soc; model; scale; mode; backend; simulate; synth_host; tlb_window }
+    ?(synth_host = Gemmini.Synthesis.Rocket) ?tlb_window ?serve () =
+  {
+    label;
+    soc;
+    model;
+    scale;
+    mode;
+    backend;
+    simulate;
+    synth_host;
+    tlb_window;
+    serve;
+  }
 
 let with_accel accel t =
   let accel = Gemmini.Params.validate_exn accel in
   { t with soc = Soc_config.map_accel (fun _ -> accel) t.soc }
 
 let with_backend backend t = { t with backend }
+let with_serve spec t = { t with serve = Some spec }
+let serve_or_default t = Option.value ~default:serve_default t.serve
 
 (* --- canonical serialization ------------------------------------------------ *)
 
@@ -122,6 +153,19 @@ let canonical t =
       group buf "tlb" (tlb_fields c.tlb);
       group buf "accel" (params_fields c.accel))
     s.Soc_config.cores;
+  (* Appended only when present: pre-serving points keep their digests
+     (and their cache entries) unchanged. *)
+  Option.iter
+    (fun sv ->
+      group buf "serve"
+        [
+          ("arrival", sv.ss_arrival);
+          ("batch", sv.ss_batch);
+          ("slo_ms", fl sv.ss_slo_ms);
+          ("duration_ms", fl sv.ss_duration_ms);
+          ("seed", string_of_int sv.ss_seed);
+        ])
+    t.serve;
   Buffer.contents buf
 
 let digest t = Digest.to_hex (Digest.string (canonical t))

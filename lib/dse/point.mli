@@ -10,6 +10,24 @@
     {!canonical}, which changes the hashes and naturally invalidates stale
     cache entries. *)
 
+type serve_spec = {
+  ss_arrival : string;
+      (** {!Gem_serve.Arrival.spec_of_string} syntax, e.g. ["poisson:2000"] *)
+  ss_batch : string;
+      (** {!Gem_serve.Batch.policy_of_string} syntax, e.g. ["fixed:4"] *)
+  ss_slo_ms : float;
+  ss_duration_ms : float;
+  ss_seed : int;
+}
+(** A serving workload riding on a design point: instead of one inference
+    per core, the evaluator drives the SoC with this open-loop arrival
+    stream and reports latency/throughput/SLO numbers. Specs are kept as
+    strings (parsed at evaluation time) so the canonical serialization
+    stays trivially stable. *)
+
+val serve_default : serve_spec
+(** Poisson 2000 req/s, no batching, 10 ms SLO, 5 ms window, seed 42. *)
+
 type t = {
   label : string;  (** display name in tables/CSV; not part of the hash *)
   soc : Gem_soc.Soc_config.t;
@@ -26,6 +44,9 @@ type t = {
   tlb_window : float option;
       (** when set, record the core-0 private-TLB miss-rate time series in
           windows of this many cycles (the Fig. 4 profile) *)
+  serve : serve_spec option;
+      (** when set, the point measures a serving scenario rather than a
+          single batch-1 inference *)
 }
 
 val make :
@@ -38,6 +59,7 @@ val make :
   ?simulate:bool ->
   ?synth_host:Gemmini.Synthesis.host_cpu ->
   ?tlb_window:float ->
+  ?serve:serve_spec ->
   unit ->
   t
 (** Defaults: empty label, {!Gem_soc.Soc_config.default}, ResNet50 at full
@@ -49,6 +71,12 @@ val with_accel : Gemmini.Params.t -> t -> t
 (** Replaces the accelerator of every core (validated). *)
 
 val with_backend : Gem_sw.Backend.kind -> t -> t
+
+val with_serve : serve_spec -> t -> t
+
+val serve_or_default : t -> serve_spec
+(** The point's serving spec, or {!serve_default} — what the serving
+    sweep axes transform. *)
 
 val canonical : t -> string
 (** Canonical serialization of every measurement-relevant field. Floats

@@ -14,12 +14,12 @@ let csv_field s =
 let csv rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "label,model,scale,total_cycles,fps_1ghz,fmax_ghz,area_mm2,power_mw,tlb_hit_rate,l2_miss_rate,mesh_util_pct,dma_util_pct,dma_wait_cycles,ld_wait_cycles,dma_p95_lat\n";
+    "label,model,scale,total_cycles,fps_1ghz,fmax_ghz,area_mm2,power_mw,tlb_hit_rate,l2_miss_rate,mesh_util_pct,dma_util_pct,dma_wait_cycles,ld_wait_cycles,dma_p95_lat,serve_offered,serve_completed,serve_throughput_rps,serve_p50_ms,serve_p95_ms,serve_p99_ms,serve_slo_attainment\n";
   Array.iter
     (fun ((p : Point.t), (o : Outcome.t)) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.1f,%.4f,%.4f,%.2f,%.2f,%d,%d,%.1f\n"
+           "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.1f,%.4f,%.4f,%.2f,%.2f,%d,%d,%.1f,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f\n"
            (csv_field p.Point.label) (csv_field p.Point.model) p.Point.scale
            o.Outcome.total_cycles (fps_1ghz o) o.Outcome.fmax_ghz
            (o.Outcome.total_area_um2 /. 1e6)
@@ -27,7 +27,10 @@ let csv rows =
            (100. *. Outcome.util_of o "mesh")
            (100. *. Outcome.util_of o "dma")
            (Outcome.wait_of o "dma") (Outcome.wait_of o "/ld")
-           (Outcome.p95_lat_of o "dma")))
+           (Outcome.p95_lat_of o "dma") o.Outcome.serve_offered
+           o.Outcome.serve_completed o.Outcome.serve_throughput_rps
+           o.Outcome.serve_p50_ms o.Outcome.serve_p95_ms
+           o.Outcome.serve_p99_ms o.Outcome.serve_slo_attainment))
     rows;
   Buffer.contents buf
 

@@ -20,6 +20,58 @@ let backends ?(kinds = Gem_sw.Backend.all_kinds) () =
         kinds;
   }
 
+let cores counts =
+  {
+    axis_name = "cores";
+    axis_values =
+      List.map
+        (fun n ->
+          ( string_of_int n,
+            fun (p : Point.t) ->
+              match p.Point.soc.Gem_soc.Soc_config.cores with
+              | [] -> invalid_arg "Gem_dse.Sweep.cores: SoC has no cores"
+              | proto :: _ ->
+                  {
+                    p with
+                    Point.soc =
+                      Gem_soc.Soc_config.with_cores
+                        (List.init n (fun _ -> proto))
+                        p.Point.soc;
+                  } ))
+        counts;
+  }
+
+let serve_rates rates =
+  {
+    axis_name = "arrival_rps";
+    axis_values =
+      List.map
+        (fun r ->
+          ( Printf.sprintf "%g" r,
+            fun p ->
+              Point.with_serve
+                {
+                  (Point.serve_or_default p) with
+                  Point.ss_arrival = Printf.sprintf "poisson:%g" r;
+                }
+                p ))
+        rates;
+  }
+
+let serve_batches policies =
+  {
+    axis_name = "batch";
+    axis_values =
+      List.map
+        (fun b ->
+          ( b,
+            fun p ->
+              Point.with_serve
+                { (Point.serve_or_default p) with Point.ss_batch = b }
+                p ))
+        policies;
+  }
+
 let cartesian ?(sep = "/") ~base axes =
   let rec expand labels point = function
     | [] ->

@@ -23,6 +23,22 @@ val backends : ?kinds:Gem_sw.Backend.kind list -> unit -> axis
     cache entries stay distinct because the backend is part of the point
     hash. *)
 
+val cores : int list -> axis
+(** SoC-size axis: replicates the base point's first core config [n]
+    times on the same shared memory system, so the serving sweeps span
+    single- to many-core chips. *)
+
+val serve_rates : float list -> axis
+(** Serving arrival-rate axis (Poisson, requests/second): installs
+    [poisson:R] into the point's serving spec (starting from
+    {!Point.serve_or_default}), labeled ["%g"]. The throughput-vs-latency
+    curve axis. *)
+
+val serve_batches : string list -> axis
+(** Serving batching-policy axis over
+    {!Gem_serve.Batch.policy_of_string} strings (["none"], ["fixed:4"],
+    ["deadline:8:500"], ...). *)
+
 val cartesian : ?sep:string -> base:Point.t -> axis list -> Point.t array
 (** Product of all axes over [base]; each point's label is the value
     labels joined by [sep] (default ["/"]), appended to the base label

@@ -1,0 +1,42 @@
+(** Open-loop request generators.
+
+    A serving experiment is driven by an arrival process that does not
+    react to the system under test (open loop): requests keep coming at
+    their scheduled cycles whether or not the accelerator has fallen
+    behind, which is what exposes queueing delay under overload.
+
+    All stochastic choices draw from a seeded {!Gem_util.Rng} (splitmix64),
+    so a given [(spec, seed, duration)] triple reproduces the exact same
+    arrival stream byte-for-byte — the foundation of the CI serving
+    determinism gate. *)
+
+type request = {
+  rq_id : int;  (** 0-based, in arrival order *)
+  rq_arrival : Gem_sim.Time.cycles;  (** cycles from the serving origin *)
+}
+
+type spec =
+  | Poisson of { rate_rps : float }
+      (** exponential inter-arrival gaps with mean [1e9 / rate] cycles
+          (requests per second at 1 GHz) *)
+  | Bursty of { rate_rps : float; burst : int }
+      (** bursts of [burst] back-to-back requests; burst starts are
+          Poisson with the mean spaced so the long-run rate is
+          [rate_rps] *)
+  | Trace of string
+      (** arrival cycles read from a file: one integer per line, [#]
+          comments and blank lines ignored *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses ["poisson:RATE"], ["bursty:RATE:BURST"] and ["trace:FILE"]. *)
+
+val spec_to_string : spec -> string
+(** Round-trips with {!spec_of_string} (rates rendered with [%g]). *)
+
+val generate :
+  spec -> seed:int -> duration:Gem_sim.Time.cycles -> request array
+(** The arrival stream: requests with cycles in [[0, duration)], sorted by
+    arrival time (ties keep generation order), ids [0..n-1]. Equal
+    arguments produce equal arrays. Trace files are filtered to the
+    duration window like generated streams; a malformed line or an
+    unreadable file raises [Invalid_argument]/[Sys_error]. *)

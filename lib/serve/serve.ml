@@ -1,0 +1,262 @@
+module Soc = Gem_soc.Soc
+module Soc_config = Gem_soc.Soc_config
+module Runtime = Gem_sw.Runtime
+module J = Gem_util.Jsonx
+
+type scenario = {
+  sv_model : string;
+  sv_scale : int;
+  sv_soc : Soc_config.t;
+  sv_backend : Gem_sw.Backend.kind;
+  sv_mode : Gem_sw.Runtime.mode;
+  sv_arrival : Arrival.spec;
+  sv_seed : int;
+  sv_batch : Batch.policy;
+  sv_slos_ms : float list;
+  sv_duration_ms : float;
+  sv_warmup : bool;
+}
+
+let config_for ~cores accel =
+  Soc_config.with_cores
+    (List.init cores (fun _ -> { Soc_config.default_core with accel }))
+    Soc_config.default
+
+let cores sv = List.length sv.sv_soc.Soc_config.cores
+
+let default =
+  {
+    sv_model = "mobilenetv2";
+    sv_scale = 16;
+    sv_soc = config_for ~cores:2 Gemmini.Params.default;
+    sv_backend = Gem_sw.Backend.Cycle;
+    sv_mode = Runtime.Accel { im2col_on_accel = true };
+    sv_arrival = Arrival.Poisson { rate_rps = 2000. };
+    sv_seed = 42;
+    sv_batch = Batch.Fixed 4;
+    sv_slos_ms = [ 5.0; 10.0 ];
+    sv_duration_ms = 5.0;
+    sv_warmup = true;
+  }
+
+type result = {
+  sr_scenario : scenario;
+  sr_report : Slo.report;
+  sr_completions : Slo.completion list;
+  sr_dispatches : (int * int list) list;
+  sr_comp_util : (string * float) list;
+  sr_comp_wait : (string * int) list;
+  sr_comp_p95 : (string * float) list;
+}
+
+let resolve_model sv =
+  match Gem_dnn.Model_zoo.find sv.sv_model with
+  | None ->
+      invalid_arg (Printf.sprintf "Gem_serve: unknown model %S" sv.sv_model)
+  | Some m ->
+      if sv.sv_scale = 1 then m
+      else Gem_dnn.Model_zoo.scale_model ~factor:sv.sv_scale m
+
+let by_id completions =
+  List.sort (fun a b -> compare a.Slo.c_id b.Slo.c_id) completions
+
+(* --- analytic backend: pure event loop over a closed-form service time --- *)
+
+let run_analytic ?hist sv =
+  let model = resolve_model sv in
+  let ncores = cores sv in
+  (* Price one inference under steady-state contention: all cores active
+     on the shared L2 port / DRAM floors. *)
+  let detail =
+    Gem_sw.Backend_analytic.estimate_core sv.sv_soc ~core:0 ~cores:ncores
+      model ~mode:sv.sv_mode ~policy:Runtime.Abort ~watchdog:None
+  in
+  let svc =
+    max 1 detail.Gem_sw.Backend_analytic.d_result.Runtime.r_total_cycles
+  in
+  let duration = Slo.cycles_of_ms sv.sv_duration_ms in
+  let arrivals = Arrival.generate sv.sv_arrival ~seed:sv.sv_seed ~duration in
+  let n = Array.length arrivals in
+  let free = Array.make ncores 0 in
+  let served = Array.make ncores 0 in
+  let next = ref 0 in
+  let completions = ref [] in
+  let dispatches = ref [] in
+  while !next < n do
+    (* Mirror of the cycle scheduler's claiming discipline: the earliest-
+       free core takes the queue head; ties go to the lowest index. *)
+    let core = ref 0 in
+    for i = 1 to ncores - 1 do
+      if free.(i) < free.(!core) then core := i
+    done;
+    let i = !core in
+    let k, start =
+      Batch.form sv.sv_batch ~arrivals ~next:!next ~free:free.(i)
+    in
+    let ids = ref [] in
+    for j = 0 to k - 1 do
+      let rq = arrivals.(!next + j) in
+      ids := rq.Arrival.rq_id :: !ids;
+      completions :=
+        {
+          Slo.c_id = rq.Arrival.rq_id;
+          c_core = i;
+          c_arrival = rq.Arrival.rq_arrival;
+          c_start = start + (j * svc);
+          c_finish = start + ((j + 1) * svc);
+        }
+        :: !completions
+    done;
+    dispatches := (i, List.rev !ids) :: !dispatches;
+    next := !next + k;
+    free.(i) <- start + (k * svc);
+    served.(i) <- served.(i) + k
+  done;
+  let completions = List.rev !completions in
+  let horizon =
+    List.fold_left (fun acc c -> max acc c.Slo.c_finish) 1 completions
+  in
+  let comp_util =
+    List.init ncores (fun i ->
+        ( Printf.sprintf "core%d/mesh" i,
+          float_of_int
+            (served.(i) * detail.Gem_sw.Backend_analytic.d_mesh_busy)
+          /. float_of_int horizon ))
+  in
+  {
+    sr_scenario = sv;
+    sr_report =
+      Slo.analyze ?hist ~origin:0 ~offered:n ~cores:ncores
+        ~slos_ms:sv.sv_slos_ms completions;
+    sr_completions = by_id completions;
+    sr_dispatches = List.rev !dispatches;
+    sr_comp_util = comp_util;
+    sr_comp_wait = [];
+    sr_comp_p95 = [];
+  }
+
+(* --- cycle backend: the real SoC --------------------------------------- *)
+
+let warm_meta sv base =
+  [
+    ("kind", J.String "serve-warm");
+    ("model", J.String sv.sv_model);
+    ("scale", J.Int sv.sv_scale);
+    ("cores", J.Int (cores sv));
+    ("mode", J.String (Runtime.mode_desc sv.sv_mode));
+    ("finish", J.Int base);
+  ]
+
+let check_warm_meta sv meta =
+  let str k =
+    match List.assoc_opt k meta with Some (J.String s) -> Some s | _ -> None
+  in
+  let int k =
+    match List.assoc_opt k meta with Some (J.Int i) -> Some i | _ -> None
+  in
+  let ok =
+    str "kind" = Some "serve-warm"
+    && str "model" = Some sv.sv_model
+    && int "scale" = Some sv.sv_scale
+    && int "cores" = Some (cores sv)
+    && str "mode" = Some (Runtime.mode_desc sv.sv_mode)
+  in
+  if not ok then
+    invalid_arg
+      "Gem_serve: warm-start envelope does not match this scenario \
+       (model/scale/cores/mode)"
+
+let run_cycle ?hist ?attach ?warm_in ?warm_out sv =
+  let model = resolve_model sv in
+  let duration = Slo.cycles_of_ms sv.sv_duration_ms in
+  let arrivals = Arrival.generate sv.sv_arrival ~seed:sv.sv_seed ~duration in
+  let ncores = cores sv in
+  let soc = Soc.create sv.sv_soc in
+  (* Internal collector: queue-latency histograms only. An extra span-
+     recording collector (Chrome trace) rides in via [attach]; neither
+     perturbs simulated timing. *)
+  let collector = Gem_sim.Export.attach ~spans:false (Soc.engine soc) in
+  Option.iter (fun f -> f soc) attach;
+  (* Tensor allocation is deterministic, so sessions made on the fresh
+     SoC compute the same addresses a warm snapshot was taken over;
+     restoring afterwards overlays the identical allocator state. *)
+  let sessions =
+    Array.init ncores (fun i ->
+        Runtime.make_session soc ~core:i model ~mode:sv.sv_mode)
+  in
+  (match warm_in with
+  | Some path -> (
+      match Gem_persist.Persist.load ~path with
+      | Error reason ->
+          invalid_arg
+            (Printf.sprintf "Gem_serve: cannot load warm state %s: %s" path
+               reason)
+      | Ok (meta, payload) ->
+          check_warm_meta sv meta;
+          Soc.restore soc payload)
+  | None ->
+      if sv.sv_warmup then begin
+        (* One inference per core, contending — the steady state the
+           measured window continues from. Completions are discarded. *)
+        let programs =
+          Array.map
+            (fun s -> Runtime.request_ops s ~records:(ref []))
+            sessions
+        in
+        ignore (Soc.run_parallel soc programs)
+      end);
+  let base = Soc.finish_time soc in
+  Option.iter
+    (fun path ->
+      Gem_persist.Persist.save ~path ~meta:(warm_meta sv base)
+        ~payload:(Soc.snapshot soc))
+    warm_out;
+  let arrivals =
+    Array.map
+      (fun r -> { r with Arrival.rq_arrival = r.Arrival.rq_arrival + base })
+      arrivals
+  in
+  let sched =
+    Sched.run soc ~sessions ~arrivals ~policy:sv.sv_batch
+  in
+  let horizon_abs = max 1 (Soc.finish_time soc) in
+  let engine_stats = Gem_sim.Engine.stats (Soc.engine soc) in
+  let comp_util =
+    List.map
+      (fun (s : Gem_sim.Engine.stat) ->
+        ( s.Gem_sim.Engine.stat_name,
+          float_of_int s.Gem_sim.Engine.stat_busy /. float_of_int horizon_abs
+        ))
+      engine_stats
+  in
+  let comp_wait =
+    List.map
+      (fun (s : Gem_sim.Engine.stat) ->
+        (s.Gem_sim.Engine.stat_name, s.Gem_sim.Engine.stat_wait))
+      engine_stats
+  in
+  let comp_p95 =
+    List.map
+      (fun (name, _, (s : Gem_util.Stats.Histogram.summary)) ->
+        (name, s.Gem_util.Stats.Histogram.p95))
+      (Gem_sim.Export.latency collector)
+  in
+  {
+    sr_scenario = sv;
+    sr_report =
+      Slo.analyze ?hist ~origin:base ~offered:(Array.length arrivals)
+        ~cores:ncores ~slos_ms:sv.sv_slos_ms sched.Sched.sc_completions;
+    sr_completions = by_id sched.Sched.sc_completions;
+    sr_dispatches = sched.Sched.sc_dispatches;
+    sr_comp_util = comp_util;
+    sr_comp_wait = comp_wait;
+    sr_comp_p95 = comp_p95;
+  }
+
+let run ?hist ?attach ?warm_in ?warm_out sv =
+  match sv.sv_backend with
+  | Gem_sw.Backend.Cycle -> run_cycle ?hist ?attach ?warm_in ?warm_out sv
+  | Gem_sw.Backend.Analytic ->
+      if warm_in <> None || warm_out <> None then
+        invalid_arg "Gem_serve: warm start needs the cycle backend";
+      run_analytic ?hist sv

@@ -435,14 +435,16 @@ let layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer =
       in
       List.concat (List.init mm.Layer.count instance)
 
-let plan_ops_with ?(start_layer = 0) ?(resume_finish = 0) ?on_layer soc core
-    model ~mode ~records ~guard =
+(* Emission over pre-allocated tensors: the shared core of one-shot plans
+   ([plan_ops_with] allocates then emits) and serving re-entry
+   ([request_ops] allocates once per session, then emits per request).
+   [rebase] prepends a zero-cost marker that rebases the per-layer cycle
+   accounting on the core's finish horizon at execution time — a request
+   dispatched mid-run then reports layer cycles relative to its own start
+   rather than to cycle 0. *)
+let network_ops ?(start_layer = 0) ?(resume_finish = 0) ?(rebase = false)
+    ?on_layer soc core model ~mode ~records ~guard ~tensors =
   let functional = Option.is_some (Soc.mainmem soc) in
-  (* Tensor allocation always covers the WHOLE network, even when
-     execution starts mid-way: the bump allocators are deterministic, so
-     a resumed run recomputes the exact addresses of the interrupted one
-     and the restored snapshot's mappings line up. *)
-  let tensors = allocate_tensors soc core model ~functional in
   let layers = Array.of_list model.Layer.layers in
   let cpu = Soc.cpu core in
   let last_finish = ref resume_finish in
@@ -523,13 +525,66 @@ let plan_ops_with ?(start_layer = 0) ?(resume_finish = 0) ?on_layer soc core
            Gemmini.Controller.finish_time)
     else Seq.empty
   in
+  let head =
+    if rebase then
+      Seq.cons
+        (Soc.Marker
+           (fun core ->
+             last_finish :=
+               Gemmini.Controller.finish_time (Soc.controller core)))
+        head
+    else head
+  in
   Seq.append head
     (Seq.append body
        (Seq.return
           (span_close_marker ~name:net_name Gemmini.Controller.finish_time)))
 
+let plan_ops_with ?start_layer ?resume_finish ?on_layer soc core model ~mode
+    ~records ~guard =
+  (* Tensor allocation always covers the WHOLE network, even when
+     execution starts mid-way: the bump allocators are deterministic, so
+     a resumed run recomputes the exact addresses of the interrupted one
+     and the restored snapshot's mappings line up. *)
+  let functional = Option.is_some (Soc.mainmem soc) in
+  let tensors = allocate_tensors soc core model ~functional in
+  network_ops ?start_layer ?resume_finish ?on_layer soc core model ~mode
+    ~records ~guard ~tensors
+
 let plan_ops soc core model ~mode ~records =
   plan_ops_with soc core model ~mode ~records ~guard:None
+
+(* --- serving re-entry --------------------------------------------------------- *)
+
+(* A session pins one model to one core with its tensors allocated exactly
+   once; every subsequent request re-executes the network over the same
+   virtual addresses (weights resident, activation buffers reused), the
+   way a warm inference server never re-loads a model per request. *)
+type session = {
+  se_soc : Soc.t;
+  se_core : Soc.core;
+  se_model : Layer.model;
+  se_mode : mode;
+  se_tensors : tensors;
+}
+
+let make_session soc ~core:core_idx model ~mode =
+  let core = Soc.core soc core_idx in
+  let functional = Option.is_some (Soc.mainmem soc) in
+  {
+    se_soc = soc;
+    se_core = core;
+    se_model = model;
+    se_mode = mode;
+    se_tensors = allocate_tensors soc core model ~functional;
+  }
+
+let session_core s = s.se_core
+let session_model s = s.se_model
+
+let request_ops session ~records =
+  network_ops ~rebase:true session.se_soc session.se_core session.se_model
+    ~mode:session.se_mode ~records ~guard:None ~tensors:session.se_tensors
 
 let make_result soc core_id model mode records total ~faults =
   {

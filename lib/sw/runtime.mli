@@ -82,6 +82,32 @@ val plan_ops :
     happens immediately; per-layer ops materialize as the stream is
     consumed. *)
 
+(* Serving re-entry: one allocation, many inferences. *)
+
+type session
+(** A model pinned to one core with its tensors allocated exactly once.
+    Each {!request_ops} stream re-executes the network over the same
+    virtual addresses — weights stay resident, activation buffers are
+    reused — so a serving run's address space and page tables do not grow
+    with the request count. *)
+
+val make_session :
+  Gem_soc.Soc.t -> core:int -> Gem_dnn.Layer.model -> mode:mode -> session
+(** Allocates the model's tensors on the core (deterministic bump
+    allocation, exactly as {!run} would). *)
+
+val session_core : session -> Gem_soc.Soc.core
+val session_model : session -> Gem_dnn.Layer.model
+
+val request_ops : session -> records:layer_record list ref -> Gem_soc.Soc.op Seq.t
+(** The command stream of one inference over the session's tensors,
+    including the network/layer span markers and per-layer fences. The
+    stream starts with a zero-cost marker rebasing per-layer cycle
+    accounting on the core's finish horizon at dispatch, so [records]
+    report cycles relative to the request's own start. Traps propagate
+    ({!Abort} semantics); serving drivers decide recovery above this
+    level. *)
+
 val run :
   ?policy:policy ->
   ?watchdog:int ->

@@ -98,6 +98,14 @@ module Histogram = struct
   let count t = t.n
   let max t = t.raw_max
 
+  (* Percentile state accumulates monotonically; a histogram reused across
+     measurement runs (e.g. one serving scenario after another) must be
+     reset in between or the summaries smear samples from both runs. *)
+  let reset t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.n <- 0;
+    t.raw_max <- nan
+
   let percentile t p =
     if t.n = 0 then nan
     else begin

@@ -56,6 +56,12 @@ module Histogram : sig
   val max : t -> float
   (** Exact largest sample seen (pre-clamping). [nan] when empty. *)
 
+  val reset : t -> unit
+  (** Empties the histogram (bucket counts, sample count, recorded max) so
+      it can be reused for an independent measurement run. Percentile
+      summaries of a reused, unreset histogram would smear the runs
+      together. *)
+
   val percentile : t -> float -> float
   (** [percentile t p] approximates the [p]-th percentile ([0 <= p <= 100])
       using bucket midpoints. [nan] when empty. *)

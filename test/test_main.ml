@@ -17,6 +17,7 @@ let () =
       ("loop_ws", Test_loop_ws.suite);
       ("fault", Test_fault.suite);
       ("persist", Test_persist.suite);
+      ("serve", Test_serve.suite);
       ("dse", Test_dse.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);

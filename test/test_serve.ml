@@ -1,0 +1,285 @@
+(* gem_serve: arrival streams, batching policies, the multi-core serving
+   scheduler, and SLO accounting. *)
+
+open Gem_serve
+
+let req id arrival = { Arrival.rq_id = id; rq_arrival = arrival }
+
+(* --- arrival generators ------------------------------------------------- *)
+
+let test_arrival_determinism () =
+  let spec = Arrival.Poisson { rate_rps = 100_000. } in
+  let a = Arrival.generate spec ~seed:7 ~duration:1_000_000 in
+  let b = Arrival.generate spec ~seed:7 ~duration:1_000_000 in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  let c = Arrival.generate spec ~seed:8 ~duration:1_000_000 in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  Alcotest.(check bool) "nonempty" true (Array.length a > 0);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) "ids are positional" i r.Arrival.rq_id;
+      Alcotest.(check bool) "inside window" true
+        (r.Arrival.rq_arrival >= 0 && r.Arrival.rq_arrival < 1_000_000);
+      if i > 0 then
+        Alcotest.(check bool) "sorted" true
+          (a.(i - 1).Arrival.rq_arrival <= r.Arrival.rq_arrival))
+    a;
+  (* ~100k req/s over 1 ms is ~100 arrivals; allow generous slack. *)
+  let n = Array.length a in
+  Alcotest.(check bool) "rate plausible" true (n > 50 && n < 200)
+
+let test_arrival_bursty () =
+  let spec = Arrival.Bursty { rate_rps = 100_000.; burst = 4 } in
+  let a = Arrival.generate spec ~seed:3 ~duration:1_000_000 in
+  Alcotest.(check bool) "nonempty" true (Array.length a > 0);
+  Alcotest.(check int) "whole bursts" 0 (Array.length a mod 4);
+  (* Members of one burst share an arrival cycle. *)
+  Array.iteri
+    (fun i r ->
+      if i mod 4 <> 0 then
+        Alcotest.(check int) "burst member shares cycle"
+          a.(i - 1).Arrival.rq_arrival r.Arrival.rq_arrival)
+    a
+
+let test_arrival_trace () =
+  let file = Filename.temp_file "arrivals" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "300\n# comment\n\n100\n999999999\n0\n";
+      close_out oc;
+      let a =
+        Arrival.generate (Arrival.Trace file) ~seed:0 ~duration:1_000_000
+      in
+      (* Sorted, ids reassigned in time order, out-of-window dropped. *)
+      Alcotest.(check (list (pair int int)))
+        "parsed, sorted, windowed"
+        [ (0, 0); (1, 100); (2, 300) ]
+        (Array.to_list
+           (Array.map (fun r -> (r.Arrival.rq_id, r.Arrival.rq_arrival)) a)))
+
+let test_arrival_parse () =
+  (match Arrival.spec_of_string "poisson:2500" with
+  | Ok (Arrival.Poisson { rate_rps }) ->
+      Alcotest.(check (float 1e-9)) "rate" 2500. rate_rps
+  | _ -> Alcotest.fail "poisson parse");
+  (match Arrival.spec_of_string "bursty:1000:8" with
+  | Ok (Arrival.Bursty { rate_rps; burst }) ->
+      Alcotest.(check (float 1e-9)) "rate" 1000. rate_rps;
+      Alcotest.(check int) "burst" 8 burst
+  | _ -> Alcotest.fail "bursty parse");
+  (match Arrival.spec_of_string "trace:/tmp/a:b.txt" with
+  | Ok (Arrival.Trace f) ->
+      Alcotest.(check string) "path keeps colons" "/tmp/a:b.txt" f
+  | _ -> Alcotest.fail "trace parse");
+  Alcotest.(check bool) "bad spec rejected" true
+    (Result.is_error (Arrival.spec_of_string "uniform:10"));
+  Alcotest.(check bool) "bad rate rejected" true
+    (Result.is_error (Arrival.spec_of_string "poisson:-5"))
+
+(* --- batching policies --------------------------------------------------- *)
+
+let test_batch_no_batch () =
+  let arrivals = [| req 0 100; req 1 100; req 2 100 |] in
+  let k, start = Batch.form Batch.No_batch ~arrivals ~next:0 ~free:0 in
+  Alcotest.(check (pair int int)) "single, at arrival" (1, 100) (k, start);
+  let k, start = Batch.form Batch.No_batch ~arrivals ~next:1 ~free:500 in
+  Alcotest.(check (pair int int)) "single, when free" (1, 500) (k, start)
+
+let test_batch_fixed () =
+  let arrivals = [| req 0 0; req 1 10; req 2 20; req 3 1000 |] in
+  (* Greedy: everything already waiting at t0 rides, stragglers don't. *)
+  let k, start = Batch.form (Batch.Fixed 4) ~arrivals ~next:0 ~free:50 in
+  Alcotest.(check (pair int int)) "waiting requests ride" (3, 50) (k, start);
+  (* Capacity caps the batch. *)
+  let k, _ = Batch.form (Batch.Fixed 2) ~arrivals ~next:0 ~free:50 in
+  Alcotest.(check int) "capacity respected" 2 k;
+  (* Never waits for future arrivals. *)
+  let k, start = Batch.form (Batch.Fixed 4) ~arrivals ~next:3 ~free:50 in
+  Alcotest.(check (pair int int)) "head alone" (1, 1000) (k, start)
+
+let test_batch_deadline () =
+  let dl = Batch.Deadline { capacity = 3; max_wait = 100 } in
+  (* Fills before the deadline: dispatch when the last seat is taken. *)
+  let arrivals = [| req 0 0; req 1 50; req 2 80; req 3 500 |] in
+  let k, start = Batch.form dl ~arrivals ~next:0 ~free:0 in
+  Alcotest.(check (pair int int)) "full batch starts when full" (3, 80)
+    (k, start);
+  (* Not full: holds until the deadline, no oracle dispatch. *)
+  let arrivals = [| req 0 0; req 1 50; req 2 400 |] in
+  let k, start = Batch.form dl ~arrivals ~next:0 ~free:0 in
+  Alcotest.(check (pair int int)) "partial batch waits out deadline" (2, 100)
+    (k, start);
+  (* A request past the deadline is never reordered into the batch. *)
+  let arrivals = [| req 0 0; req 1 150 |] in
+  let k, _ = Batch.form dl ~arrivals ~next:0 ~free:0 in
+  Alcotest.(check int) "no reorder past deadline" 1 k;
+  (* max_wait = 0 degenerates to greedy Fixed. *)
+  let z = Batch.Deadline { capacity = 3; max_wait = 0 } in
+  let arrivals = [| req 0 0; req 1 0; req 2 10 |] in
+  let k, start = Batch.form z ~arrivals ~next:0 ~free:5 in
+  Alcotest.(check (pair int int)) "zero wait is greedy" (2, 5) (k, start)
+
+let test_batch_parse () =
+  Alcotest.(check bool) "none" true
+    (Batch.policy_of_string "none" = Ok Batch.No_batch);
+  Alcotest.(check bool) "fixed" true
+    (Batch.policy_of_string "fixed:8" = Ok (Batch.Fixed 8));
+  (match Batch.policy_of_string "deadline:4:250" with
+  | Ok (Batch.Deadline { capacity; max_wait }) ->
+      Alcotest.(check int) "capacity" 4 capacity;
+      (* 250 us = 250_000 cycles at 1 GHz *)
+      Alcotest.(check int) "wait in cycles" 250_000 max_wait
+  | _ -> Alcotest.fail "deadline parse");
+  Alcotest.(check bool) "bad policy rejected" true
+    (Result.is_error (Batch.policy_of_string "fixed:0"))
+
+(* --- SLO accounting ------------------------------------------------------ *)
+
+let completion id core ~arrival ~start ~finish =
+  { Slo.c_id = id; c_core = core; c_arrival = arrival; c_start = start;
+    c_finish = finish }
+
+let test_slo_arithmetic () =
+  (* Hand-checked: two completions (1 ms and 3 ms latency), one request
+     never finished. *)
+  let completions =
+    [
+      completion 0 0 ~arrival:0 ~start:0 ~finish:1_000_000;
+      completion 1 1 ~arrival:500_000 ~start:1_000_000 ~finish:3_500_000;
+    ]
+  in
+  let rp =
+    Slo.analyze ~origin:0 ~offered:3 ~cores:2 ~slos_ms:[ 2.0; 5.0 ]
+      completions
+  in
+  Alcotest.(check int) "offered" 3 rp.Slo.rp_offered;
+  Alcotest.(check int) "completed" 2 rp.Slo.rp_completed;
+  Alcotest.(check int) "horizon is last finish" 3_500_000 rp.Slo.rp_horizon;
+  (* 2 requests over 3.5 ms = 571.43 req/s. *)
+  Alcotest.(check (float 1e-6)) "throughput" (2. /. 3.5e-3)
+    rp.Slo.rp_throughput_rps;
+  (* 2 ms SLO: only the 1 ms request, out of 3 OFFERED. *)
+  Alcotest.(check (float 1e-9)) "slo 2ms vs offered" (1. /. 3.)
+    (List.assoc 2.0 rp.Slo.rp_attainment);
+  (* 5 ms SLO: both completions, the queued request still counts missed. *)
+  Alcotest.(check (float 1e-9)) "slo 5ms vs offered" (2. /. 3.)
+    (List.assoc 5.0 rp.Slo.rp_attainment);
+  Alcotest.(check (float 1.0)) "exact max latency" 3_000_000.
+    rp.Slo.rp_latency.Gem_util.Stats.Histogram.max;
+  Alcotest.(check (list (pair int int))) "per-core counts" [ (0, 1); (1, 1) ]
+    rp.Slo.rp_per_core
+
+let test_slo_origin_and_reuse () =
+  (* Absolute cycles with a warm-start origin: latency is offset-free,
+     horizon is origin-relative. *)
+  let completions =
+    [ completion 0 0 ~arrival:1_000_100 ~start:1_000_200 ~finish:1_000_600 ]
+  in
+  let rp =
+    Slo.analyze ~origin:1_000_000 ~offered:1 ~cores:1 ~slos_ms:[] completions
+  in
+  Alcotest.(check int) "origin-relative horizon" 600 rp.Slo.rp_horizon;
+  Alcotest.(check (float 0.1)) "offset-free latency" 500.
+    rp.Slo.rp_latency.Gem_util.Stats.Histogram.max;
+  (* Reusing one histogram across runs must not smear them (the
+     Histogram.reset regression, at the serving level). *)
+  let hist = Gem_util.Stats.Histogram.create ~buckets:64 ~range:1e7 in
+  let big =
+    [ completion 0 0 ~arrival:0 ~start:0 ~finish:9_000_000 ]
+  in
+  let _first =
+    Slo.analyze ~hist ~origin:0 ~offered:1 ~cores:1 ~slos_ms:[] big
+  in
+  let small =
+    [ completion 0 0 ~arrival:0 ~start:0 ~finish:1_000 ]
+  in
+  let second =
+    Slo.analyze ~hist ~origin:0 ~offered:1 ~cores:1 ~slos_ms:[] small
+  in
+  Alcotest.(check (float 0.1)) "second run unsmeared" 1_000.
+    second.Slo.rp_latency.Gem_util.Stats.Histogram.max;
+  Alcotest.(check bool) "p99 from second run only" true
+    (second.Slo.rp_latency.Gem_util.Stats.Histogram.p99 < 1e6)
+
+(* --- end-to-end sharding on the cycle-accurate SoC ----------------------- *)
+
+let tiny_scenario =
+  {
+    Serve.default with
+    Serve.sv_model = "mobilenetv2";
+    sv_scale = 32;
+    sv_arrival = Arrival.Poisson { rate_rps = 4000. };
+    sv_batch = Batch.Fixed 2;
+    sv_duration_ms = 1.5;
+    sv_slos_ms = [ 2.0 ];
+  }
+
+let check_conservation (r : Serve.result) =
+  let offered = r.Serve.sr_report.Slo.rp_offered in
+  Alcotest.(check bool) "stream nonempty" true (offered > 0);
+  (* Every request completes exactly once. *)
+  Alcotest.(check int) "all complete" offered
+    r.Serve.sr_report.Slo.rp_completed;
+  let ids = List.map (fun c -> c.Slo.c_id) r.Serve.sr_completions in
+  Alcotest.(check (list int)) "each exactly once" (List.init offered Fun.id)
+    ids;
+  (* Dispatches partition the stream FIFO: concatenated ids are 0..n-1. *)
+  let dispatched = List.concat_map snd r.Serve.sr_dispatches in
+  Alcotest.(check (list int)) "FIFO partition" (List.init offered Fun.id)
+    (List.sort compare dispatched);
+  List.iter
+    (fun (core, ids) ->
+      Alcotest.(check bool) "valid core" true (core >= 0 && core < 2);
+      Alcotest.(check bool) "batch nonempty" true (ids <> []))
+    r.Serve.sr_dispatches;
+  (* Per-core tallies add up. *)
+  Alcotest.(check int) "per-core sums" offered
+    (List.fold_left ( + ) 0 (List.map snd r.Serve.sr_report.Slo.rp_per_core));
+  (* Causality per completion. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "starts after arrival" true
+        (c.Slo.c_start >= c.Slo.c_arrival);
+      Alcotest.(check bool) "finishes after start" true
+        (c.Slo.c_finish > c.Slo.c_start))
+    r.Serve.sr_completions
+
+let test_sharding_cycle () =
+  let r = Serve.run tiny_scenario in
+  check_conservation r;
+  (* Under a 4000 req/s open loop both cores must pull weight. *)
+  List.iter
+    (fun (_, n) -> Alcotest.(check bool) "both cores served" true (n > 0))
+    r.Serve.sr_report.Slo.rp_per_core;
+  (* Determinism: the full rendered report reproduces byte-for-byte. *)
+  let r2 = Serve.run tiny_scenario in
+  Alcotest.(check string) "byte-identical report" (Report.render r)
+    (Report.render r2)
+
+let test_sharding_analytic () =
+  let sv = { tiny_scenario with Serve.sv_backend = Gem_sw.Backend.Analytic } in
+  let r = Serve.run sv in
+  check_conservation r;
+  let r2 = Serve.run sv in
+  Alcotest.(check string) "byte-identical report" (Report.render r)
+    (Report.render r2)
+
+let suite =
+  [
+    Alcotest.test_case "arrival determinism" `Quick test_arrival_determinism;
+    Alcotest.test_case "arrival bursty" `Quick test_arrival_bursty;
+    Alcotest.test_case "arrival trace file" `Quick test_arrival_trace;
+    Alcotest.test_case "arrival parsing" `Quick test_arrival_parse;
+    Alcotest.test_case "batch none" `Quick test_batch_no_batch;
+    Alcotest.test_case "batch fixed" `Quick test_batch_fixed;
+    Alcotest.test_case "batch deadline" `Quick test_batch_deadline;
+    Alcotest.test_case "batch parsing" `Quick test_batch_parse;
+    Alcotest.test_case "slo arithmetic" `Quick test_slo_arithmetic;
+    Alcotest.test_case "slo origin + histogram reuse" `Quick
+      test_slo_origin_and_reuse;
+    Alcotest.test_case "2-core sharding (cycle)" `Slow test_sharding_cycle;
+    Alcotest.test_case "2-core sharding (analytic)" `Quick
+      test_sharding_analytic;
+  ]

@@ -87,6 +87,27 @@ let test_histogram () =
   let p50 = Stats.Histogram.percentile h 50. in
   Alcotest.(check bool) "median near 50" true (p50 > 35. && p50 < 65.)
 
+(* Regression: a histogram reused across measurement runs must reset in
+   between, or the second run's percentiles smear both sample sets. *)
+let test_histogram_reset () =
+  let h = Stats.Histogram.create ~buckets:10 ~range:100. in
+  for _ = 1 to 50 do
+    Stats.Histogram.add h 90.
+  done;
+  Stats.Histogram.reset h;
+  Alcotest.(check int) "empty after reset" 0 (Stats.Histogram.count h);
+  Alcotest.(check bool) "max cleared" true
+    (Float.is_nan (Stats.Histogram.max h));
+  Alcotest.(check bool) "buckets cleared" true
+    (Array.for_all (fun c -> c = 0) (Stats.Histogram.bucket_counts h));
+  for _ = 1 to 10 do
+    Stats.Histogram.add h 10.
+  done;
+  (* With the stale 90s still counted this would sit near 90. *)
+  Alcotest.(check bool) "fresh percentiles" true
+    (Stats.Histogram.percentile h 99. < 50.);
+  Alcotest.(check (float 1e-9)) "fresh max" 10. (Stats.Histogram.max h)
+
 let test_table_render () =
   let t = Table.create ~title:"T" [ "a"; "bb" ] in
   Table.set_align t 1 Table.Right;
@@ -161,6 +182,7 @@ let suite =
     Alcotest.test_case "running stats" `Quick test_running_stats;
     Alcotest.test_case "series windows" `Quick test_series;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram reset" `Quick test_histogram_reset;
     Alcotest.test_case "table rendering" `Quick test_table_render;
     Alcotest.test_case "formatting" `Quick test_fmt;
     Alcotest.test_case "fixed point" `Quick test_fixed;
