@@ -122,6 +122,19 @@ let () =
         0
     | None, None -> 0
   in
+  (* The self_profile section is wall-clock attribution of the simulator's
+     own host time (bench/main.exe selfprofile). Machine-dependent by
+     nature, so it is acknowledged here and deliberately never gated —
+     same policy as wall_s. *)
+  (match
+     Option.bind
+       (Gem_util.Jsonx.member "self_profile" results)
+       Gem_util.Jsonx.to_obj
+   with
+  | Some sp when sp <> [] ->
+      Printf.printf "info self_profile: %d wall-only entries (ungated)\n"
+        (List.length sp)
+  | _ -> ());
   (match
      ( Gem_util.Jsonx.to_obj (obj_field baseline_path baseline "wall_s"),
        Gem_util.Jsonx.to_obj (obj_field results_path results "wall_s") )

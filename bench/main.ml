@@ -28,6 +28,12 @@ let metric name v = metrics := (name, v) :: !metrics
 let serving : (string * int) list ref = ref []
 let serving_metric name v = serving := (name, v) :: !serving
 
+(* Self-profiler measurements are wall-clock (machine-dependent), so they
+   get their own ungated section: check_regression.exe acknowledges and
+   skips it, the same treatment as wall_s. *)
+let self_profile : (string * float) list ref = ref []
+let self_profile_wall name v = self_profile := (name, v) :: !self_profile
+
 let slug s =
   String.map
     (fun c ->
@@ -60,6 +66,8 @@ let write_results ~quick path =
             (List.sort
                (fun (a, _) (b, _) -> compare a b)
                (List.rev_map (fun (k, v) -> (k, Int v)) !serving)) );
+        ( "self_profile",
+          Obj (List.rev_map (fun (k, v) -> (k, Float v)) !self_profile) );
         ( "wall_s",
           Obj (List.rev_map (fun (k, v) -> (k, Float v)) !walls) );
       ]
@@ -172,6 +180,62 @@ let run_trace_overhead () =
       if quiet_cycles <> traced_cycles then
         failwith "trace overhead: collected run changed the cycle count";
       if spans = 0 then failwith "trace overhead: collector recorded no spans")
+
+(* Self-profiler gate: a profiled run must report exactly the same cycle
+   count as a quiet run (the profiler reads host clocks and GC counters
+   only — simulated time is untouchable), and the disabled probes must
+   not record anything. Cycle equality is asserted hard; the wall-time
+   attribution lands in the ungated self_profile section. *)
+let run_selfprofile_bench () =
+  timed "Self-profile: probed vs quiet run (mobilenetv2)" (fun () ->
+      let module P = Gem_obs.Profile in
+      let model =
+        Gem_dnn.Model_zoo.scale_model ~factor:8 Gem_dnn.Model_zoo.mobilenetv2
+      in
+      let run () =
+        let soc = Gem_soc.Soc.create Gem_soc.Soc_config.default in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Gem_sw.Runtime.run soc ~core:0 model
+            ~mode:(Gem_sw.Runtime.Accel { im2col_on_accel = true })
+        in
+        (r.Gem_sw.Runtime.r_total_cycles, Unix.gettimeofday () -. t0)
+      in
+      P.reset ();
+      let quiet_cycles, quiet_dt = run () in
+      if P.phases () <> [] then
+        failwith "self-profile: disabled probes recorded phases";
+      P.enable ();
+      let profiled_cycles, profiled_dt =
+        Fun.protect ~finally:P.disable run
+      in
+      let phases = P.phases () in
+      let coverage = P.coverage_pct ~total_s:profiled_dt phases in
+      Printf.printf
+        "  quiet    %s cycles in %.2fs\n\
+        \  profiled %s cycles in %.2fs (%d phase(s), %.1f%% attributed)\n"
+        (Gem_util.Table.fmt_int quiet_cycles)
+        quiet_dt
+        (Gem_util.Table.fmt_int profiled_cycles)
+        profiled_dt (List.length phases) coverage;
+      if quiet_cycles <> profiled_cycles then
+        failwith "self-profile: probed run changed the cycle count";
+      if phases = [] then
+        failwith "self-profile: enabled probes recorded nothing";
+      let orphans, forced = P.anomalies () in
+      if orphans > 0 || forced > 0 then
+        failwith
+          (Printf.sprintf "self-profile: %d orphan / %d forced leave(s)"
+             orphans forced);
+      self_profile_wall "selfprofile.quiet_s" quiet_dt;
+      self_profile_wall "selfprofile.profiled_s" profiled_dt;
+      self_profile_wall "selfprofile.coverage_pct" coverage;
+      List.iter
+        (fun (ph : P.phase) ->
+          self_profile_wall
+            (Printf.sprintf "selfprofile.%s.self_s" (slug ph.P.ph_name))
+            ph.P.ph_self_s)
+        phases)
 
 (* Analytic-backend throughput: estimate every zoo network (full scale)
    repeatedly and report design points per second — the number that makes
@@ -423,6 +487,7 @@ let () =
   if all || has "fig9" then run_fig9 ~quick ();
   if all || has "ablations" then run_ablations ~quick ();
   if all || has "trace" then run_trace_overhead ();
+  if all || has "selfprofile" then run_selfprofile_bench ();
   if all || has "analytic" then run_analytic_bench ();
   if all || has "persist" then run_persist_bench ();
   if all || has "serving" then run_serving_bench ();

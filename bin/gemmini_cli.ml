@@ -4,6 +4,7 @@
      gemmini_cli header     [...]          -- emit gemmini_params.h
      gemmini_cli synth      [...]          -- area/fmax/power estimate
      gemmini_cli run        --model NAME   -- simulate an inference
+     gemmini_cli profile    --model NAME   -- profile the simulator itself
      gemmini_cli sweep      --model NAME   -- sweep array sizes
      gemmini_cli experiment --id fig7      -- reproduce a paper figure *)
 
@@ -11,6 +12,62 @@ open Cmdliner
 module Soc = Gem_soc.Soc
 module Soc_config = Gem_soc.Soc_config
 module Runtime = Gem_sw.Runtime
+module Profile = Gem_obs.Profile
+module Metrics = Gem_obs.Metrics
+
+(* --- observability flags ------------------------------------------------------ *)
+
+(* Self-profile and metrics output are deliberately stderr/file-only in
+   run/serve/sweep: stdout carries byte-gated simulation results, and
+   wall-clock numbers must never leak into them. *)
+
+let self_profile_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "self-profile" ] ~docv:"FILE"
+        ~doc:
+          "Profile the simulator itself: attribute host wall time and \
+           allocation to engine/runtime phases, write the ranked JSON \
+           report to $(docv) and print the table to stderr. Simulated \
+           cycle counts are unaffected (gated in bench).")
+
+let metrics_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Snapshot the unified metrics registry (engine counters, \
+           runtime results, serving SLO/occupancy series, DSE tallies) \
+           to $(docv) after the run: CSV when $(docv) ends in .csv, \
+           pretty JSON otherwise.")
+
+(* Runs [f] under the self-profiler when a report file is requested. The
+   report is written from a [finally] so a trapped run still shows where
+   its host time went. *)
+let with_self_profile self_profile f =
+  match self_profile with
+  | None -> f ()
+  | Some file ->
+      Profile.reset ();
+      Profile.enable ();
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Profile.disable ();
+          let total_s = Unix.gettimeofday () -. t0 in
+          Profile.write_file ~total_s file;
+          prerr_string (Profile.render ~total_s ());
+          Printf.eprintf "[profile] wrote %s\n%!" file)
+        f
+
+let write_metrics reg = function
+  | None -> ()
+  | Some file ->
+      Metrics.write_file reg file;
+      Printf.eprintf "[metrics] wrote %s (%d source(s))\n%!" file
+        (Metrics.size reg)
 
 (* --- shared parameter flags -------------------------------------------------- *)
 
@@ -128,7 +185,7 @@ let policy_conv =
 let run_cmd =
   let run p backend model scale im2col_on_accel profile inject_seed inject_rate
       policy watchdog cores trace_out trace_format checkpoint_every
-      checkpoint_out restore max_replays =
+      checkpoint_out restore max_replays self_profile metrics_out =
     let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
     let core_cfg = { Soc_config.default_core with accel = p } in
     let config =
@@ -181,6 +238,8 @@ let run_cmd =
       checkpoint_every <> None || checkpoint_out <> None || restore <> None
       || policy = Runtime.Resume_checkpoint
     in
+    let reg = Metrics.create () in
+    with_self_profile self_profile @@ fun () ->
     match backend with
     | Gem_sw.Backend.Analytic ->
         if inject_seed <> None || trace_out <> None || profile then
@@ -197,8 +256,11 @@ let run_cmd =
           Gem_sw.Backend.request ~policy ?watchdog ~config
             (Array.init cores (fun _ -> (model, mode)))
         in
+        let results = Gem_sw.Backend_analytic.run rq in
         print_header ();
-        ignore (print_results (Gem_sw.Backend_analytic.run rq))
+        ignore (print_results results);
+        Array.iter (Runtime.register_metrics reg) results;
+        write_metrics reg metrics_out
     | Gem_sw.Backend.Cycle when persisting ->
         if cores > 1 then begin
           prerr_endline "[run] checkpoint/restore is single-core for now";
@@ -238,7 +300,9 @@ let run_cmd =
             | None -> " (in-memory)");
         if outcome.Gem_persist.Persist.o_replays > 0 then
           Printf.eprintf "[persist] recovered via %d replay(s)\n%!"
-            outcome.Gem_persist.Persist.o_replays
+            outcome.Gem_persist.Persist.o_replays;
+        Runtime.register_metrics reg outcome.Gem_persist.Persist.o_result;
+        write_metrics reg metrics_out
     | Gem_sw.Backend.Cycle ->
     let soc = Soc.create config in
     (match inject_seed with
@@ -258,6 +322,9 @@ let run_cmd =
     let results = Gem_sw.Backend_cycle.run_on soc rq in
     print_header ();
     let horizon = ref (print_results results) in
+    Gem_sim.Engine.register_metrics (Soc.engine soc) reg;
+    Array.iter (Runtime.register_metrics reg) results;
+    write_metrics reg metrics_out;
     match collector with
     | None -> ()
     | Some c ->
@@ -381,11 +448,75 @@ let run_cmd =
       const run $ params_term $ backend_term $ model_term $ scale_term
       $ im2col $ profile $ inject_seed $ inject_rate $ policy $ watchdog
       $ cores $ trace_out $ trace_format $ checkpoint_every $ checkpoint_out
-      $ restore $ max_replays)
+      $ restore $ max_replays $ self_profile_term $ metrics_out_term)
+
+(* --- profile: where does the simulator's own time go? ------------------------ *)
+
+let profile_cmd =
+  let run p backend model scale cores out =
+    let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
+    let core_cfg = { Soc_config.default_core with accel = p } in
+    let config =
+      { Soc_config.default with cores = List.init cores (fun _ -> core_cfg) }
+    in
+    let mode = Runtime.Accel { im2col_on_accel = true } in
+    let rq =
+      Gem_sw.Backend.request ~config
+        (Array.init cores (fun _ -> (model, mode)))
+    in
+    Profile.reset ();
+    Profile.enable ();
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Profile.disable ())
+        (fun () ->
+          match backend with
+          | Gem_sw.Backend.Analytic -> Gem_sw.Backend_analytic.run rq
+          | Gem_sw.Backend.Cycle ->
+              Gem_sw.Backend_cycle.run_on (Soc.create config) rq)
+    in
+    let total_s = Unix.gettimeofday () -. t0 in
+    let horizon =
+      Array.fold_left (fun acc r -> max acc r.Runtime.r_total_cycles) 0 results
+    in
+    Printf.printf "%s on %s [%s backend]: %s cycles simulated\n\n"
+      model.Gem_dnn.Layer.model_name
+      (Gemmini.Params.describe p)
+      (Gem_sw.Backend.kind_name backend)
+      (Gem_util.Table.fmt_int horizon);
+    print_string (Profile.render ~total_s ());
+    match out with
+    | None -> ()
+    | Some file ->
+        Profile.write_file ~total_s file;
+        Printf.eprintf "[profile] wrote %s\n%!" file
+  in
+  let cores =
+    Arg.(
+      value & opt int 1
+      & info [ "cores" ] ~doc:"Accelerator cores running the model in parallel.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the ranked phase report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Self-profile the simulator: run one inference with the host-side \
+          profiler enabled and print the ranked phase table (wall seconds \
+          and allocation per engine phase; simulated cycles unaffected).")
+    Term.(
+      const run $ params_term $ backend_term $ model_term $ scale_term
+      $ cores $ out)
 
 let sweep_cmd =
   let run model scale backend jobs cache_dir no_cache out journal resume
-      retries backoff_ms deadline =
+      retries backoff_ms deadline self_profile metrics_out =
     let name = model.Gem_dnn.Layer.model_name in
     let base = Gem_dse.Point.make ~model:name ~scale ~backend () in
     let dim_axis =
@@ -405,9 +536,16 @@ let sweep_cmd =
       exit 2
     end;
     let rr =
-      Gem_dse.Exec.run ~jobs ~cache ~retries ~backoff_ms ?deadline ?journal
-        ~resume points
+      with_self_profile self_profile (fun () ->
+          Gem_dse.Exec.run ~jobs ~cache ~retries ~backoff_ms ?deadline
+            ?journal ~resume points)
     in
+    (match metrics_out with
+    | None -> ()
+    | Some _ ->
+        let reg = Metrics.create () in
+        Gem_dse.Exec.register_metrics reg rr;
+        write_metrics reg metrics_out);
     Printf.eprintf "[dse] %d point(s): %d simulated, %d cached (jobs %d)\n%!"
       (Array.length points) rr.Gem_dse.Exec.simulated rr.Gem_dse.Exec.cached
       jobs;
@@ -529,7 +667,8 @@ let sweep_cmd =
           crash-safe: see --jobs, --cache-dir and --journal).")
     Term.(
       const run $ model_term $ scale_term $ backend_term $ jobs $ cache_dir
-      $ no_cache $ out $ journal $ resume $ retries $ backoff_ms $ deadline)
+      $ no_cache $ out $ journal $ resume $ retries $ backoff_ms $ deadline
+      $ self_profile_term $ metrics_out_term)
 
 (* --- fuzz: differential testing against the golden model -------------------- *)
 
@@ -722,7 +861,8 @@ let experiment_cmd =
 let serve_cmd =
   let module Serve = Gem_serve.Serve in
   let run p model scale backend cores_list arrival seed batch slos duration
-      no_warmup out trace_out warm warm_out rates jobs =
+      no_warmup out trace_out warm warm_out rates jobs self_profile
+      metrics_out =
     let name = model.Gem_dnn.Layer.model_name in
     let scenario_for ~cores ~arrival =
       {
@@ -754,31 +894,58 @@ let serve_cmd =
           prerr_endline "[serve] --trace-out needs the cycle backend";
           exit 2
         end;
-        let trace = ref None in
+        let reg = Metrics.create () in
+        let stream = ref None in
+        let hooks =
+          List.filter_map Fun.id
+            [
+              (match trace_out with
+              | None -> None
+              | Some file ->
+                  (* Streaming writer: events land on disk as they
+                     retire, so long serving runs trace in constant
+                     memory instead of filling the bounded ring. *)
+                  Some
+                    (fun soc ->
+                      stream :=
+                        Some
+                          (Gem_sim.Export.Streaming.attach_file
+                             (Soc.engine soc) file)));
+              (if metrics_out <> None && backend = Gem_sw.Backend.Cycle then
+                 Some
+                   (fun soc ->
+                     Gem_sim.Engine.register_metrics (Soc.engine soc) reg)
+               else None);
+            ]
+        in
         let attach =
-          if trace_out = None then None
-          else
-            Some (fun soc -> trace := Some (Gem_sim.Export.attach (Soc.engine soc)))
+          match hooks with
+          | [] -> None
+          | hooks -> Some (fun soc -> List.iter (fun h -> h soc) hooks)
         in
         let result =
-          try
-            Serve.run ?attach ?warm_in:warm ?warm_out
-              (scenario_for ~cores ~arrival)
-          with Invalid_argument msg ->
-            Printf.eprintf "[serve] %s\n%!" msg;
-            exit 2
+          with_self_profile self_profile (fun () ->
+              try
+                Serve.run ?attach ?warm_in:warm ?warm_out
+                  (scenario_for ~cores ~arrival)
+              with Invalid_argument msg ->
+                Printf.eprintf "[serve] %s\n%!" msg;
+                exit 2)
         in
         (match out with
         | `Report -> print_string (Gem_serve.Report.render result)
         | `Csv ->
             print_string Gem_serve.Report.csv_header;
             print_string (Gem_serve.Report.csv_row result));
-        match (trace_out, !trace) with
-        | Some file, Some c ->
-            Gem_sim.Export.finalize c;
-            Gem_sim.Export.write_chrome_file c file;
-            Printf.eprintf "[trace] wrote %s (chrome)\n%!" file
-        | _ -> ())
+        (match (trace_out, !stream) with
+        | Some file, Some s ->
+            Gem_sim.Export.Streaming.finish s;
+            Printf.eprintf
+              "[trace] wrote %s (chrome, %d event(s) streamed)\n%!" file
+              (Gem_sim.Export.Streaming.events_written s)
+        | _ -> ());
+        if metrics_out <> None then Serve.register_metrics reg result;
+        write_metrics reg metrics_out)
     | Some rates ->
         (* Throughput-vs-latency curve: arrival-rate x cores sweep through
            the DSE executor (parallelizable with --jobs; results are
@@ -808,7 +975,16 @@ let serve_cmd =
           Gem_dse.Sweep.cartesian ~base
             [ Gem_dse.Sweep.cores cores_list; Gem_dse.Sweep.serve_rates rates ]
         in
-        let rr = Gem_dse.Exec.run ~jobs ~cache:None points in
+        let rr =
+          with_self_profile self_profile (fun () ->
+              Gem_dse.Exec.run ~jobs ~cache:None points)
+        in
+        (match metrics_out with
+        | None -> ()
+        | Some _ ->
+            let reg = Metrics.create () in
+            Gem_dse.Exec.register_metrics reg rr;
+            write_metrics reg metrics_out);
         print_string (Gem_dse.Report.csv rr.Gem_dse.Exec.results)
   in
   let arrival_conv =
@@ -941,7 +1117,8 @@ let serve_cmd =
     Term.(
       const run $ params_term $ model_term $ scale_term $ backend_term
       $ cores $ arrival $ seed $ batch $ slos $ duration $ no_warmup $ out
-      $ trace_out $ warm $ warm_out $ rates $ jobs)
+      $ trace_out $ warm $ warm_out $ rates $ jobs $ self_profile_term
+      $ metrics_out_term)
 
 let () =
   let info =
@@ -956,6 +1133,7 @@ let () =
             header_cmd;
             synth_cmd;
             run_cmd;
+            profile_cmd;
             serve_cmd;
             sweep_cmd;
             xval_cmd;

@@ -62,6 +62,8 @@ type transfer = {
 
 let page_size = Gem_vm.Page_table.page_size
 
+module P = Gem_obs.Profile
+
 (* Split [vaddr, vaddr+bytes) at page boundaries; the DMA issues one
    translated request per segment. The engine {e blocks} on translation:
    the next segment's TLB lookup starts only after this segment has
@@ -124,6 +126,7 @@ let burst_close t ~time ~name =
 
 let mvin t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
   if rows <= 0 || row_bytes <= 0 then invalid_arg "Dma.mvin: empty transfer";
+  if !P.on then P.enter P.dma;
   burst_open t ~now ~name:"dma-read" ~rows ~bytes:(rows * row_bytes);
   let functional = Option.is_some t.port.read_data in
   let rows_data =
@@ -164,10 +167,12 @@ let mvin t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
            bytes = rows * row_bytes;
          });
   burst_close t ~time:!finish ~name:"dma-read";
+  if !P.on then P.leave P.dma;
   { engine_free = !cursor; finish = !finish; rows_data }
 
 let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
   if rows <= 0 || row_bytes <= 0 then invalid_arg "Dma.mvout: empty transfer";
+  if !P.on then P.enter P.dma;
   burst_open t ~now ~name:"dma-write" ~rows ~bytes:(rows * row_bytes);
   let cursor = ref now in
   let finish = ref now in
@@ -199,6 +204,7 @@ let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
            bytes = rows * row_bytes;
          });
   burst_close t ~time:!finish ~name:"dma-write";
+  if !P.on then P.leave P.dma;
   (!cursor, !finish)
 
 let mvout t ~now ~vaddr ~stride_bytes ~rows_data ~row_bytes =

@@ -3,6 +3,7 @@ module Soc_config = Gem_soc.Soc_config
 module Runtime = Gem_sw.Runtime
 module H = Gem_vm.Hierarchy
 module Layer = Gem_dnn.Layer
+module P = Gem_obs.Profile
 
 type failure = {
   f_point : Point.t;
@@ -411,7 +412,17 @@ let run ?jobs ?cache ?(retries = 0) ?(backoff_ms = 100) ?deadline ?journal
   in
   let eval_once point =
     let t0 = Unix.gettimeofday () in
-    let outcome = evaluate point in
+    (* The probe state is per-domain (DLS), so worker pools attribute
+       their evaluation time without cross-domain contention. *)
+    let outcome =
+      if !P.on then begin
+        P.enter P.dse;
+        Fun.protect
+          ~finally:(fun () -> P.leave P.dse)
+          (fun () -> evaluate point)
+      end
+      else evaluate point
+    in
     let dt = Unix.gettimeofday () -. t0 in
     match deadline with
     | Some limit when dt > limit ->
@@ -497,3 +508,20 @@ let run ?jobs ?cache ?(retries = 0) ?(backoff_ms = 100) ?deadline ?journal
     salvaged = !salvaged;
     quarantined = List.rev !quarantined;
   }
+
+(* --- metrics --------------------------------------------------------------- *)
+
+(* Registered from the coordinator domain after the pool has drained, so
+   every value is a settled tally — no sampling races with workers. *)
+let register_metrics reg (r : run_result) =
+  let module M = Gem_obs.Metrics in
+  M.int reg "dse.points" (Array.length r.results + List.length r.quarantined);
+  M.int reg "dse.evaluated" (Array.length r.results);
+  M.int reg "dse.simulated" r.simulated;
+  M.int reg "dse.cached" r.cached;
+  M.int reg "dse.salvaged" r.salvaged;
+  M.int reg "dse.quarantined" (List.length r.quarantined);
+  let attempts =
+    List.fold_left (fun acc f -> acc + f.f_attempts) 0 r.quarantined
+  in
+  M.int reg "dse.failed_attempts" attempts

@@ -74,3 +74,9 @@ val run :
     salvages nothing and the sweep simply re-simulates. The journal
     records real outcomes only, so a resumed sweep's report is
     byte-identical to an uninterrupted run's. *)
+
+val register_metrics : Gem_obs.Metrics.t -> run_result -> unit
+(** Registers the sweep tallies ([dse.points], [dse.evaluated],
+    [dse.simulated], [dse.cached], [dse.salvaged], [dse.quarantined],
+    [dse.failed_attempts]) as constant samples. Call after {!run}
+    returns — every value is settled, no worker is still writing. *)

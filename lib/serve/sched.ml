@@ -2,6 +2,7 @@ module Soc = Gem_soc.Soc
 module Runtime = Gem_sw.Runtime
 module Controller = Gemmini.Controller
 module Span = Gem_sim.Span
+module P = Gem_obs.Profile
 
 type result = {
   sc_completions : Slo.completion list;
@@ -62,7 +63,15 @@ let request_seq st (rq : Arrival.request) =
 (* The per-core decision loop. The thunk is forced exactly when the core
    has drained its previous work, so all shared-queue reads/writes happen
    in simulated-time order (see the interface comment). *)
+(* Decisions are forced between dispatches (Seq laziness), outside the
+   soc.dispatch probe, so the scheduler carries its own phase. *)
 let rec core_stream st i () =
+  if !P.on then P.enter P.schedule;
+  let node = core_decide st i in
+  if !P.on then P.leave P.schedule;
+  node
+
+and core_decide st i =
   if st.next >= Array.length st.arrivals then Seq.Nil
   else begin
     let session = st.sessions.(i) in

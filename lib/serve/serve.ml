@@ -260,3 +260,81 @@ let run ?hist ?attach ?warm_in ?warm_out sv =
       if warm_in <> None || warm_out <> None then
         invalid_arg "Gem_serve: warm start needs the cycle backend";
       run_analytic ?hist sv
+
+(* --- metrics registration -------------------------------------------------
+
+   One call registers everything a serving run contributes to a metrics
+   snapshot: headline SLO figures, per-core and merged latency
+   histograms (merged via Stats.Histogram.merge — the per-core
+   histograms share one geometry by construction), per-SLO burn-rate
+   series (fraction of completions in each 1 ms window that missed the
+   SLO) and per-core occupancy series (busy fraction of each window). *)
+
+let ms_window = 1e6 (* 1 ms of cycles at the 1 GHz convention *)
+
+let register_metrics reg r =
+  let module M = Gem_obs.Metrics in
+  let module H = Gem_util.Stats.Histogram in
+  let module S = Gem_util.Stats.Series in
+  let rp = r.sr_report in
+  M.int reg "serve.offered" rp.Slo.rp_offered;
+  M.int reg "serve.completed" rp.Slo.rp_completed;
+  M.int reg "serve.horizon_cycles" rp.Slo.rp_horizon;
+  M.float reg "serve.throughput_rps" rp.Slo.rp_throughput_rps;
+  List.iter
+    (fun (slo, a) ->
+      M.float reg (Printf.sprintf "serve.slo.%gms.attainment" slo) a)
+    rp.Slo.rp_attainment;
+  List.iter
+    (fun (i, n) -> M.int reg (Printf.sprintf "serve.core%d.completed" i) n)
+    rp.Slo.rp_per_core;
+  let completions = r.sr_completions in
+  let latency c = c.Slo.c_finish - c.Slo.c_arrival in
+  (* Completions carry absolute cycles (warm-start base included); series
+     are reported relative to the earliest arrival so timelines start
+     near zero regardless of warmup. *)
+  let origin =
+    List.fold_left
+      (fun acc c -> min acc c.Slo.c_arrival)
+      (match completions with [] -> 0 | c :: _ -> c.Slo.c_arrival)
+      completions
+  in
+  let ncores = cores r.sr_scenario in
+  let max_lat = List.fold_left (fun acc c -> max acc (latency c)) 0 completions in
+  let range = float_of_int (max_lat + 1) in
+  let per_core = Array.init ncores (fun _ -> H.create ~buckets:512 ~range) in
+  List.iter
+    (fun c ->
+      if c.Slo.c_core >= 0 && c.Slo.c_core < ncores then
+        H.add per_core.(c.Slo.c_core) (float_of_int (latency c)))
+    completions;
+  Array.iteri
+    (fun i h -> M.histogram reg (Printf.sprintf "serve.core%d.latency" i) h)
+    per_core;
+  if ncores > 0 then begin
+    let merged = Array.fold_left H.merge per_core.(0) (Array.sub per_core 1 (ncores - 1)) in
+    M.histogram reg "serve.latency" merged
+  end;
+  List.iter
+    (fun (slo, _) ->
+      let budget = Slo.cycles_of_ms slo in
+      let s = S.create ~window:ms_window in
+      List.iter
+        (fun c ->
+          S.add s
+            ~time:(float_of_int (c.Slo.c_finish - origin))
+            (if latency c > budget then 1.0 else 0.0))
+        completions;
+      M.series reg (Printf.sprintf "serve.slo.%gms.burn_rate" slo) s)
+    rp.Slo.rp_attainment;
+  for i = 0 to ncores - 1 do
+    let s = S.create ~window:ms_window in
+    List.iter
+      (fun c ->
+        if c.Slo.c_core = i then
+          S.add s
+            ~time:(float_of_int (c.Slo.c_start - origin))
+            (float_of_int (c.Slo.c_finish - c.Slo.c_start) /. ms_window))
+      completions;
+    M.series_total reg (Printf.sprintf "serve.core%d.occupancy" i) s
+  done

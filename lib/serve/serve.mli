@@ -73,3 +73,11 @@ val run :
     is rebased past the restored finish horizon. Raises
     [Invalid_argument] on an unknown model, a warm-envelope mismatch, or
     warm flags on the analytic backend. *)
+
+val register_metrics : Gem_obs.Metrics.t -> result -> unit
+(** Registers the run's serving metrics: headline figures
+    ([serve.offered]/[completed]/[throughput_rps]), per-SLO attainment,
+    per-core and merged latency histograms, per-SLO burn-rate series
+    (fraction of completions per 1 ms window missing the SLO) and
+    per-core occupancy series (busy window share). Works on both
+    backends — everything derives from the completion list. *)

@@ -176,14 +176,18 @@ let observing t = t.trace_on || t.sinks <> []
 let live = observing
 let add_sink t f = t.sinks <- t.sinks @ [ f ]
 
+module P = Gem_obs.Profile
+
 let emit t event =
+  if !P.on then P.enter P.event;
   observe t (event_time event);
   if t.trace_on then begin
     t.ring.(t.next) <- Some event;
     t.next <- (t.next + 1) mod t.capacity;
     t.total <- t.total + 1
   end;
-  List.iter (fun sink -> sink event) t.sinks
+  List.iter (fun sink -> sink event) t.sinks;
+  if !P.on then P.leave P.event
 
 let events t =
   let out = ref [] in
@@ -195,9 +199,15 @@ let events t =
 
 let event_count t = t.total
 
+(* Events recorded while tracing but since overwritten by the wrapping
+   ring. Sinks are unaffected (they see every event as it is emitted);
+   only the retained [events] view loses history. *)
+let dropped_events t = if t.total > t.capacity then t.total - t.capacity else 0
+
 (* --- timing -------------------------------------------------------------- *)
 
 let acquire t res ~now ~occupancy =
+  if !P.on then P.enter P.acquire;
   let finish = Resource.acquire res ~now ~occupancy in
   observe t finish;
   if observing t then
@@ -209,16 +219,19 @@ let acquire t res ~now ~occupancy =
            start = finish - occupancy;
            finish;
          });
+  if !P.on then P.leave P.acquire;
   finish
 
 let next_free _t res ~now = Resource.next_free res ~now
 
 let occupy t res ~now ~start ~until =
+  if !P.on then P.enter P.acquire;
   Resource.occupy_until res ~now ~start ~until;
   observe t until;
   if observing t then
     emit t
-      (Acquire { component = Resource.name res; time = now; start; finish = until })
+      (Acquire { component = Resource.name res; time = now; start; finish = until });
+  if !P.on then P.leave P.acquire
 
 (* --- faults --------------------------------------------------------------- *)
 
@@ -270,6 +283,24 @@ let stat_of_entry t e =
       }
 
 let stats t = List.rev_map (stat_of_entry t) t.entries
+
+(* Pull-based: closures over [t] are sampled when the registry is
+   snapshotted, after the run — registration itself costs nothing on the
+   simulation path. *)
+let register_metrics ?(prefix = "engine.") t reg =
+  let module M = Gem_obs.Metrics in
+  M.pull_int reg (prefix ^ "clock") (fun () -> now t);
+  M.pull_int reg (prefix ^ "events") (fun () -> event_count t);
+  M.pull_int reg (prefix ^ "dropped_events") (fun () -> dropped_events t);
+  M.pull_int reg (prefix ^ "faults") (fun () -> total_faults t);
+  List.iter
+    (fun e ->
+      let base = prefix ^ "comp." ^ e.e_name in
+      M.pull_int reg (base ^ ".requests") (fun () ->
+          (stat_of_entry t e).stat_requests);
+      M.pull_int reg (base ^ ".busy") (fun () -> (stat_of_entry t e).stat_busy);
+      M.pull_int reg (base ^ ".wait") (fun () -> (stat_of_entry t e).stat_wait))
+    (List.rev t.entries)
 
 let horizon t = t.clock
 

@@ -165,6 +165,11 @@ val events : t -> event list
 val event_count : t -> int
 (** Total events recorded while tracing (including overwritten ones). *)
 
+val dropped_events : t -> int
+(** Events recorded while tracing but overwritten by the wrapping ring —
+    the amount of history {!events} silently lost. 0 while the ring has
+    not wrapped. Sinks never drop: they see every event at emission. *)
+
 (* --- faults ------------------------------------------------------------ *)
 
 val trap : t -> Fault.t -> 'a
@@ -189,6 +194,12 @@ val horizon : t -> Time.cycles
 val utilization_table : t -> ?horizon:Time.cycles -> unit -> Gem_util.Table.t
 (** Per-component utilization/wait table ready for printing. [horizon]
     defaults to the engine clock. *)
+
+val register_metrics : ?prefix:string -> t -> Gem_obs.Metrics.t -> unit
+(** Registers pull gauges for the clock, event/drop/fault totals and
+    per-component requests/busy/wait under [prefix] (default
+    ["engine."]). Sampling happens at registry-snapshot time, never on
+    the simulation path. *)
 
 val reset : t -> unit
 (** Rewind the clock, clear the ring, zero the fault counters and reset

@@ -169,6 +169,24 @@ let write_chrome t out =
     out (J.to_string j)
   in
   out "[\n";
+  (* A wrapped engine ring silently lost history; say so in-band rather
+     than shipping a trace that looks complete. Only emitted when events
+     were actually dropped, so unwrapped traces are byte-identical to
+     before. *)
+  let dropped = Engine.dropped_events t.engine in
+  if dropped > 0 then
+    event
+      (J.Obj
+         [
+           ("ph", J.String "i");
+           ("name", J.String "dropped_events");
+           ("cat", J.String "meta");
+           ("s", J.String "g");
+           ("pid", J.Int 0);
+           ("tid", J.Int 0);
+           ("ts", J.Int 0);
+           ("args", J.Obj [ ("dropped", J.Int dropped) ]);
+         ]);
   (* Metadata: process and thread names. *)
   let seen_pid = Hashtbl.create 8 in
   List.iter
@@ -446,4 +464,322 @@ let report t =
     Buffer.add_string buf
       (Printf.sprintf "span anomalies: %d orphan close(s), %d forced close(s)\n"
          orphans forced);
+  (* Ring truncation must not be silent: the retained-event view is what
+     [events]-based consumers see, and it is incomplete once wrapped. *)
+  let dropped = Engine.dropped_events t.engine in
+  if dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "trace ring wrapped: %d of %d event(s) dropped from the retained view\n"
+         dropped
+         (Engine.event_count t.engine));
   Buffer.contents buf
+
+(* --- streaming chrome export ----------------------------------------------
+
+   The batch exporter above buffers the whole span tree in memory before
+   writing; long serving runs would grow without bound. The streaming
+   writer is an engine sink that appends Chrome events to its output as
+   they retire: async spans (kernel/command/dma/request) cost nothing to
+   hold — the "b" half is written at open — and sync slices
+   (network/layer) are held only while open, so memory is bounded by the
+   span nesting depth, not the run length.
+
+   Track metadata is emitted lazily, the first time a component appears;
+   because the simulation is deterministic, first-appearance order is
+   too, and two identical runs stream byte-identical files. Counter
+   tracks and queue-latency aggregation are deliberately out of scope —
+   attach a batch collector alongside when those are wanted. *)
+
+module Streaming = struct
+  type frame = {
+    sf_id : int;
+    sf_parent : int;
+    sf_name : string;
+    sf_cat : string;
+    sf_component : string;
+    sf_t0 : Time.cycles;
+    sf_args : (string * string) list;
+  }
+
+  type stream = {
+    st_engine : Engine.t;
+    st_out : string -> unit;
+    mutable st_close : unit -> unit;
+    mutable st_first : bool;
+    st_pids : (string, int) Hashtbl.t; (* scope -> pid *)
+    mutable st_next_pid : int;
+    st_tid_counts : (string, int) Hashtbl.t; (* scope -> tids handed out *)
+    st_tracks : (string, int * int) Hashtbl.t; (* component -> (pid, tid) *)
+    st_stacks : (string, frame list ref) Hashtbl.t; (* scope -> open spans *)
+    st_scope_memo : (string, string) Hashtbl.t;
+    mutable st_scope : string; (* last scope that opened a span *)
+    mutable st_next_id : int;
+    mutable st_orphans : int;
+    mutable st_forced : int;
+    mutable st_events : int;
+    mutable st_finished : bool;
+  }
+
+  type t = stream
+
+  let event t j =
+    if t.st_first then t.st_first <- false else t.st_out ",\n";
+    t.st_out (J.to_string j);
+    t.st_events <- t.st_events + 1
+
+  (* Same dynamic scoping as Span.on_event: unprefixed (shared)
+     components attribute to the scope that most recently opened a span,
+     which is the executing core. *)
+  let dyn_scope t component =
+    match Hashtbl.find_opt t.st_scope_memo component with
+    | Some s -> s
+    | None -> (
+        match String.index_opt component '/' with
+        | Some i ->
+            let s = String.sub component 0 i in
+            Hashtbl.replace t.st_scope_memo component s;
+            s
+        | None -> if t.st_scope = "" then component else t.st_scope)
+
+  let stack_for t scope =
+    match Hashtbl.find_opt t.st_stacks scope with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add t.st_stacks scope s;
+        s
+
+  (* Track assignment mirrors the batch exporter (one process per static
+     scope, one thread per component) but is lazy: metadata rows are
+     written right before the first event that needs them. *)
+  let track t component =
+    match Hashtbl.find_opt t.st_tracks component with
+    | Some pt -> pt
+    | None ->
+        let scope = scope_of_name component in
+        let pid =
+          match Hashtbl.find_opt t.st_pids scope with
+          | Some p -> p
+          | None ->
+              t.st_next_pid <- t.st_next_pid + 1;
+              let p = t.st_next_pid in
+              Hashtbl.add t.st_pids scope p;
+              event t
+                (J.Obj
+                   [
+                     ("ph", J.String "M");
+                     ("name", J.String "process_name");
+                     ("pid", J.Int p);
+                     ("args", J.Obj [ ("name", J.String scope) ]);
+                   ]);
+              event t
+                (J.Obj
+                   [
+                     ("ph", J.String "M");
+                     ("name", J.String "process_sort_index");
+                     ("pid", J.Int p);
+                     ("args", J.Obj [ ("sort_index", J.Int p) ]);
+                   ]);
+              p
+        in
+        let tid =
+          let n =
+            Option.value ~default:0 (Hashtbl.find_opt t.st_tid_counts scope) + 1
+          in
+          Hashtbl.replace t.st_tid_counts scope n;
+          n
+        in
+        event t
+          (J.Obj
+             [
+               ("ph", J.String "M");
+               ("name", J.String "thread_name");
+               ("pid", J.Int pid);
+               ("tid", J.Int tid);
+               ("args", J.Obj [ ("name", J.String component) ]);
+             ]);
+        event t
+          (J.Obj
+             [
+               ("ph", J.String "M");
+               ("name", J.String "thread_sort_index");
+               ("pid", J.Int pid);
+               ("tid", J.Int tid);
+               ("args", J.Obj [ ("sort_index", J.Int tid) ]);
+             ]);
+        Hashtbl.add t.st_tracks component (pid, tid);
+        (pid, tid)
+
+  let is_sync cat = cat = "network" || cat = "layer" || cat = "acquire"
+
+  let frame_args fr =
+    ("span", J.Int fr.sf_id)
+    :: ("parent", J.Int fr.sf_parent)
+    :: List.map (fun (k, v) -> (k, J.String v)) fr.sf_args
+
+  (* Writes a frame's terminating record: the full X slice for sync
+     categories (only now is the duration known), the "e" half for async
+     ones (their "b" went out at open time). *)
+  let close_frame t fr ~time =
+    let pid, tid = track t fr.sf_component in
+    if is_sync fr.sf_cat then
+      event t
+        (J.Obj
+           [
+             ("ph", J.String "X");
+             ("name", J.String fr.sf_name);
+             ("cat", J.String fr.sf_cat);
+             ("pid", J.Int pid);
+             ("tid", J.Int tid);
+             ("ts", J.Int fr.sf_t0);
+             ("dur", J.Int (time - fr.sf_t0));
+             ("args", J.Obj (frame_args fr));
+           ])
+    else
+      event t
+        (J.Obj
+           [
+             ("ph", J.String "e");
+             ("name", J.String fr.sf_name);
+             ("cat", J.String fr.sf_cat);
+             ("id", J.Int fr.sf_id);
+             ("pid", J.Int pid);
+             ("tid", J.Int tid);
+             ("ts", J.Int time);
+           ])
+
+  let on_event t (ev : Engine.event) =
+    if not t.st_finished then
+      match ev with
+      | Engine.Span_open { component; time; name; cat; args } ->
+          let scope = dyn_scope t component in
+          t.st_scope <- scope;
+          let stack = stack_for t scope in
+          let parent =
+            match !stack with [] -> -1 | fr :: _ -> fr.sf_id
+          in
+          let fr =
+            {
+              sf_id = t.st_next_id;
+              sf_parent = parent;
+              sf_name = name;
+              sf_cat = cat;
+              sf_component = component;
+              sf_t0 = time;
+              sf_args = args;
+            }
+          in
+          t.st_next_id <- t.st_next_id + 1;
+          stack := fr :: !stack;
+          if not (is_sync cat) then begin
+            let pid, tid = track t component in
+            event t
+              (J.Obj
+                 [
+                   ("ph", J.String "b");
+                   ("name", J.String name);
+                   ("cat", J.String cat);
+                   ("id", J.Int fr.sf_id);
+                   ("pid", J.Int pid);
+                   ("tid", J.Int tid);
+                   ("ts", J.Int time);
+                   ("args", J.Obj (frame_args fr));
+                 ])
+          end
+      | Engine.Span_close { component; time; name } ->
+          let scope = dyn_scope t component in
+          let stack = stack_for t scope in
+          if List.exists (fun fr -> fr.sf_name = name) !stack then begin
+            (* Same discipline as Span: close the innermost open span
+               with this name; anything still open inside it is
+               force-closed at the same stamp. *)
+            let rec close = function
+              | [] -> []
+              | fr :: rest ->
+                  close_frame t fr ~time;
+                  if fr.sf_name = name then rest
+                  else begin
+                    t.st_forced <- t.st_forced + 1;
+                    close rest
+                  end
+            in
+            stack := close !stack
+          end
+          else t.st_orphans <- t.st_orphans + 1
+      | Engine.Fault { component; time; kind; detail } ->
+          let pid, tid = track t component in
+          event t
+            (J.Obj
+               [
+                 ("ph", J.String "i");
+                 ("name", J.String kind);
+                 ("cat", J.String "fault");
+                 ("s", J.String "t");
+                 ("pid", J.Int pid);
+                 ("tid", J.Int tid);
+                 ("ts", J.Int time);
+                 ("args", J.Obj [ ("detail", J.String detail) ]);
+               ])
+      | Engine.Acquire _ | Engine.Transfer _ | Engine.Translate _
+      | Engine.Note _ ->
+          ()
+
+  let attach engine ~out =
+    let t =
+      {
+        st_engine = engine;
+        st_out = out;
+        st_close = (fun () -> ());
+        st_first = true;
+        st_pids = Hashtbl.create 8;
+        st_next_pid = 0;
+        st_tid_counts = Hashtbl.create 8;
+        st_tracks = Hashtbl.create 32;
+        st_stacks = Hashtbl.create 8;
+        st_scope_memo = Hashtbl.create 16;
+        st_scope = "";
+        st_next_id = 0;
+        st_orphans = 0;
+        st_forced = 0;
+        st_events = 0;
+        st_finished = false;
+      }
+    in
+    out "[\n";
+    Engine.add_sink engine (on_event t);
+    t
+
+  let attach_file engine path =
+    let oc = open_out path in
+    let t = attach engine ~out:(output_string oc) in
+    t.st_close <- (fun () -> close_out oc);
+    t
+
+  let finish t =
+    if not t.st_finished then begin
+      let horizon = Engine.horizon t.st_engine in
+      (* Deterministic sweep order for still-open frames. *)
+      let scopes =
+        List.sort compare
+          (Hashtbl.fold (fun k _ acc -> k :: acc) t.st_stacks [])
+      in
+      List.iter
+        (fun scope ->
+          let stack = stack_for t scope in
+          List.iter
+            (fun fr ->
+              t.st_forced <- t.st_forced + 1;
+              close_frame t fr ~time:horizon)
+            !stack;
+          stack := [])
+        scopes;
+      t.st_out "\n]\n";
+      t.st_finished <- true;
+      t.st_close ()
+    end
+
+  let events_written t = t.st_events
+  let orphan_closes t = t.st_orphans
+  let forced_closes t = t.st_forced
+end

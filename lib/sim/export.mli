@@ -70,4 +70,43 @@ val write_chrome_file : t -> string -> unit
 (** {!write_chrome} into a file (buffered). *)
 
 val report : t -> string
-(** The plain-text hierarchical profile. *)
+(** The plain-text hierarchical profile. Ends with a
+    ["trace ring wrapped: ..."] line when the engine's bounded event
+    ring overwrote history ({!Engine.dropped_events} > 0); the chrome
+    output likewise carries a ["dropped_events"] instant. Runs whose
+    ring never wrapped produce byte-identical output to before these
+    markers existed. *)
+
+(** Constant-memory Chrome-trace writer for arbitrarily long runs.
+
+    An engine sink that appends events to its output as they retire
+    instead of buffering the whole span tree: async spans (kernel,
+    command, dma, request) write their ["b"] half at open and ["e"] half
+    at close; sync slices (network/layer) are held only while open, so
+    live memory is bounded by span nesting depth, not run length. This
+    is what [serve --trace-out] uses.
+
+    Differences from the batch exporter: track metadata appears lazily
+    (first use) rather than up front, and there are no counter tracks or
+    queue-latency aggregates — attach a batch collector alongside when
+    those are needed. Determinism is unchanged: a deterministic run
+    streams a byte-identical file every time. *)
+module Streaming : sig
+  type t
+
+  val attach : Engine.t -> out:(string -> unit) -> t
+  (** Writes the array opener immediately and registers the sink.
+      The engine becomes {!Engine.live}. *)
+
+  val attach_file : Engine.t -> string -> t
+  (** {!attach} to a freshly opened file; {!finish} closes it. *)
+
+  val finish : t -> unit
+  (** Force-closes any still-open spans at the engine horizon, writes
+      the array closer, and releases the output. Idempotent; events
+      arriving after [finish] are ignored. *)
+
+  val events_written : t -> int
+  val orphan_closes : t -> int
+  val forced_closes : t -> int
+end

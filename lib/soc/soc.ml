@@ -356,11 +356,26 @@ type op =
   | Host_work of { cycles : int; tag : string }
   | Marker of (core -> unit)
 
-let exec_op c = function
+module P = Gem_obs.Profile
+
+let exec_op_quiet c = function
   | Insn insn -> Gemmini.Controller.execute c.controller insn
   | Host_work { cycles; tag = _ } ->
       Gemmini.Controller.host_work c.controller ~cycles
   | Marker f -> f c
+
+(* The per-op dispatch probe is the self-profiler's widest net: nested
+   engine/DMA probes subtract themselves out, so "soc.dispatch" self
+   time is pure dispatch overhead. The quiet path stays branch-only;
+   the profiled path tolerates simulated traps unwinding through it. *)
+let exec_op c op =
+  if !P.on then begin
+    P.enter P.dispatch;
+    Fun.protect
+      ~finally:(fun () -> P.leave P.dispatch)
+      (fun () -> exec_op_quiet c op)
+  end
+  else exec_op_quiet c op
 
 let run_program _t c program =
   Seq.iter (exec_op c) program;

@@ -2,6 +2,7 @@ open Gem_util
 open Gem_dnn
 module Soc = Gem_soc.Soc
 module Cpu = Gem_cpu.Cpu_model
+module P = Gem_obs.Profile
 module Fault = Gem_sim.Fault
 
 (* The mode (and every other backend-agnostic lowering decision) lives in
@@ -50,6 +51,18 @@ let cycles_by_class r =
       Hashtbl.replace tbl lr.lr_class (prev + lr.lr_cycles))
     r.r_layers;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+(* Backend-independent run metrics: the cycle engine and the analytic
+   estimator both produce [result]s, so a snapshot works on either. *)
+let register_metrics reg (r : result) =
+  let module M = Gem_obs.Metrics in
+  let pre = Printf.sprintf "runtime.core%d." r.r_core in
+  M.int reg (pre ^ "total_cycles") r.r_total_cycles;
+  M.int reg (pre ^ "layers") (List.length r.r_layers);
+  M.int reg (pre ^ "faults") (List.length r.r_faults);
+  List.iter
+    (fun (k, c) -> M.int reg (pre ^ "class." ^ Layer.class_name k) c)
+    (cycles_by_class r)
 
 (* Fixed requantization scale applied by every MAC layer's store path (and
    by the golden model): int32 accumulator -> int8 activation. *)
@@ -448,7 +461,7 @@ let network_ops ?(start_layer = 0) ?(resume_finish = 0) ?(rebase = false)
   let layers = Array.of_list model.Layer.layers in
   let cpu = Soc.cpu core in
   let last_finish = ref resume_finish in
-  let emit_layer idx =
+  let emit_layer_quiet idx =
     let name, layer = layers.(idx) in
     let input_va = if idx = 0 then tensors.t_input else tensors.t_out.(idx - 1) in
     let ops = layer_ops soc core tensors ~mode ~functional ~idx ~input_va layer in
@@ -507,6 +520,17 @@ let network_ops ?(start_layer = 0) ?(resume_finish = 0) ?(rebase = false)
           | _ -> Soc.Marker (fun core -> guarded_exec soc g core op)
         in
         (layer_open :: begin_marker :: List.map wrap ops) @ [ finish_marker ]
+  in
+  (* Lowering is forced lazily between dispatches (Seq consumption), so
+     it sits outside the soc.dispatch probe and needs its own. *)
+  let emit_layer idx =
+    if !P.on then begin
+      P.enter P.lowering;
+      let ops = emit_layer_quiet idx in
+      P.leave P.lowering;
+      ops
+    end
+    else emit_layer_quiet idx
   in
   let n = Array.length layers in
   let net_name = model.Layer.model_name in

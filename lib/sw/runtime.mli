@@ -71,6 +71,11 @@ val cycles_by_class :
   result -> (Gem_dnn.Layer.klass * Gem_sim.Time.cycles) list
 (** Aggregated per-layer-class wall time (the Fig. 9 breakdown). *)
 
+val register_metrics : Gem_obs.Metrics.t -> result -> unit
+(** Registers [runtime.coreN.total_cycles]/[.layers]/[.faults] and the
+    per-class cycle breakdown as constant samples. Backend-independent:
+    call once per core result, after the run. *)
+
 val plan_ops :
   Gem_soc.Soc.t ->
   Gem_soc.Soc.core ->

@@ -129,6 +129,22 @@ module Histogram = struct
       p99 = percentile t 99.;
       max = t.raw_max;
     }
+
+  (* Bucket-wise sum: only meaningful when both histograms were built
+     with the same geometry (per-core serving latency histograms are).
+     raw_max needs the nan dance — an empty histogram's max is nan, and
+     nan must lose to any real sample from the other side. *)
+  let merge a b =
+    if Array.length a.counts <> Array.length b.counts then
+      invalid_arg "Histogram.merge: bucket counts differ";
+    if a.range <> b.range then invalid_arg "Histogram.merge: ranges differ";
+    let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
+    let raw_max =
+      if a.n = 0 then b.raw_max
+      else if b.n = 0 then a.raw_max
+      else Float.max a.raw_max b.raw_max
+    in
+    { counts; range = a.range; n = a.n + b.n; raw_max }
 end
 
 module Series = struct

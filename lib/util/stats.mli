@@ -69,6 +69,14 @@ module Histogram : sig
   val summary : t -> summary
   (** p50/p95/p99 via {!percentile}; [max] is exact. All [nan] when
       empty. *)
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh histogram equivalent to having seen both
+      sample streams: bucket-wise count sums, summed totals, and the
+      larger of the two exact maxima (an empty side contributes
+      nothing). Both inputs must share bucket count and range — per-core
+      serving histograms do by construction; anything else raises
+      [Invalid_argument]. Inputs are left untouched. *)
 end
 
 (** Windowed time series: samples are bucketed by timestamp into fixed-width

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "gemmini"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("sim", Test_sim.suite);
       ("trace", Test_trace.suite);
       ("mem", Test_mem.suite);

@@ -1,0 +1,299 @@
+(* Gem_obs: the host-side self-profiler (phase attribution, exclusive
+   time, anomaly self-healing) and the unified metrics registry
+   (deterministic snapshots, JSON/CSV shapes, duplicate rejection). *)
+
+module P = Gem_obs.Profile
+module M = Gem_obs.Metrics
+module Stats = Gem_util.Stats
+module J = Gem_util.Jsonx
+
+(* Every test starts from a clean, disabled profiler; the suite runs in
+   one process, so leaked state would couple test cases. *)
+let fresh () =
+  P.disable ();
+  P.reset ()
+
+let phase name =
+  List.find_opt (fun p -> p.P.ph_name = name) (P.phases ())
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let spin () =
+  (* Burn a little attributable wall time and allocation. *)
+  let acc = ref [] in
+  for i = 0 to 2_000 do
+    acc := i :: !acc
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* --- profiler ------------------------------------------------------------- *)
+
+let test_profile_disabled_noop () =
+  fresh ();
+  Alcotest.(check bool) "disabled" false (P.enabled ());
+  (* [record] must not attribute anything while disabled. *)
+  Alcotest.(check int) "record returns value" 7 (P.record "phase.x" (fun () -> 7));
+  Alcotest.(check (list string)) "no phases" []
+    (List.map (fun p -> p.P.ph_name) (P.phases ()))
+
+let test_profile_enter_leave () =
+  fresh ();
+  P.enable ();
+  P.enter "outer";
+  spin ();
+  P.enter "inner";
+  spin ();
+  P.leave "inner";
+  spin ();
+  P.leave "outer";
+  P.disable ();
+  let outer = Option.get (phase "outer") in
+  let inner = Option.get (phase "inner") in
+  Alcotest.(check int) "outer calls" 1 outer.P.ph_calls;
+  Alcotest.(check int) "inner calls" 1 inner.P.ph_calls;
+  (* Inclusive vs exclusive: outer's total covers inner entirely; its
+     self time excludes inner's slice. *)
+  Alcotest.(check bool) "outer total >= inner total" true
+    (outer.P.ph_total_s >= inner.P.ph_total_s);
+  Alcotest.(check bool) "outer self < outer total" true
+    (outer.P.ph_self_s < outer.P.ph_total_s);
+  Alcotest.(check bool) "inner self = inner total (leaf)" true
+    (Float.abs (inner.P.ph_self_s -. inner.P.ph_total_s) < 1e-9);
+  Alcotest.(check bool) "self times are attributed" true
+    (P.attributed_s (P.phases ()) > 0.);
+  let orphans, forced = P.anomalies () in
+  Alcotest.(check int) "no orphans" 0 orphans;
+  Alcotest.(check int) "no forced leaves" 0 forced
+
+let test_profile_self_excludes_nested () =
+  fresh ();
+  P.enable ();
+  (* outer's work happens only inside inner, so outer's self time must be
+     a small fraction of its total. *)
+  P.enter "outer";
+  P.enter "inner";
+  for _ = 1 to 20 do
+    spin ()
+  done;
+  P.leave "inner";
+  P.leave "outer";
+  P.disable ();
+  let outer = Option.get (phase "outer") in
+  let inner = Option.get (phase "inner") in
+  Alcotest.(check bool)
+    (Printf.sprintf "outer self (%.6fs) well under inner self (%.6fs)"
+       outer.P.ph_self_s inner.P.ph_self_s)
+    true
+    (outer.P.ph_self_s < inner.P.ph_self_s);
+  Alcotest.(check bool) "inner allocated" true (inner.P.ph_alloc_bytes > 0.)
+
+let test_profile_anomalies_self_heal () =
+  fresh ();
+  P.enable ();
+  (* A leave with no matching open frame is an orphan, counted and
+     otherwise ignored. *)
+  P.leave "ghost";
+  (* A leave that skips an inner open frame (an exception unwound through
+     a probed region) force-pops it: the inner slice is still attributed
+     and the stack self-heals. *)
+  P.enter "outer";
+  P.enter "abandoned";
+  spin ();
+  P.leave "outer";
+  P.disable ();
+  let orphans, forced = P.anomalies () in
+  Alcotest.(check int) "orphan counted" 1 orphans;
+  Alcotest.(check int) "forced counted" 1 forced;
+  Alcotest.(check bool) "abandoned still attributed" true
+    (Option.is_some (phase "abandoned"));
+  Alcotest.(check bool) "no ghost phase" true (Option.is_none (phase "ghost"))
+
+let test_profile_record_and_reset () =
+  fresh ();
+  P.enable ();
+  Alcotest.(check int) "record passes value through" 42
+    (P.record "phase.rec" (fun () -> 42));
+  (* record is exception-safe: the frame closes when f raises. *)
+  (try P.record "phase.raise" (fun () -> failwith "boom") with _ -> ());
+  P.enter "balanced";
+  P.leave "balanced";
+  P.disable ();
+  Alcotest.(check bool) "recorded" true (Option.is_some (phase "phase.rec"));
+  Alcotest.(check bool) "raising phase closed and attributed" true
+    (Option.is_some (phase "phase.raise"));
+  let orphans, forced = P.anomalies () in
+  Alcotest.(check int) "record cleanup leaves no orphans" 0 orphans;
+  Alcotest.(check int) "record cleanup forces nothing" 0 forced;
+  P.reset ();
+  Alcotest.(check (list string)) "reset clears phases" []
+    (List.map (fun p -> p.P.ph_name) (P.phases ()))
+
+let test_profile_report_shapes () =
+  fresh ();
+  P.enable ();
+  P.enter "hot";
+  spin ();
+  P.leave "hot";
+  P.disable ();
+  let total_s = P.attributed_s (P.phases ()) *. 2. in
+  let pct = P.coverage_pct ~total_s (P.phases ()) in
+  Alcotest.(check (float 1e-6)) "coverage is attributed/total" 50. pct;
+  (match P.to_json ~total_s () with
+  | J.Obj kvs ->
+      Alcotest.(check bool) "json has phases" true
+        (List.mem_assoc "phases" kvs);
+      Alcotest.(check bool) "json has coverage" true
+        (List.mem_assoc "coverage_pct" kvs)
+  | _ -> Alcotest.fail "to_json not an object");
+  let txt = P.render ~total_s () in
+  Alcotest.(check bool) "render names the phase" true
+    (contains ~sub:"hot" txt)
+
+(* --- metrics registry ------------------------------------------------------ *)
+
+let test_metrics_registry_basics () =
+  let r = M.create () in
+  M.int r "b.second" 2;
+  M.int r "a.first" 1;
+  M.float r "c.third" 1.5;
+  let cnt = M.counter r "d.counter" in
+  Stats.Counter.add cnt 5;
+  Alcotest.(check int) "size" 4 (M.size r);
+  Alcotest.(check bool) "mem" true (M.mem r "a.first");
+  Alcotest.(check bool) "not mem" false (M.mem r "z.absent");
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Metrics.register: duplicate metric \"a.first\"")
+    (fun () -> M.int r "a.first" 9);
+  Alcotest.check_raises "empty name rejected"
+    (Invalid_argument "Metrics.register: empty name") (fun () ->
+      M.int r "" 0);
+  match M.to_json r with
+  | J.Obj kvs -> (
+      match List.assoc "scalars" kvs with
+      | J.Obj scalars ->
+          (* Sorted by name regardless of registration order. *)
+          Alcotest.(check (list string)) "sorted names"
+            [ "a.first"; "b.second"; "c.third"; "d.counter" ]
+            (List.map fst scalars);
+          Alcotest.(check bool) "counter sampled" true
+            (List.assoc "d.counter" scalars = J.Int 5)
+      | _ -> Alcotest.fail "scalars not an object")
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_metrics_pull_sampled_at_snapshot () =
+  let r = M.create () in
+  let v = ref 1 in
+  M.pull_int r "gauge" (fun () -> !v);
+  v := 99;
+  match M.to_json r with
+  | J.Obj kvs -> (
+      match List.assoc "scalars" kvs with
+      | J.Obj scalars ->
+          Alcotest.(check bool) "pull reads at snapshot time" true
+            (List.assoc "gauge" scalars = J.Int 99)
+      | _ -> Alcotest.fail "scalars not an object")
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_metrics_histogram_expansion () =
+  let r = M.create () in
+  let h = Stats.Histogram.create ~buckets:10 ~range:100. in
+  List.iter (Stats.Histogram.add h) [ 10.; 20.; 90. ];
+  M.histogram r "lat" h;
+  match M.to_json r with
+  | J.Obj kvs -> (
+      match List.assoc "scalars" kvs with
+      | J.Obj scalars ->
+          Alcotest.(check (list string)) "fixed sub-rows"
+            [ "lat.count"; "lat.max"; "lat.p50"; "lat.p95"; "lat.p99" ]
+            (List.map fst scalars);
+          Alcotest.(check bool) "count row" true
+            (List.assoc "lat.count" scalars = J.Int 3)
+      | _ -> Alcotest.fail "scalars not an object")
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_metrics_series_means_and_totals () =
+  let r = M.create () in
+  let s = Stats.Series.create ~window:10. in
+  Stats.Series.add s ~time:1. 2.;
+  Stats.Series.add s ~time:2. 4.;
+  Stats.Series.add s ~time:15. 10.;
+  M.series r "mean_series" s;
+  M.series_total r "total_series" s;
+  match M.to_json r with
+  | J.Obj kvs -> (
+      match List.assoc "series" kvs with
+      | J.Obj series ->
+          let windows name =
+            match List.assoc name series with
+            | J.List l ->
+                List.map
+                  (function
+                    | J.List [ t; v ] ->
+                        ( Option.get (J.to_float t),
+                          Option.get (J.to_float v) )
+                    | _ -> Alcotest.fail "bad window pair")
+                  l
+            | _ -> Alcotest.fail "series not a list"
+          in
+          (* Same samples, two reductions: window means vs window sums. *)
+          Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+            "means" [ (0., 3.); (10., 10.) ] (windows "mean_series");
+          Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+            "sums" [ (0., 6.); (10., 10.) ] (windows "total_series")
+      | _ -> Alcotest.fail "series not an object")
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_metrics_csv_shape () =
+  let r = M.create () in
+  M.int r "scalar.a" 7;
+  let s = Stats.Series.create ~window:10. in
+  Stats.Series.add s ~time:1. 2.;
+  M.series r "ser" s;
+  let csv = M.to_csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "metric,time,value" (List.hd lines);
+  Alcotest.(check bool) "scalar row has empty time" true
+    (List.mem "scalar.a,,7" lines);
+  Alcotest.(check bool) "series row carries its window start" true
+    (List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "ser,")
+       lines)
+
+let test_metrics_snapshot_deterministic () =
+  let build order =
+    let r = M.create () in
+    List.iter (fun (n, v) -> M.int r n v) order;
+    J.to_string (M.to_json r)
+  in
+  Alcotest.(check string) "registration order is irrelevant"
+    (build [ ("a", 1); ("b", 2); ("c", 3) ])
+    (build [ ("c", 3); ("a", 1); ("b", 2) ])
+
+let suite =
+  [
+    Alcotest.test_case "profile: disabled is a no-op" `Quick
+      test_profile_disabled_noop;
+    Alcotest.test_case "profile: enter/leave attribution" `Quick
+      test_profile_enter_leave;
+    Alcotest.test_case "profile: self excludes nested" `Quick
+      test_profile_self_excludes_nested;
+    Alcotest.test_case "profile: orphan/forced self-healing" `Quick
+      test_profile_anomalies_self_heal;
+    Alcotest.test_case "profile: record and reset" `Quick
+      test_profile_record_and_reset;
+    Alcotest.test_case "profile: report shapes" `Quick
+      test_profile_report_shapes;
+    Alcotest.test_case "metrics: registry basics" `Quick
+      test_metrics_registry_basics;
+    Alcotest.test_case "metrics: pull sampled at snapshot" `Quick
+      test_metrics_pull_sampled_at_snapshot;
+    Alcotest.test_case "metrics: histogram expansion" `Quick
+      test_metrics_histogram_expansion;
+    Alcotest.test_case "metrics: series means and totals" `Quick
+      test_metrics_series_means_and_totals;
+    Alcotest.test_case "metrics: csv shape" `Quick test_metrics_csv_shape;
+    Alcotest.test_case "metrics: deterministic snapshot" `Quick
+      test_metrics_snapshot_deterministic;
+  ]

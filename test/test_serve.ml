@@ -266,6 +266,90 @@ let test_sharding_analytic () =
   Alcotest.(check string) "byte-identical report" (Report.render r)
     (Report.render r2)
 
+(* --- streamed request-level chrome traces -------------------------------- *)
+
+module Export = Gem_sim.Export
+module J = Gem_util.Jsonx
+
+(* The CLI's serve --trace-out path: a streaming writer attached to the
+   SoC engine before the run, finished after it. *)
+let streamed_serve () =
+  let buf = Buffer.create (1 lsl 16) in
+  let stream = ref None in
+  let r =
+    Serve.run
+      ~attach:(fun soc ->
+        stream :=
+          Some
+            (Export.Streaming.attach
+               (Gem_soc.Soc.engine soc)
+               ~out:(Buffer.add_string buf)))
+      tiny_scenario
+  in
+  let s = Option.get !stream in
+  Export.Streaming.finish s;
+  (Buffer.contents buf, s, r)
+
+let test_serve_trace_request_spans () =
+  let text, s, r = streamed_serve () in
+  let json =
+    match J.of_string text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "serve trace does not parse: %s" e
+  in
+  let events = Option.get (J.to_list json) in
+  let request_events =
+    List.filter_map
+      (fun ev ->
+        match (J.member "cat" ev, J.member "ph" ev) with
+        | Some (J.String "request"), Some (J.String ph)
+          when ph = "b" || ph = "e" ->
+            Some
+              ( Option.get (Option.bind (J.member "pid" ev) J.to_int),
+                ph,
+                Option.get (Option.bind (J.member "id" ev) J.to_int) )
+        | _ -> None)
+      events
+  in
+  let completed = r.Serve.sr_report.Slo.rp_completed in
+  Alcotest.(check int) "one open per completed request" completed
+    (List.length (List.filter (fun (_, ph, _) -> ph = "b") request_events));
+  (* Per core (pid): opens and closes must nest like brackets, pairing by
+     async id — a core serves its requests sequentially, so the depth
+     never exceeds the open batch and never goes negative. *)
+  let pids = List.sort_uniq compare (List.map (fun (p, _, _) -> p) request_events) in
+  Alcotest.(check int) "request spans on both core tracks" 2
+    (List.length pids);
+  List.iter
+    (fun pid ->
+      let stack = ref [] in
+      List.iter
+        (fun (p, ph, id) ->
+          if p = pid then
+            match ph with
+            | "b" -> stack := id :: !stack
+            | _ -> (
+                match !stack with
+                | top :: rest ->
+                    Alcotest.(check int) "well-nested close" top id;
+                    stack := rest
+                | [] -> Alcotest.fail "request close with no open"))
+        request_events;
+      Alcotest.(check (list int)) "no dangling requests" [] !stack)
+    pids;
+  Alcotest.(check int) "no orphan closes" 0 (Export.Streaming.orphan_closes s);
+  Alcotest.(check int) "no forced closes" 0 (Export.Streaming.forced_closes s)
+
+let test_serve_trace_deterministic () =
+  let a, _, ra = streamed_serve () in
+  let b, _, _ = streamed_serve () in
+  Alcotest.(check bool) "byte-identical streamed serve traces" true
+    (String.equal a b);
+  (* Streaming is observation only: the report matches an untraced run. *)
+  let quiet = Serve.run tiny_scenario in
+  Alcotest.(check string) "report unchanged by streaming"
+    (Report.render quiet) (Report.render ra)
+
 let suite =
   [
     Alcotest.test_case "arrival determinism" `Quick test_arrival_determinism;
@@ -282,4 +366,8 @@ let suite =
     Alcotest.test_case "2-core sharding (cycle)" `Slow test_sharding_cycle;
     Alcotest.test_case "2-core sharding (analytic)" `Quick
       test_sharding_analytic;
+    Alcotest.test_case "2-core trace: request spans well-nested" `Slow
+      test_serve_trace_request_spans;
+    Alcotest.test_case "2-core trace: deterministic" `Slow
+      test_serve_trace_deterministic;
   ]

@@ -270,6 +270,112 @@ let test_report_renders () =
   Alcotest.(check bool) "mentions a real layer" true
     (contains ~sub:"conv1" report)
 
+(* --- ring truncation is reported, never silent ------------------------------ *)
+
+let test_dropped_events_reported () =
+  (* A 4-slot ring fed 6 events drops the oldest 2 — and must say so in
+     both export formats. *)
+  let e = Engine.create ~trace_capacity:4 ~trace:true () in
+  let c = Export.attach e in
+  for i = 1 to 3 do
+    Engine.emit e
+      (span_open ~component:"core0/host" ~time:(10 * i)
+         ~name:(Printf.sprintf "s%d" i)
+         ~cat:"layer");
+    Engine.emit e
+      (span_close ~component:"core0/host" ~time:((10 * i) + 5)
+         ~name:(Printf.sprintf "s%d" i))
+  done;
+  Export.finalize c;
+  Alcotest.(check int) "dropped count" 2 (Engine.dropped_events e);
+  Alcotest.(check bool) "chrome carries a dropped_events marker" true
+    (contains ~sub:"dropped_events" (Export.chrome_string c));
+  Alcotest.(check bool) "report calls out the wrapped ring" true
+    (contains ~sub:"2 of 6 event(s) dropped" (Export.report c))
+
+let test_dropped_events_absent_when_clean () =
+  (* Collector sinks are ring-independent: a default engine that never
+     wraps must not grow a marker (existing byte-gates depend on it). *)
+  let c, _ = traced_run () in
+  Alcotest.(check bool) "no marker in clean trace" false
+    (contains ~sub:"dropped_events" (Export.chrome_string c));
+  Alcotest.(check bool) "no note in clean report" false
+    (contains ~sub:"ring wrapped" (Export.report c))
+
+(* --- streaming chrome writer ------------------------------------------------ *)
+
+let streamed_run () =
+  let buf = Buffer.create (1 lsl 16) in
+  let soc = Soc.create Soc_config.default in
+  let s = Export.Streaming.attach (Soc.engine soc) ~out:(Buffer.add_string buf) in
+  let r =
+    Runtime.run soc ~core:0 (Lazy.force small_model)
+      ~mode:(Runtime.Accel { im2col_on_accel = true })
+  in
+  Export.Streaming.finish s;
+  (Buffer.contents buf, s, r)
+
+let test_streaming_valid_and_paired () =
+  let text, s, _ = streamed_run () in
+  let json =
+    match J.of_string text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "streamed trace does not parse: %s" e
+  in
+  let events = Option.get (J.to_list json) in
+  let with_ph ph =
+    List.filter (fun ev -> J.member "ph" ev = Some (J.String ph)) events
+  in
+  Alcotest.(check bool) "events streamed" true
+    (Export.Streaming.events_written s > 0);
+  Alcotest.(check bool) "has track metadata" true (with_ph "M" <> []);
+  Alcotest.(check bool) "has sync slices" true (with_ph "X" <> []);
+  Alcotest.(check int) "async opens and closes pair up"
+    (List.length (with_ph "b"))
+    (List.length (with_ph "e"));
+  Alcotest.(check int) "clean run: no orphan closes" 0
+    (Export.Streaming.orphan_closes s);
+  Alcotest.(check int) "clean run: no forced closes" 0
+    (Export.Streaming.forced_closes s)
+
+let test_streaming_deterministic () =
+  let a, _, _ = streamed_run () in
+  let b, _, _ = streamed_run () in
+  Alcotest.(check bool) "byte-identical streamed traces" true
+    (String.equal a b)
+
+let test_streaming_timing_neutral () =
+  let quiet =
+    let soc = Soc.create Soc_config.default in
+    let r =
+      Runtime.run soc ~core:0 (Lazy.force small_model)
+        ~mode:(Runtime.Accel { im2col_on_accel = true })
+    in
+    r.Runtime.r_total_cycles
+  in
+  let _, _, r = streamed_run () in
+  Alcotest.(check int) "streaming does not move the clock" quiet
+    r.Runtime.r_total_cycles
+
+let test_streaming_finish_idempotent () =
+  let buf = Buffer.create 1024 in
+  let e = Engine.create () in
+  let s = Export.Streaming.attach e ~out:(Buffer.add_string buf) in
+  Engine.emit e
+    (span_open ~component:"core0/host" ~time:1 ~name:"open" ~cat:"layer");
+  Export.Streaming.finish s;
+  let once = Buffer.contents buf in
+  (* The dangling span was force-closed at the horizon. *)
+  Alcotest.(check int) "forced at finish" 1 (Export.Streaming.forced_closes s);
+  Export.Streaming.finish s;
+  Engine.emit e
+    (span_open ~component:"core0/host" ~time:2 ~name:"late" ~cat:"layer");
+  Alcotest.(check string) "finish twice, events after: no change" once
+    (Buffer.contents buf);
+  match J.of_string once with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "finished stream does not parse: %s" e
+
 let suite =
   [
     Alcotest.test_case "histogram: empty summary" `Quick test_histogram_empty;
@@ -291,4 +397,16 @@ let suite =
     Alcotest.test_case "collector: timing neutral" `Quick
       test_collector_timing_neutral;
     Alcotest.test_case "report: renders tables" `Quick test_report_renders;
+    Alcotest.test_case "ring: dropped events reported" `Quick
+      test_dropped_events_reported;
+    Alcotest.test_case "ring: no marker when clean" `Quick
+      test_dropped_events_absent_when_clean;
+    Alcotest.test_case "streaming: valid and paired" `Quick
+      test_streaming_valid_and_paired;
+    Alcotest.test_case "streaming: deterministic" `Quick
+      test_streaming_deterministic;
+    Alcotest.test_case "streaming: timing neutral" `Quick
+      test_streaming_timing_neutral;
+    Alcotest.test_case "streaming: finish idempotent" `Quick
+      test_streaming_finish_idempotent;
   ]

@@ -108,6 +108,66 @@ let test_histogram_reset () =
     (Stats.Histogram.percentile h 99. < 50.);
   Alcotest.(check (float 1e-9)) "fresh max" 10. (Stats.Histogram.max h)
 
+let test_histogram_merge () =
+  let mk samples =
+    let h = Stats.Histogram.create ~buckets:10 ~range:100. in
+    List.iter (Stats.Histogram.add h) samples;
+    h
+  in
+  (* Merging an empty histogram is the identity on every observable. *)
+  let a = mk [ 5.; 15.; 95. ] and empty = mk [] in
+  let m = Stats.Histogram.merge a empty in
+  Alcotest.(check int) "empty right: count" 3 (Stats.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "empty right: max" 95. (Stats.Histogram.max m);
+  Alcotest.(check (array int)) "empty right: buckets"
+    (Stats.Histogram.bucket_counts a)
+    (Stats.Histogram.bucket_counts m);
+  let m = Stats.Histogram.merge empty a in
+  Alcotest.(check int) "empty left: count" 3 (Stats.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "empty left: max" 95. (Stats.Histogram.max m);
+  let m = Stats.Histogram.merge empty (mk []) in
+  Alcotest.(check int) "both empty: count" 0 (Stats.Histogram.count m);
+  Alcotest.(check bool) "both empty: max nan" true
+    (Float.is_nan (Stats.Histogram.max m));
+  (* Disjoint sample ranges: the merge sees both populations and equals a
+     histogram fed the union. *)
+  let low = mk [ 5.; 6.; 7. ] and high = mk [ 85.; 95. ] in
+  let m = Stats.Histogram.merge low high in
+  let union = mk [ 5.; 6.; 7.; 85.; 95. ] in
+  Alcotest.(check int) "disjoint: count" 5 (Stats.Histogram.count m);
+  Alcotest.(check (array int)) "disjoint: buckets"
+    (Stats.Histogram.bucket_counts union)
+    (Stats.Histogram.bucket_counts m);
+  Alcotest.(check (float 1e-9)) "disjoint: max" 95. (Stats.Histogram.max m);
+  Alcotest.(check (float 1e-9)) "disjoint: p99 matches union"
+    (Stats.Histogram.percentile union 99.)
+    (Stats.Histogram.percentile m 99.);
+  (* Overlapping ranges accumulate bucket-wise. *)
+  let x = mk [ 10.; 20.; 30. ] and y = mk [ 15.; 25.; 90. ] in
+  let m = Stats.Histogram.merge x y in
+  let union = mk [ 10.; 20.; 30.; 15.; 25.; 90. ] in
+  Alcotest.(check int) "overlap: count" 6 (Stats.Histogram.count m);
+  Alcotest.(check (array int)) "overlap: buckets"
+    (Stats.Histogram.bucket_counts union)
+    (Stats.Histogram.bucket_counts m);
+  Alcotest.(check (float 1e-9)) "overlap: p50 matches union"
+    (Stats.Histogram.percentile union 50.)
+    (Stats.Histogram.percentile m 50.);
+  (* Merge never mutates its inputs. *)
+  Alcotest.(check int) "left untouched" 3 (Stats.Histogram.count x);
+  Alcotest.(check int) "right untouched" 3 (Stats.Histogram.count y);
+  (* Shape mismatches are programming errors, caught loudly. *)
+  Alcotest.check_raises "bucket mismatch"
+    (Invalid_argument "Histogram.merge: bucket counts differ") (fun () ->
+      ignore
+        (Stats.Histogram.merge x
+           (Stats.Histogram.create ~buckets:4 ~range:100.)));
+  Alcotest.check_raises "range mismatch"
+    (Invalid_argument "Histogram.merge: ranges differ") (fun () ->
+      ignore
+        (Stats.Histogram.merge x
+           (Stats.Histogram.create ~buckets:10 ~range:50.)))
+
 let test_table_render () =
   let t = Table.create ~title:"T" [ "a"; "bb" ] in
   Table.set_align t 1 Table.Right;
@@ -183,6 +243,7 @@ let suite =
     Alcotest.test_case "series windows" `Quick test_series;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram reset" `Quick test_histogram_reset;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "table rendering" `Quick test_table_render;
     Alcotest.test_case "formatting" `Quick test_fmt;
     Alcotest.test_case "fixed point" `Quick test_fixed;
