@@ -135,6 +135,38 @@ let () =
       Printf.printf "info self_profile: %d wall-only entries (ungated)\n"
         (List.length sp)
   | _ -> ());
+  (* The hotpath section pairs wall time (ns/op) with allocation
+     (bytes/op) per quiet-path benchmark. Both are machine-dependent, so
+     like self_profile they are reported with baseline context but never
+     gated. *)
+  (let floats json =
+     match
+       Option.bind (Gem_util.Jsonx.member "hotpath" json) Gem_util.Jsonx.to_obj
+     with
+     | Some kvs ->
+         List.filter_map
+           (fun (k, v) ->
+             Option.map (fun f -> (k, f)) (Gem_util.Jsonx.to_float v))
+           kvs
+     | None -> []
+   in
+   let res_hp = floats results in
+   let base_hp = floats baseline in
+   List.iter
+     (fun (k, ns) ->
+       if Filename.check_suffix k ".ns_per_op" then
+         let name = Filename.chop_suffix k ".ns_per_op" in
+         match List.assoc_opt (name ^ ".bytes_per_op") res_hp with
+         | Some bytes ->
+             let context =
+               match List.assoc_opt k base_hp with
+               | Some b -> Printf.sprintf " (baseline %.1f ns/op)" b
+               | None -> ""
+             in
+             Printf.printf "info hotpath %s: %.1f ns/op, %.1f B/op%s\n" name
+               ns bytes context
+         | None -> ())
+     res_hp);
   (match
      ( Gem_util.Jsonx.to_obj (obj_field baseline_path baseline "wall_s"),
        Gem_util.Jsonx.to_obj (obj_field results_path results "wall_s") )

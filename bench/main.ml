@@ -34,6 +34,13 @@ let serving_metric name v = serving := (name, v) :: !serving
 let self_profile : (string * float) list ref = ref []
 let self_profile_wall name v = self_profile := (name, v) :: !self_profile
 
+(* Hot-path measurements are wall-clock (ns/op) and allocation (bytes/op)
+   pairs for the quiet event loop — machine-dependent like self_profile,
+   so they live in their own ungated section that check_regression.exe
+   reports but never gates. *)
+let hotpath : (string * float) list ref = ref []
+let hotpath_stat name v = hotpath := (name, v) :: !hotpath
+
 let slug s =
   String.map
     (fun c ->
@@ -68,6 +75,8 @@ let write_results ~quick path =
                (List.rev_map (fun (k, v) -> (k, Int v)) !serving)) );
         ( "self_profile",
           Obj (List.rev_map (fun (k, v) -> (k, Float v)) !self_profile) );
+        ( "hotpath",
+          Obj (List.rev_map (fun (k, v) -> (k, Float v)) !hotpath) );
         ( "wall_s",
           Obj (List.rev_map (fun (k, v) -> (k, Float v)) !walls) );
       ]
@@ -363,6 +372,94 @@ let run_serving_bench () =
                (int_of_float lat.Gem_util.Stats.Histogram.p95)))
         [ ("cycle", Gem_sw.Backend.Cycle); ("analytic", Gem_sw.Backend.Analytic) ])
 
+(* Hot-path bench: wall time AND allocation per operation for the three
+   flattened quiet paths (engine acquire, timing-only DMA transfer, the
+   multi-core dispatch loop), plus hard equality gates for the parallel
+   driver — a probed or multi-Domain run must report exactly the cycle
+   counts of the quiet sequential reference. The ns/op / bytes/op pairs
+   land in the ungated hotpath section of BENCH_results.json. *)
+let run_hotpath_bench () =
+  timed "Hot path: ns/op and bytes/op (quiet event loop)" (fun () ->
+      let measure name iters f =
+        Gc.minor ();
+        let a = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        f iters;
+        let dt = Unix.gettimeofday () -. t0 in
+        let alloc = Gc.allocated_bytes () -. a in
+        let ns = dt *. 1e9 /. float_of_int iters in
+        let bytes = alloc /. float_of_int iters in
+        hotpath_stat (name ^ ".ns_per_op") ns;
+        hotpath_stat (name ^ ".bytes_per_op") bytes;
+        Printf.printf "  %-24s %10.1f ns/op %8.1f B/op\n" name ns bytes
+      in
+      (let open Gem_sim in
+       let e = Engine.create () in
+       let bus = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+       measure "engine_acquire" 1_000_000 (fun n ->
+           for i = 1 to n do
+             ignore (Engine.acquire e bus ~now:i ~occupancy:1)
+           done));
+      (let pt = Gem_vm.Page_table.create ~node_region_base:0x1000_0000 () in
+       Gem_vm.Page_table.map_range pt ~vaddr:0 ~bytes:(1 lsl 22)
+         ~paddr:0x40_0000;
+       let ptw =
+         Gem_vm.Ptw.create ~page_table:pt
+           ~mem_read:(fun ~now ~paddr:_ ~bytes:_ -> now + 20)
+           ()
+       in
+       let tlb =
+         Gem_vm.Hierarchy.create Gem_vm.Hierarchy.default_config ~ptw
+       in
+       let dma =
+         Gemmini.Dma.create Gemmini.Params.default ~port:Gemmini.Dma.null_port
+           ~tlb
+       in
+       measure "dma_mvin_16rows" 50_000 (fun n ->
+           for i = 1 to n do
+             ignore
+               (Gemmini.Dma.mvin dma ~now:(i * 1000) ~vaddr:0 ~stride_bytes:64
+                  ~rows:16 ~row_bytes:64)
+           done));
+      (let ops k =
+         Seq.init k (fun i ->
+             if i mod 4 = 3 then Gem_soc.Soc.Marker (fun _ -> ())
+             else Gem_soc.Soc.Host_work { cycles = 3; tag = "w" })
+       in
+       measure "soc_dispatch" 50_000 (fun n ->
+           let soc = Gem_soc.Soc.create Gem_soc.Soc_config.dual_core in
+           ignore (Gem_soc.Soc.run_parallel soc [| ops (n / 2); ops (n / 2) |])));
+      (* Equality gates for the Domain-parallel driver. *)
+      let model =
+        Gem_dnn.Model_zoo.scale_model ~factor:16 Gem_dnn.Model_zoo.squeezenet
+      in
+      let jobs =
+        [|
+          (model, Gem_sw.Runtime.Accel { im2col_on_accel = true });
+          (model, Gem_sw.Runtime.Accel { im2col_on_accel = false });
+        |]
+      in
+      let cycles ?(domains = 1) ?(probed = false) () =
+        let module P = Gem_obs.Profile in
+        let soc = Gem_soc.Soc.create Gem_soc.Soc_config.dual_core in
+        if probed then P.enable ();
+        let rs =
+          Fun.protect
+            ~finally:(fun () -> if probed then P.disable ())
+            (fun () -> Gem_sw.Runtime.run_parallel ~domains soc jobs)
+        in
+        Array.map (fun r -> r.Gem_sw.Runtime.r_total_cycles) rs
+      in
+      let reference = cycles () in
+      if cycles ~domains:4 () <> reference then
+        failwith "hotpath: domains=4 changed the parallel cycle counts";
+      if cycles ~domains:4 ~probed:true () <> reference then
+        failwith "hotpath: probed parallel run changed the cycle counts";
+      Printf.printf
+        "  parallel gates: domains=4 and probed runs match (%s / %s cycles)\n"
+        (Gem_util.Table.fmt_int reference.(0))
+        (Gem_util.Table.fmt_int reference.(1)))
+
 (* --- bechamel microbenchmarks of simulator hot paths ----------------------- *)
 
 let micro () =
@@ -491,6 +588,7 @@ let () =
   if all || has "analytic" then run_analytic_bench ();
   if all || has "persist" then run_persist_bench ();
   if all || has "serving" then run_serving_bench ();
+  if all || has "hotpath" then run_hotpath_bench ();
   if all || has "micro" then micro ();
   write_results ~quick "BENCH_results.json";
   Printf.printf "\nDone.\n"

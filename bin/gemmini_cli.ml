@@ -184,7 +184,7 @@ let policy_conv =
 
 let run_cmd =
   let run p backend model scale im2col_on_accel profile inject_seed inject_rate
-      policy watchdog cores trace_out trace_format checkpoint_every
+      policy watchdog cores domains trace_out trace_format checkpoint_every
       checkpoint_out restore max_replays self_profile metrics_out =
     let model = Gem_dnn.Model_zoo.scale_model ~factor:scale model in
     let core_cfg = { Soc_config.default_core with accel = p } in
@@ -316,7 +316,7 @@ let run_cmd =
       else None
     in
     let rq =
-      Gem_sw.Backend.request ~policy ?watchdog ~config
+      Gem_sw.Backend.request ~policy ?watchdog ~domains ~config
         (Array.init cores (fun _ -> (model, mode)))
     in
     let results = Gem_sw.Backend_cycle.run_on soc rq in
@@ -395,6 +395,15 @@ let run_cmd =
             "Accelerator cores; with more than one, every core runs the \
              model in parallel and outputs are labeled per core.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Host OCaml Domains driving a multi-core simulation (cycle \
+             backend). Cycle counts are byte-identical at any value; \
+             more than one only changes wall-clock time.")
+  in
   let trace_out =
     Arg.(
       value & opt (some string) None
@@ -447,8 +456,9 @@ let run_cmd =
     Term.(
       const run $ params_term $ backend_term $ model_term $ scale_term
       $ im2col $ profile $ inject_seed $ inject_rate $ policy $ watchdog
-      $ cores $ trace_out $ trace_format $ checkpoint_every $ checkpoint_out
-      $ restore $ max_replays $ self_profile_term $ metrics_out_term)
+      $ cores $ domains $ trace_out $ trace_format $ checkpoint_every
+      $ checkpoint_out $ restore $ max_replays $ self_profile_term
+      $ metrics_out_term)
 
 (* --- profile: where does the simulator's own time go? ------------------------ *)
 
@@ -860,8 +870,8 @@ let experiment_cmd =
 
 let serve_cmd =
   let module Serve = Gem_serve.Serve in
-  let run p model scale backend cores_list arrival seed batch slos duration
-      no_warmup out trace_out warm warm_out rates jobs self_profile
+  let run p model scale backend cores_list domains arrival seed batch slos
+      duration no_warmup out trace_out warm warm_out rates jobs self_profile
       metrics_out =
     let name = model.Gem_dnn.Layer.model_name in
     let scenario_for ~cores ~arrival =
@@ -926,7 +936,7 @@ let serve_cmd =
         let result =
           with_self_profile self_profile (fun () ->
               try
-                Serve.run ?attach ?warm_in:warm ?warm_out
+                Serve.run ?attach ?warm_in:warm ?warm_out ~domains
                   (scenario_for ~cores ~arrival)
               with Invalid_argument msg ->
                 Printf.eprintf "[serve] %s\n%!" msg;
@@ -1014,6 +1024,14 @@ let serve_cmd =
             "Gemmini cores sharing the L2/DRAM. A single value for one \
              scenario; a comma-separated list becomes a sweep axis with \
              --rates.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Host OCaml Domains driving the simulation (cycle backend, \
+             single scenario). Reports are byte-identical at any value.")
   in
   let arrival =
     Arg.(
@@ -1116,9 +1134,9 @@ let serve_cmd =
           (latency percentiles, SLO attainment, throughput curves).")
     Term.(
       const run $ params_term $ model_term $ scale_term $ backend_term
-      $ cores $ arrival $ seed $ batch $ slos $ duration $ no_warmup $ out
-      $ trace_out $ warm $ warm_out $ rates $ jobs $ self_profile_term
-      $ metrics_out_term)
+      $ cores $ domains $ arrival $ seed $ batch $ slos $ duration
+      $ no_warmup $ out $ trace_out $ warm $ warm_out $ rates $ jobs
+      $ self_profile_term $ metrics_out_term)
 
 let () =
   let info =

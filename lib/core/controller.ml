@@ -73,7 +73,12 @@ type t = {
   (* retire high-water mark of the command currently executing; the close
      stamp of its span *)
   mutable cmd_finish : Time.cycles;
-  rob : Time.cycles Queue.t;
+  (* in-order retirement buffer, a preallocated ring of max_in_flight+1
+     finish times (a Queue cell per retired command was the hottest
+     allocation in the issue path). [rob_head] indexes the oldest. *)
+  rob : Time.cycles array;
+  mutable rob_head : int;
+  mutable rob_len : int;
   s : mutable_stats;
 }
 
@@ -150,7 +155,9 @@ let create ?engine ?(name = "accel") ?(core = 0) ~params ~port ~tlb
     last_ld_finish = 0;
     last_st_finish = 0;
     cmd_finish = 0;
-    rob = Queue.create ();
+    rob = Array.make (p.Params.max_in_flight + 1) 0;
+    rob_head = 0;
+    rob_len = 0;
     s;
   }
 
@@ -192,11 +199,21 @@ let advance_to t ~cycle =
      parked between request arrivals burns wall-clock, not utilization. *)
   if cycle > t.issue then t.issue <- cycle
 
+let rob_clear t =
+  t.rob_head <- 0;
+  t.rob_len <- 0
+
 let retire t finish =
   if finish > t.cmd_finish then t.cmd_finish <- finish;
-  Queue.push finish t.rob;
-  if Queue.length t.rob > t.p.Params.max_in_flight then
-    t.issue <- max t.issue (Queue.pop t.rob)
+  let cap = Array.length t.rob in
+  t.rob.((t.rob_head + t.rob_len) mod cap) <- finish;
+  t.rob_len <- t.rob_len + 1;
+  if t.rob_len > t.p.Params.max_in_flight then begin
+    let oldest = t.rob.(t.rob_head) in
+    t.rob_head <- (t.rob_head + 1) mod cap;
+    t.rob_len <- t.rob_len - 1;
+    if oldest > t.issue then t.issue <- oldest
+  end
 
 (* --- functional helpers ------------------------------------------------- *)
 
@@ -502,7 +519,7 @@ let do_fence t =
   | _ -> ());
   t.os_acc <- None;
   t.issue <- finish_time t;
-  Queue.clear t.rob
+  rob_clear t
 
 (* --- the LOOP_WS hardware sequencer ----------------------------------------
 
@@ -953,7 +970,10 @@ let snapshot t =
       ("last_ld_finish", J.Int t.last_ld_finish);
       ("last_st_finish", J.Int t.last_st_finish);
       ("cmd_finish", J.Int t.cmd_finish);
-      ("rob", Snap.of_int_list (List.of_seq (Queue.to_seq t.rob)));
+      ( "rob",
+        Snap.of_int_list
+          (List.init t.rob_len (fun k ->
+               t.rob.((t.rob_head + k) mod Array.length t.rob))) );
       ( "stats",
         Snap.of_int_list
           [ t.s.insns; t.s.loop_micro_ops; t.s.loads; t.s.stores; t.s.computes;
@@ -989,8 +1009,14 @@ let restore t j =
   t.last_ld_finish <- Snap.get_int "last_ld_finish" j;
   t.last_st_finish <- Snap.get_int "last_st_finish" j;
   t.cmd_finish <- Snap.get_int "cmd_finish" j;
-  Queue.clear t.rob;
-  List.iter (fun c -> Queue.push c t.rob) (Snap.int_list (Snap.member "rob" j));
+  rob_clear t;
+  List.iter
+    (fun c ->
+      Gem_util.Snap.check ~what:"rob length"
+        (t.rob_len < Array.length t.rob);
+      t.rob.(t.rob_len) <- c;
+      t.rob_len <- t.rob_len + 1)
+    (Snap.int_list (Snap.member "rob" j));
   (match Snap.int_list (Snap.member "stats" j) with
   | [ insns; loop_micro_ops; loads; stores; computes; macs; host_cycles; flushes ] ->
       t.s.insns <- insns;
@@ -1101,7 +1127,7 @@ let reset_time t =
   Resource.reset t.st_pipe;
   t.last_ld_finish <- 0;
   t.last_st_finish <- 0;
-  Queue.clear t.rob;
+  rob_clear t;
   t.s.insns <- 0;
   t.s.loop_micro_ops <- 0;
   t.s.loads <- 0;

@@ -27,6 +27,12 @@ type t = {
   mutable row_requests : int;
   core : int;
   mutable inject : Inject.t option;
+  (* Reused scratch for the timing-only segment walk: one transfer is in
+     flight per DMA at a time, so a single translation slot plus two
+     result cells make the whole walk allocation-free. *)
+  tslot : Gem_vm.Hierarchy.slot;
+  mutable w_cursor : Time.cycles;
+  mutable w_finish : Time.cycles;
 }
 
 let create ?engine ?(name = "dma") ?(core = -1) p ~port ~tlb =
@@ -49,6 +55,9 @@ let create ?engine ?(name = "dma") ?(core = -1) p ~port ~tlb =
     row_requests = 0;
     core;
     inject = None;
+    tslot = Gem_vm.Hierarchy.make_slot ();
+    w_cursor = 0;
+    w_finish = 0;
   }
 
 let tlb t = t.tlb
@@ -102,6 +111,47 @@ let for_segments t ~now ~vaddr ~bytes ~write ~f =
   done;
   (!cursor, !finish)
 
+(* The timing-only walk: identical traversal and event order to
+   {!for_segments}, but the port timing callback is invoked directly and
+   the translation lands in the reused [t.tslot] — no closure, no outcome
+   record, no refs, no result tuple. This is the simulator's hottest
+   loop (one iteration per page segment of every DMA row), so results
+   come back through [t.w_cursor] / [t.w_finish]. *)
+let rec seg_walk_go t ~write cursor finish va remaining =
+  if remaining <= 0 then begin
+    t.w_cursor <- cursor;
+    t.w_finish <- finish
+  end
+  else begin
+    let slot = t.tslot in
+    let in_page = page_size - (va land (page_size - 1)) in
+    let seg = min in_page remaining in
+    Gem_vm.Hierarchy.translate_into t.tlb slot ~now:cursor ~vaddr:va ~write;
+    let occupancy = Mathx.ceil_div seg t.p.Params.dma_bus_bytes in
+    let bus_done =
+      Engine.acquire t.engine t.bus ~now:slot.Gem_vm.Hierarchy.s_finish
+        ~occupancy
+    in
+    (match t.inject with
+    | Some plan when Inject.fire plan Inject.Dma_error ->
+        Engine.trap t.engine
+          (Fault.make ~core:t.core ~component:(Resource.name t.bus)
+             ~cycle:bus_done
+             (Fault.Dma_bus_error { vaddr = va; bytes = seg }))
+    | _ -> ());
+    let paddr = slot.Gem_vm.Hierarchy.s_paddr in
+    let seg_done =
+      if write then t.port.write_timing ~now:bus_done ~paddr ~bytes:seg
+      else t.port.read_timing ~now:bus_done ~paddr ~bytes:seg
+    in
+    seg_walk_go t ~write bus_done
+      (if seg_done > finish then seg_done else finish)
+      (va + seg) (remaining - seg)
+  end
+
+let seg_walk_timing t ~now ~vaddr ~bytes ~write =
+  seg_walk_go t ~write now now vaddr bytes
+
 (* One span per burst on the bus track (cat "dma"): open at request time,
    close at overall finish. Rendered async so overlapping bursts (memory
    latency of one row under the issue of the next command) display
@@ -137,24 +187,33 @@ let mvin t ~now ~vaddr ~stride_bytes ~rows ~row_bytes =
   for r = 0 to rows - 1 do
     t.row_requests <- t.row_requests + 1;
     let row_va = vaddr + (r * stride_bytes) in
-    let buf = if functional then Array.make row_bytes 0 else [||] in
-    let written = ref 0 in
-    let row_cursor, row_done =
-      for_segments t ~now:!cursor ~vaddr:row_va ~bytes:row_bytes ~write:false
-        ~f:(fun ~now ~vaddr:_ ~paddr ~bytes ->
-          (match t.port.read_data with
-          | Some read ->
-              let seg = read ~paddr ~n:bytes in
-              Array.blit seg 0 buf !written bytes;
-              written := !written + bytes
-          | None -> ());
-          t.port.read_timing ~now ~paddr ~bytes)
-    in
-    if functional then rows_data.(r) <- buf;
-    (* Rows issue serially through the translate+bus path; memory latency
-       of one row still overlaps the issue of the next. *)
-    cursor := max !cursor row_cursor;
-    finish := max !finish row_done
+    if functional then begin
+      let buf = Array.make row_bytes 0 in
+      let written = ref 0 in
+      let row_cursor, row_done =
+        for_segments t ~now:!cursor ~vaddr:row_va ~bytes:row_bytes
+          ~write:false
+          ~f:(fun ~now ~vaddr:_ ~paddr ~bytes ->
+            (match t.port.read_data with
+            | Some read ->
+                let seg = read ~paddr ~n:bytes in
+                Array.blit seg 0 buf !written bytes;
+                written := !written + bytes
+            | None -> ());
+            t.port.read_timing ~now ~paddr ~bytes)
+      in
+      rows_data.(r) <- buf;
+      cursor := max !cursor row_cursor;
+      finish := max !finish row_done
+    end
+    else begin
+      seg_walk_timing t ~now:!cursor ~vaddr:row_va ~bytes:row_bytes
+        ~write:false;
+      (* Rows issue serially through the translate+bus path; memory
+         latency of one row still overlaps the issue of the next. *)
+      cursor := max !cursor t.w_cursor;
+      finish := max !finish t.w_finish
+    end
   done;
   t.bytes_in := !(t.bytes_in) + (rows * row_bytes);
   if Engine.live t.engine then
@@ -174,24 +233,36 @@ let mvout_common t ~now ~vaddr ~stride_bytes ~rows ~row_bytes ~data =
   if rows <= 0 || row_bytes <= 0 then invalid_arg "Dma.mvout: empty transfer";
   if !P.on then P.enter P.dma;
   burst_open t ~now ~name:"dma-write" ~rows ~bytes:(rows * row_bytes);
+  let functional =
+    Option.is_some t.port.write_data && Option.is_some data
+  in
   let cursor = ref now in
   let finish = ref now in
   for r = 0 to rows - 1 do
     t.row_requests <- t.row_requests + 1;
     let row_va = vaddr + (r * stride_bytes) in
-    let consumed = ref 0 in
-    let row_cursor, row_done =
-      for_segments t ~now:!cursor ~vaddr:row_va ~bytes:row_bytes ~write:true
-        ~f:(fun ~now ~vaddr:_ ~paddr ~bytes ->
-          (match (t.port.write_data, data) with
-          | Some write, Some rows_data ->
-              write ~paddr (Array.sub rows_data.(r) !consumed bytes);
-              consumed := !consumed + bytes
-          | _ -> ());
-          t.port.write_timing ~now ~paddr ~bytes)
-    in
-    cursor := max !cursor row_cursor;
-    finish := max !finish row_done
+    if functional then begin
+      let consumed = ref 0 in
+      let row_cursor, row_done =
+        for_segments t ~now:!cursor ~vaddr:row_va ~bytes:row_bytes
+          ~write:true
+          ~f:(fun ~now ~vaddr:_ ~paddr ~bytes ->
+            (match (t.port.write_data, data) with
+            | Some write, Some rows_data ->
+                write ~paddr (Array.sub rows_data.(r) !consumed bytes);
+                consumed := !consumed + bytes
+            | _ -> ());
+            t.port.write_timing ~now ~paddr ~bytes)
+      in
+      cursor := max !cursor row_cursor;
+      finish := max !finish row_done
+    end
+    else begin
+      seg_walk_timing t ~now:!cursor ~vaddr:row_va ~bytes:row_bytes
+        ~write:true;
+      cursor := max !cursor t.w_cursor;
+      finish := max !finish t.w_finish
+    end
   done;
   t.bytes_out := !(t.bytes_out) + (rows * row_bytes);
   if Engine.live t.engine then

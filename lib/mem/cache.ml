@@ -19,7 +19,10 @@ type t = {
   mutable write_misses : int;
 }
 
-type result = Hit | Miss of { writeback : bool }
+(* Constant constructors: the L2 sits on the DMA path, so [access] runs
+   millions of times per inference and must not allocate a [Miss] record
+   per call. *)
+type result = Hit | Miss | Miss_writeback
 
 let hit_rate t = Stats.hit_rate ~hits:t.hits ~total:t.accesses
 
@@ -124,7 +127,7 @@ let access t ~addr ~write =
       t.tags.(idx) <- tag;
       t.dirty.(idx) <- write;
       t.age.(idx) <- t.clock;
-      Miss { writeback }
+      if writeback then Miss_writeback else Miss
 
 let access_range t ~addr ~bytes ~write =
   if bytes < 0 then invalid_arg "Cache.access_range: negative size";
@@ -135,9 +138,10 @@ let access_range t ~addr ~bytes ~write =
     for line = first to last do
       match access t ~addr:(line lsl t.set_shift) ~write with
       | Hit -> incr hits
-      | Miss { writeback } ->
+      | Miss -> incr misses
+      | Miss_writeback ->
           incr misses;
-          if writeback then incr wbs
+          incr wbs
     done
   end;
   (!hits, !misses, !wbs)

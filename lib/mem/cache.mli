@@ -10,9 +10,10 @@ type t
 
 type result =
   | Hit
-  | Miss of { writeback : bool }
-      (** [writeback] is true when the victim line was dirty and must be
-          written back to DRAM. *)
+  | Miss  (** miss with a clean (or invalid) victim line *)
+  | Miss_writeback
+      (** miss whose victim line was dirty and must be written back to
+          DRAM. Constant constructors keep the hot path allocation-free. *)
 
 val create :
   ?engine:Gem_sim.Engine.t ->

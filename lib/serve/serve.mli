@@ -59,6 +59,7 @@ val run :
   ?attach:(Gem_soc.Soc.t -> unit) ->
   ?warm_in:string ->
   ?warm_out:string ->
+  ?domains:int ->
   scenario ->
   result
 (** Runs the scenario. [hist] is passed to {!Slo.analyze} (reset and

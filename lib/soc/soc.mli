@@ -91,6 +91,11 @@ type op =
   | Host_work of { cycles : int; tag : string }
   | Marker of (core -> unit)
       (** executed (zero cost) when the core reaches this point *)
+  | Guarded of { op : op; run : core -> unit }
+      (** [run] executes [op] wrapped in caller-supplied trap handling
+          (the runtime's fault policies). Keeping the underlying [op]
+          visible lets the parallel driver classify the work as
+          core-private or shared without forcing the wrapper. *)
 
 val exec_op : core -> op -> unit
 (** Executes one op on the core. Exposed so recovery layers (the
@@ -100,10 +105,18 @@ val exec_op : core -> op -> unit
 val run_program : t -> core -> op Seq.t -> Gem_sim.Time.cycles
 (** Runs a single core's program to completion; returns its finish time. *)
 
-val run_parallel : t -> op Seq.t array -> Gem_sim.Time.cycles array
+val run_parallel : ?domains:int -> t -> op Seq.t array -> Gem_sim.Time.cycles array
 (** Runs one program per core, interleaved in simulated-time order (the
     core whose issue cursor is earliest executes next), so shared-resource
-    contention is interleaving-accurate. Returns per-core finish times. *)
+    contention is interleaving-accurate. Returns per-core finish times.
+
+    With [domains > 1] (default 1), core-private ops execute on up to
+    [domains - 1] worker Domains while shared ops stay on the
+    coordinator, scheduled so every simulated-time pick happens in
+    exactly the sequential order: cycle counts, metrics and snapshots
+    are byte-identical at any Domain count. Falls back to the sequential
+    driver for single-program runs and whenever the engine has trace
+    observers attached ({!Gem_sim.Engine.observing}). *)
 
 val finish_time : t -> Gem_sim.Time.cycles
 (** Max finish time over cores. *)

@@ -13,7 +13,9 @@ let run_on soc (rq : Backend.request) =
   match rq.Backend.bq_jobs with
   | [| (model, mode) |] ->
       [| Runtime.run ~policy ?watchdog soc ~core:0 model ~mode |]
-  | jobs -> Runtime.run_parallel ~policy ?watchdog soc jobs
+  | jobs ->
+      Runtime.run_parallel ~policy ?watchdog ~domains:rq.Backend.bq_domains
+        soc jobs
 
 let run (rq : Backend.request) =
   let soc = Soc.create rq.Backend.bq_config in

@@ -51,6 +51,21 @@ val translate :
     {!Gem_sim.Fault.Trap} (cause [Page_fault]) through the engine, which
     records it against this hierarchy's component name. *)
 
+type slot = {
+  mutable s_paddr : int;
+  mutable s_finish : Gem_sim.Time.cycles;
+  mutable s_level : level;
+}
+(** A caller-owned result cell for the allocation-free hot path. *)
+
+val make_slot : unit -> slot
+
+val translate_into :
+  t -> slot -> now:Gem_sim.Time.cycles -> vaddr:int -> write:bool -> unit
+(** {!translate}, but writes the result into [slot] instead of allocating
+    an {!outcome}. The DMA calls this once per page segment of every row,
+    so the quiet path must not allocate per request. *)
+
 val invalidate : t -> vpn:int -> unit
 (** Drops one translation from the filter registers and both TLBs (the
     page-unmap shootdown path). The next access re-walks. *)

@@ -30,7 +30,7 @@ let test_cache_basics () =
   let c = Cache.create ~size_bytes:4096 ~ways:4 ~line_bytes:64 () in
   Alcotest.(check int) "sets" 16 (Cache.sets c);
   (match Cache.access c ~addr:0 ~write:false with
-  | Cache.Miss { writeback = false } -> ()
+  | Cache.Miss -> ()
   | _ -> Alcotest.fail "cold miss expected");
   (match Cache.access c ~addr:32 ~write:false with
   | Cache.Hit -> ()
@@ -40,7 +40,7 @@ let test_cache_basics () =
     ignore (Cache.access c ~addr:(i * 1024) ~write:false)
   done;
   (match Cache.access c ~addr:0 ~write:false with
-  | Cache.Miss _ -> ()
+  | Cache.Miss | Cache.Miss_writeback -> ()
   | Cache.Hit -> Alcotest.fail "LRU line should have been evicted")
 
 let test_cache_lru_order () =

@@ -173,6 +173,171 @@ let test_engine_events_and_sinks () =
   | [ s ] -> Alcotest.(check int) "reset clears resources" 0 s.Engine.stat_requests
   | _ -> Alcotest.fail "registry survives reset"
 
+(* --- Heap ------------------------------------------------------------------ *)
+
+let drain h =
+  let rec go acc =
+    match Heap.pop h with None -> List.rev acc | Some kv -> go (kv :: acc)
+  in
+  go []
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek on empty" None (Heap.peek_key h);
+  List.iter
+    (fun k -> Heap.push h ~key:k (10 * k))
+    [ 7; 3; 9; 1; 4; 8; 2; 6; 5; 0 ];
+  Alcotest.(check int) "size" 10 (Heap.size h);
+  Alcotest.(check (option int)) "peek is min" (Some 0) (Heap.peek_key h);
+  Alcotest.(check (list (pair int int))) "pops sorted by key"
+    (List.init 10 (fun k -> (k, 10 * k)))
+    (drain h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_tie_stability () =
+  (* The multi-core driver breaks equal-time ties by insertion order;
+     equal keys must pop FIFO even across sift-up/down reshuffles. *)
+  let h = Heap.create () in
+  Heap.push h ~key:5 "a";
+  Heap.push h ~key:3 "x";
+  Heap.push h ~key:5 "b";
+  Heap.push h ~key:1 "y";
+  Heap.push h ~key:5 "c";
+  Alcotest.(check (list (pair int string))) "ties pop in insertion order"
+    [ (1, "y"); (3, "x"); (5, "a"); (5, "b"); (5, "c") ]
+    (drain h);
+  (* Stability must survive interleaved pops (the seq counter keeps
+     advancing; it is not reset by reaching empty). *)
+  Heap.push h ~key:2 "p";
+  Heap.push h ~key:2 "q";
+  Alcotest.(check (option (pair int string))) "reuse after drain"
+    (Some (2, "p")) (Heap.pop h);
+  Heap.push h ~key:2 "r";
+  Alcotest.(check (list (pair int string))) "FIFO across interleaved pops"
+    [ (2, "q"); (2, "r") ]
+    (drain h)
+
+let test_heap_grow_shrink () =
+  (* Push far past the initial capacity, drain to empty, and reuse: the
+     backing array growth must be invisible to ordering. *)
+  let h = Heap.create () in
+  for i = 99 downto 0 do
+    Heap.push h ~key:i i
+  done;
+  Alcotest.(check int) "grew past initial capacity" 100 (Heap.size h);
+  Alcotest.(check (list (pair int int))) "descending inserts pop ascending"
+    (List.init 100 (fun i -> (i, i)))
+    (drain h);
+  (* Shrink back to empty and round-trip again across the old boundary. *)
+  for round = 1 to 3 do
+    for i = 0 to 20 do
+      Heap.push h ~key:(i mod 4) (round * 100 + i)
+    done;
+    let keys = List.map fst (drain h) in
+    Alcotest.(check (list int)) "reused heap still sorted"
+      (List.sort compare keys) keys;
+    Alcotest.(check bool) "empty again" true (Heap.is_empty h)
+  done
+
+(* --- allocation-free quiet hot path ----------------------------------------
+
+   The flattened hot path promises zero per-event heap allocation while no
+   observer is attached: Resource.acquire, the engine's quiet acquire
+   loop, and the DMA's timing-only transfer walk. [Gc.allocated_bytes]
+   deltas pin that down — a regression that boxes a result or rebuilds a
+   closure per event shows up as bytes per iteration. *)
+
+let measure_alloc f =
+  (* Empty the minor arena first: the measured loops allocate well under
+     one arena, so no collection can land inside the measurement window
+     and perturb the counter. *)
+  Gc.minor ();
+  (* Calibrate away the allocation of the [Gc.allocated_bytes] floats
+     themselves. *)
+  let overhead =
+    let a = Gc.allocated_bytes () in
+    let b = Gc.allocated_bytes () in
+    b -. a
+  in
+  let before = Gc.allocated_bytes () in
+  f ();
+  let after = Gc.allocated_bytes () in
+  after -. before -. overhead
+
+let test_alloc_free_resource_acquire () =
+  let r = Resource.create ~name:"r" in
+  ignore (Resource.acquire r ~now:0 ~occupancy:1);
+  let bytes =
+    measure_alloc (fun () ->
+        for i = 1 to 10_000 do
+          ignore (Resource.acquire r ~now:i ~occupancy:1)
+        done)
+  in
+  Alcotest.(check (float 0.)) "Resource.acquire allocates nothing" 0. bytes
+
+let test_alloc_free_engine_quiet () =
+  let e = Engine.create () in
+  let bus = Engine.resource e ~kind:Engine.Bus ~name:"bus" in
+  ignore (Engine.acquire e bus ~now:0 ~occupancy:1);
+  Alcotest.(check bool) "engine is quiet" false (Engine.observing e);
+  let bytes =
+    measure_alloc (fun () ->
+        for i = 1 to 10_000 do
+          ignore (Engine.acquire e bus ~now:i ~occupancy:1)
+        done)
+  in
+  Alcotest.(check (float 0.)) "quiet Engine.acquire allocates nothing" 0.
+    bytes
+
+let test_alloc_constant_dma_transfer () =
+  (* Timing-only mvin: the per-row segment walk reuses one preallocated
+     translation slot and the DMA's cursor fields, so allocation per
+     transfer is one constant-size result record — independent of the
+     row count. *)
+  let pt = Gem_vm.Page_table.create ~node_region_base:0x1000_0000 () in
+  Gem_vm.Page_table.map_range pt ~vaddr:0 ~bytes:(1 lsl 22) ~paddr:0x40_0000;
+  let ptw =
+    Gem_vm.Ptw.create ~page_table:pt
+      ~mem_read:(fun ~now ~paddr:_ ~bytes:_ -> now + 20)
+      ()
+  in
+  let tlb =
+    Gem_vm.Hierarchy.create
+      {
+        Gem_vm.Hierarchy.private_entries = 4;
+        shared_entries = 0;
+        filter_registers = true;
+        private_hit_latency = 2;
+        shared_hit_latency = 8;
+      }
+      ~ptw
+  in
+  let dma =
+    Gemmini.Dma.create Gemmini.Params.default ~port:Gemmini.Dma.null_port ~tlb
+  in
+  let per_call rows =
+    (* Warm the TLB/filters so the measured calls stay on the hit path. *)
+    ignore
+      (Gemmini.Dma.mvin dma ~now:0 ~vaddr:0 ~stride_bytes:64 ~rows
+         ~row_bytes:64);
+    let iters = 1_000 in
+    let bytes =
+      measure_alloc (fun () ->
+          for i = 1 to iters do
+            ignore
+              (Gemmini.Dma.mvin dma ~now:(i * 10_000) ~vaddr:0
+                 ~stride_bytes:64 ~rows ~row_bytes:64)
+          done)
+    in
+    bytes /. float_of_int iters
+  in
+  let one = per_call 1 and many = per_call 32 in
+  Alcotest.(check (float 0.)) "per-transfer bytes independent of rows" one
+    many;
+  Alcotest.(check bool) "per-transfer bytes are one small record" true
+    (one <= 64.)
+
 (* --- determinism guard ----------------------------------------------------
 
    The fig7/fig9-style experiments rely on simulated-time interleaving of
@@ -226,6 +391,16 @@ let suite =
       test_engine_clock_and_stats;
     Alcotest.test_case "engine: events and sinks" `Quick
       test_engine_events_and_sinks;
+    Alcotest.test_case "heap: ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap: same-key insertion order" `Quick
+      test_heap_tie_stability;
+    Alcotest.test_case "heap: grow, drain, reuse" `Quick test_heap_grow_shrink;
+    Alcotest.test_case "alloc-free: Resource.acquire" `Quick
+      test_alloc_free_resource_acquire;
+    Alcotest.test_case "alloc-free: quiet engine acquire" `Quick
+      test_alloc_free_engine_quiet;
+    Alcotest.test_case "alloc-constant: timing-only DMA transfer" `Quick
+      test_alloc_constant_dma_transfer;
     Alcotest.test_case "engine: dual-core determinism" `Quick
       test_dual_core_determinism;
   ]
